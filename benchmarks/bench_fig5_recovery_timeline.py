@@ -1,0 +1,99 @@
+"""Figure 5: client-perceived throughput across a single attack (Squid).
+
+The paper's figure: steady throughput, a short dip ~24 s in "due to
+recovery taking place", then service resumes — versus a >5 s restart
+with dropped connections and cache warmup.
+
+Configuration note: the paper's own text says antibodies "should be
+distributed immediately upon availability" and attributes the dip to
+*recovery*, not to the (much longer, Table 3) full analysis — i.e. the
+initial memory-state VSEF plus rollback/re-execution happen inline and
+the heavyweight replay passes are deferred.  This bench uses exactly
+that immediate-response configuration; Table 3's bench measures the
+full sequential pipeline.
+"""
+
+import pytest
+
+from repro.apps.exploits import squid_exploit
+from repro.apps.squidp import build_squidp
+from repro.apps.workload import benign_requests
+from repro.runtime.sweeper import Sweeper, SweeperConfig
+
+from conftest import report
+
+#: Request spacing: ~375 ms of service work per request stretches 120
+#: requests across the paper's ~45 s timeline.
+WORK_CYCLES = 750_000
+ATTACK_AT_REQUEST = 60
+TOTAL_REQUESTS = 120
+RESTART_SECONDS = 5.0         # §1.1: restart takes up to several seconds
+
+
+def _timeline():
+    """Returns (bucket -> bytes served that virtual second, attack_time,
+    recovered_time, sweeper)."""
+    config = SweeperConfig(seed=3, enable_membug=False,
+                           enable_taint=False, enable_slicing=False)
+    sweeper = Sweeper(build_squidp(), app_name="squid", config=config)
+    requests = benign_requests("squidp", TOTAL_REQUESTS)
+    buckets: dict[int, int] = {}
+    attack_time = recovered_time = None
+    for index, request in enumerate(requests):
+        if index == ATTACK_AT_REQUEST:
+            attack_time = sweeper.clock
+            sweeper.submit(squid_exploit())
+            recovered_time = sweeper.clock
+        served = sum(len(r) for r in sweeper.submit(request))
+        buckets[int(sweeper.clock)] = buckets.get(int(sweeper.clock), 0) \
+            + served
+        sweeper.advance_busy(WORK_CYCLES)
+    return buckets, attack_time, recovered_time, sweeper
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return _timeline()
+
+
+def test_fig5_shape(benchmark, timeline):
+    buckets, attack_time, recovered_time, sweeper = timeline
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert attack_time is not None
+    outage = recovered_time - attack_time
+    assert outage > 0, "the attack must cost some service time"
+    assert outage < RESTART_SECONDS, \
+        "recovery must beat the restart baseline"
+    # Service resumed: traffic flows after recovery.
+    post = [count for second, count in buckets.items()
+            if second > recovered_time]
+    assert post and max(post) > 0
+    # The initial antibody is live and the attack did not recur.
+    assert sweeper.antibodies
+    assert len(sweeper.attacks) == 1
+    # A VSEF (not a crash) stops a replayed exploit.
+    crashes_before = len(sweeper.attacks)
+    sweeper.submit(squid_exploit())
+    assert len(sweeper.attacks) == crashes_before
+
+
+def test_emit_fig5(benchmark, timeline):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    buckets, attack_time, recovered_time, _sweeper = timeline
+    outage = recovered_time - attack_time
+    lines = ["FIGURE 5 — Throughput during a single attack, Squid "
+             "(bytes served per virtual second)", "",
+             f"attack at t={attack_time:.2f}s; service restored at "
+             f"t={recovered_time:.2f}s",
+             f"outage {outage:.2f}s (initial VSEF + rollback recovery) "
+             f"vs restart baseline {RESTART_SECONDS:.1f}s + cache warmup",
+             ""]
+    peak = max(buckets.values()) or 1
+    for second in range(int(max(buckets)) + 1):
+        count = buckets.get(second, 0)
+        bar = "#" * int(40 * count / peak)
+        marker = ""
+        if attack_time is not None and int(attack_time) == second:
+            marker = "   <- attack: detection, analysis, recovery"
+        lines.append(f"t={second:>3d}s {count:>8d} B/s |{bar}{marker}")
+    report("fig5_recovery_timeline", lines)

@@ -1,0 +1,59 @@
+"""Figure 6: Sweeper community defense against Slammer (β = 0.1).
+
+Regenerates the infection-ratio-vs-deployment-ratio curves for γ ∈
+{5..100} s, checks the paper's quoted operating points, and
+cross-validates one point against the stochastic simulator.
+"""
+
+import pytest
+
+from repro.worm.community import SLAMMER, figure6_data
+from repro.worm.simulation import simulate_outbreak
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return figure6_data()
+
+
+def test_fig6_paper_points(benchmark, grid):
+    benchmark.pedantic(figure6_data, rounds=1, iterations=1)
+    # "alpha = 0.0001 and gamma = 5 s -> infection ratio only 15%"
+    assert grid[5][0.0001] == pytest.approx(0.15, abs=0.05)
+    # "alpha = 0.001 protects all but ~5% even at gamma = 20 s"
+    assert grid[20][0.001] < 0.10
+    # Monotonicity along both axes.
+    for gamma in SLAMMER.gammas:
+        ordered = [grid[gamma][a] for a in sorted(SLAMMER.alphas)]
+        assert ordered == sorted(ordered, reverse=True)
+    for alpha in SLAMMER.alphas:
+        ordered = [grid[g][alpha] for g in sorted(SLAMMER.gammas)]
+        assert ordered == sorted(ordered)
+
+
+def test_fig6_stochastic_cross_check(benchmark, grid):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ode = grid[10][0.001]
+    runs = [simulate_outbreak(SLAMMER.beta, SLAMMER.population, 0.001,
+                              10, seed=seed).infection_ratio
+            for seed in range(8)]
+    mean = sum(runs) / len(runs)
+    assert ode / 8 < mean < ode * 8      # branching noise is large
+
+
+def test_emit_fig6(benchmark, grid):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["FIGURE 6 — Sweeper defense against Slammer "
+             "(beta=0.1, N=100000): infection ratio", "",
+             "paper spot-checks: alpha=1e-4,gamma=5 -> ~15%; "
+             "alpha=1e-3,gamma=20 -> ~5%", ""]
+    alphas = list(SLAMMER.alphas)
+    header = "gamma\\alpha " + " ".join(f"{a:>9}" for a in alphas)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for gamma in SLAMMER.gammas:
+        row = " ".join(f"{grid[gamma][a]:>9.3%}" for a in alphas)
+        lines.append(f"{gamma:>10.0f}s {row}")
+    report("fig6_slammer", lines)

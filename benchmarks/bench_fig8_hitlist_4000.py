@@ -1,0 +1,51 @@
+"""Figure 8: hit-list worm (β = 4000) with proactive protection ρ = 2⁻¹².
+
+The paper's harshest scenario — forty thousand times faster than the
+observed Slammer.  Checks the quoted 40% @ γ=10 point and the γ=20 knee.
+"""
+
+import pytest
+
+from repro.worm.community import HITLIST_4K, figure8_data
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return figure8_data()
+
+
+def test_fig8_paper_points(benchmark, grid):
+    benchmark.pedantic(figure8_data, rounds=1, iterations=1)
+    # "40% for beta = 4000" at alpha=1e-4, gamma=10
+    assert grid[10][0.0001] == pytest.approx(0.40, abs=0.10)
+    # gamma=5: "negligible (less than 1%)"
+    assert grid[5][0.0001] < 0.01
+    # the caption's knee: "gamma = 20 is much worse than gamma = 10"
+    assert grid[20][0.0001] > 2 * grid[10][0.0001]
+
+
+def test_fig8_harsher_than_fig7(benchmark, grid):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.worm.community import figure7_data
+
+    fig7 = figure7_data()
+    for gamma in (10, 20, 30):
+        assert grid[gamma][0.0001] >= fig7[gamma][0.0001]
+
+
+def test_emit_fig8(benchmark, grid):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["FIGURE 8 — Sweeper + proactive protection vs hit-list worm "
+             "(beta=4000, rho=2^-12, N=100000)", "",
+             "paper: alpha=1e-4,gamma=10 -> ~40%; gamma=20 is much worse "
+             "than gamma=10", ""]
+    alphas = list(HITLIST_4K.alphas)
+    header = "gamma\\alpha " + " ".join(f"{a:>9}" for a in alphas)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for gamma in HITLIST_4K.gammas:
+        row = " ".join(f"{grid[gamma][a]:>9.3%}" for a in alphas)
+        lines.append(f"{gamma:>10.0f}s {row}")
+    report("fig8_hitlist_4000", lines)

@@ -1,0 +1,80 @@
+"""Table 3: Sweeper failure analysis time.
+
+Regenerates the cumulative antibody-availability times (first VSEF, best
+VSEF, initial analysis, total) and per-component diagnosis times for the
+two applications the paper measured (Apache1 and Squid), reporting paper
+values next to ours.  Absolute values differ (their 2.4 GHz P4 vs our
+2 MHz virtual CPU + published tool overhead factors); the asserted shape
+is what the paper argues from: the first VSEF arrives within tens of
+milliseconds — orders of magnitude before full analysis completes — and
+slicing dominates total time.
+"""
+
+import pytest
+
+from conftest import report, run_attack_pipeline
+
+#: Paper's Table 3, in seconds.
+_PAPER = {
+    "Apache1": {"first": 0.060, "best": 14.0, "initial": 24.0,
+                "total": 68.0, "memstate": 0.06, "membug": 14.0,
+                "taint": 9.0, "slicing": 45.0},
+    "Squid": {"first": 0.040, "best": 0.040, "initial": 38.0,
+              "total": 145.0, "memstate": 0.04, "membug": 30.0,
+              "taint": 7.0, "slicing": 108.0},
+}
+
+
+def _measure(name: str):
+    _spec, sweeper = run_attack_pipeline(name)
+    outcome = sweeper.attacks[0].outcome
+    return {
+        "first": outcome.time_to_first_vsef,
+        "best": outcome.time_to_best_vsef,
+        "initial": outcome.initial_analysis_time,
+        "total": outcome.total_analysis_time,
+        "memstate": outcome.step("memory_state").virtual_seconds,
+        "membug": outcome.step("memory_bug").virtual_seconds,
+        "taint": outcome.step("input_taint").virtual_seconds,
+        "slicing": outcome.step("slicing").virtual_seconds,
+    }
+
+
+@pytest.mark.parametrize("name", ["Apache1", "Squid"])
+def test_analysis_time_shape(benchmark, name):
+    ours = benchmark.pedantic(lambda: _measure(name), rounds=1,
+                              iterations=1)
+    # The paper's claims, as shape assertions:
+    assert ours["first"] <= 0.1            # antibody within ~100 ms
+    assert ours["first"] <= ours["best"] <= ours["total"]
+    assert ours["slicing"] >= ours["membug"]        # slicing dominates
+    assert ours["slicing"] >= ours["taint"]
+    assert ours["total"] >= 10 * ours["first"]      # orders of magnitude
+
+
+def test_emit_table3(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["TABLE 3 — Sweeper failure analysis time "
+             "(cumulative from detection; paper vs measured)", ""]
+    header = (f"{'App':9s} {'quantity':22s} {'paper (s)':>10s} "
+              f"{'ours (s)':>10s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    rows = [("first", "time to first VSEF"),
+            ("best", "time to best VSEF"),
+            ("initial", "initial analysis time"),
+            ("total", "total analysis time"),
+            ("memstate", "  memory state analysis"),
+            ("membug", "  memory bug detection"),
+            ("taint", "  input/taint analysis"),
+            ("slicing", "  dynamic slicing")]
+    for name in ("Apache1", "Squid"):
+        ours = _measure(name)
+        for key, label in rows:
+            lines.append(f"{name:9s} {label:22s} "
+                         f"{_PAPER[name][key]:>10.2f} "
+                         f"{ours[key]:>10.3f}")
+        lines.append("")
+    lines.append("shape checks: first VSEF within tens of ms; slicing "
+                 "dominates; total >> first.")
+    report("table3_times", lines)

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper and records
+the rows under ``benchmarks/results/`` (pytest captures stdout, so the
+files are the durable record; EXPERIMENTS.md summarizes them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, lines: list[str]) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+    return text
+
+
+def run_attack_pipeline(name: str, seed: int = 5, warmup: int = 5,
+                        config=None):
+    """Boot an app under Sweeper, warm it up, deliver the exploit."""
+    from repro.apps.exploits import EXPLOITS
+    from repro.apps.workload import benign_requests
+    from repro.runtime.sweeper import Sweeper, SweeperConfig
+
+    spec = EXPLOITS[name]
+    sweeper = Sweeper(spec.build_image(), app_name=spec.app,
+                      config=config or SweeperConfig(seed=seed))
+    for request in benign_requests(spec.app, warmup):
+        sweeper.submit(request)
+    sweeper.submit(spec.payload())
+    assert sweeper.attacks, f"{name}: exploit did not trigger"
+    return spec, sweeper

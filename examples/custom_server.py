@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Protect your own server: write it in assembly, break it, watch
+Sweeper heal it.
+
+This example builds a small key-value store with a classic bug — an
+unbounded copy of the key into a fixed stack buffer — and puts it under
+Sweeper protection.  It is the "bring your own application" walkthrough:
+nothing here is specific to the three bundled evaluation servers.
+
+Run:  python examples/custom_server.py
+"""
+
+from repro import Sweeper, SweeperConfig, assemble
+
+KVSTORE_SOURCE = r"""
+; kvstore: "SET key value" / "GET key" over the message protocol.
+; Bug: parse_key copies the key into a 24-byte stack buffer with no
+; bounds check.
+.equ KEYBUF 24
+
+.text
+main:
+    ; value storage: one heap slot
+    mov r0, 128
+    call @malloc
+    mov r1, slot
+    st [r1], r0
+
+loop:
+    mov r0, req
+    mov r1, 512
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r1, req
+    add r1, r0
+    mov r2, 0
+    stb [r1], r2
+    call handle
+    jmp loop
+
+handle:
+    push fp
+    mov fp, sp
+    mov r0, req
+    mov r1, set_cmd
+    mov r2, 4
+    call @strncmp
+    cmp r0, 0
+    je do_set
+    mov r0, req
+    mov r1, get_cmd
+    mov r2, 4
+    call @strncmp
+    cmp r0, 0
+    je do_get
+    mov r0, err_str
+    mov r1, 4
+    sys send
+    jmp done
+do_set:
+    mov r0, req
+    add r0, 4
+    call parse_key          ; <- vulnerable
+    ; store the value (after the space) in the slot
+    mov r0, req
+    add r0, 4
+    mov r1, ' '
+    call @strchr
+    cmp r0, 0
+    je no_value
+    add r0, 1
+    mov r1, r0
+    mov r2, slot
+    ld r0, [r2]
+    call @strcpy
+no_value:
+    mov r0, ok_str
+    mov r1, 3
+    sys send
+    jmp done
+do_get:
+    mov r0, req
+    add r0, 4
+    call parse_key          ; <- vulnerable
+    mov r1, slot
+    ld r0, [r1]
+    call @strlen
+    mov r1, r0
+    mov r2, slot
+    ld r0, [r2]
+    sys send
+done:
+    mov sp, fp
+    pop fp
+    ret
+
+; parse_key: copy the key (up to a space) into a 24-byte stack buffer.
+parse_key:
+    push fp
+    mov fp, sp
+    sub sp, KEYBUF
+    mov r1, r0
+    mov r2, fp
+    sub r2, KEYBUF
+pk_copy:
+    ldb r3, [r1]
+    cmp r3, 0
+    je pk_done
+    cmp r3, ' '
+    je pk_done
+    stb [r2], r3            ; no bounds check!
+    add r1, 1
+    add r2, 1
+    jmp pk_copy
+pk_done:
+    mov r3, 0
+    stb [r2], r3
+    mov sp, fp
+    pop fp
+    ret
+
+.data
+set_cmd: .asciiz "SET "
+get_cmd: .asciiz "GET "
+ok_str:  .asciiz "ok\n"
+err_str: .asciiz "err\n"
+slot:    .word 0
+req:     .space 520
+"""
+
+
+def main():
+    print("=== protecting a custom key-value server ===\n")
+    image = assemble(KVSTORE_SOURCE)
+    sweeper = Sweeper(image, app_name="kvstore",
+                      config=SweeperConfig(seed=9))
+
+    print("-- normal operation --")
+    for request in (b"SET color blue", b"GET color", b"SET size 42",
+                    b"GET size"):
+        responses = sweeper.submit(request)
+        print(f"  {request!r} -> {responses}")
+
+    print("\n-- attack: a 60-byte key smashes parse_key's frame --")
+    exploit = b"SET " + b"K" * 60 + b" boom"
+    sweeper.submit(exploit)
+    if not sweeper.attacks:
+        raise SystemExit("expected an attack record!")
+    attack = sweeper.attacks[0]
+    print(f"  detection: {attack.detection.describe()}")
+    outcome = attack.outcome
+    print(f"  crash site: {outcome.coredump.crash_site}")
+    print(f"  classification: {outcome.coredump.classification}")
+    for report in outcome.membug_reports:
+        print(f"  memory bug: {report.describe(sweeper.process)}")
+    print(f"  malicious input: messages {outcome.malicious_msg_ids}")
+    print("  antibodies:")
+    for vsef in attack.vsefs_installed:
+        print(f"    {vsef.describe()}")
+
+    print("\n-- after recovery --")
+    print(f"  GET color -> {sweeper.submit(b'GET color')}")
+    sweeper.submit(exploit)
+    print(f"  re-attack: filtered={sweeper.proxy.filtered_count}, "
+          f"new crashes={len(sweeper.attacks) - 1}")
+    print(f"  GET size  -> {sweeper.submit(b'GET size')}")
+
+
+if __name__ == "__main__":
+    main()

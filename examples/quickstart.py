@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a server, survive a zero-day, keep serving.
+
+This walks the full Fig. 3 story on the Squid heap overflow
+(CVE-2002-0068): benign service, attack detection by the lightweight
+monitor, rollback/replay analysis through all four tools, antibody
+generation, recovery, and the blocked re-attack.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Sweeper, SweeperConfig, build_squidp, squid_exploit
+from repro.apps.workload import benign_requests
+
+
+def main():
+    print("=== Sweeper quickstart: Squid + CVE-2002-0068 ===\n")
+    sweeper = Sweeper(build_squidp(), app_name="squid",
+                      config=SweeperConfig(seed=42))
+    print(f"server booted; layout: {sweeper.process.layout.describe()}\n")
+
+    print("-- serving benign traffic --")
+    for request in benign_requests("squidp", 6):
+        responses = sweeper.submit(request)
+        print(f"  {request[:48]!r} -> {len(responses)} response(s)")
+
+    print("\n-- the worm strikes --")
+    exploit = squid_exploit()
+    print(f"  exploit: GET ftp://\\\\...\\\\@ftp.site "
+          f"({len(exploit)} bytes)")
+    responses = sweeper.submit(exploit)
+    print(f"  responses to the exploit: {responses}  (none: it was eaten)")
+
+    attack = sweeper.attacks[0]
+    print(f"\n  detection: {attack.detection.describe()}")
+    print("\n  analysis pipeline (virtual time, cumulative):")
+    outcome = attack.outcome
+    for step in outcome.steps:
+        print(f"    {step.name:13s} +{step.virtual_seconds * 1000:8.1f} ms "
+              f"(cum {step.cumulative_virtual * 1000:8.1f} ms) "
+              f" {step.summary[:80]}")
+    print(f"\n  malicious input: message(s) {outcome.malicious_msg_ids}")
+    print(f"  slicing cross-check: "
+          f"{'consistent' if outcome.slice_verified else 'INCONSISTENT'}")
+
+    print("\n  antibodies generated:")
+    for vsef in attack.vsefs_installed:
+        print(f"    VSEF  {vsef.describe()}   [{vsef.provenance}]")
+    for sig_id in attack.signature_ids:
+        print(f"    SIG   {sig_id} (exact match on the exploit bytes)")
+
+    recovery = attack.recovery
+    print(f"\n  recovery: replayed {recovery.replayed_messages} benign "
+          f"message(s), dropped {recovery.dropped_messages}, "
+          f"suppressed {recovery.duplicates_suppressed} duplicate "
+          f"response(s)")
+
+    print("\n-- service continues --")
+    for request in benign_requests("squidp", 3, seed=99):
+        responses = sweeper.submit(request)
+        print(f"  {request[:48]!r} -> {len(responses)} response(s)")
+
+    print("\n-- the worm tries again --")
+    sweeper.submit(exploit)
+    print(f"  filtered by input signature: "
+          f"{sweeper.proxy.filtered_count} request(s)")
+    print(f"  total crashes after antibodies: "
+          f"{len(sweeper.attacks) - 1}")
+
+    print("\nfinal stats:", sweeper.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Sweeper reproduction: lightweight end-to-end defense against fast worms.
+
+A full-system Python reproduction of *"Sweeper: A Lightweight End-to-End
+System for Defending Against Fast Worms"* (Tucek et al., EuroSys 2007),
+including the substrate the paper ran on: a 32-bit VM with randomized
+address-space layout, an Rx-style checkpoint/rollback runtime, PIN-style
+attachable instrumentation, the four analysis tools, VSEF/signature
+antibodies, the three vulnerable servers with their four CVE analogues,
+and the Section 6 worm-epidemic community model.
+
+Quickstart::
+
+    from repro import Sweeper, build_squidp, squid_exploit
+
+    sweeper = Sweeper(build_squidp(), app_name="squid")
+    sweeper.submit(b"GET http://example.com/page")   # served normally
+    sweeper.submit(squid_exploit())                  # detected & healed
+    print(sweeper.attacks[0].outcome.steps)          # the Fig. 3 pipeline
+    print(sweeper.antibodies)                        # shareable VSEFs
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import (AttackDetected, ProcessExited, RecoveryFailed,
+                          ReproError, VMFault)
+from repro.isa import assemble, Image
+from repro.machine import Process, load_program
+from repro.machine.layout import (AddressSpaceLayout, ReferenceLayout,
+                                  randomized_layout)
+from repro.runtime import Sweeper, SweeperConfig
+from repro.antibody import (VSEF, CommunityBus, install_vsef,
+                            verify_antibody)
+from repro.apps import (EXPLOITS, benign_requests, build_cvsd, build_httpd,
+                        build_squidp, apache1_exploit, apache2_exploit,
+                        cvs_exploit, squid_exploit, measure_throughput)
+from repro.worm import (WormParams, infection_ratio, solve_outbreak,
+                        simulate_outbreak)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError", "VMFault", "AttackDetected", "ProcessExited",
+    "RecoveryFailed",
+    "assemble", "Image", "Process", "load_program",
+    "AddressSpaceLayout", "ReferenceLayout", "randomized_layout",
+    "Sweeper", "SweeperConfig",
+    "VSEF", "CommunityBus", "install_vsef", "verify_antibody",
+    "EXPLOITS", "benign_requests", "build_cvsd", "build_httpd",
+    "build_squidp", "apache1_exploit", "apache2_exploit", "cvs_exploit",
+    "squid_exploit", "measure_throughput",
+    "WormParams", "infection_ratio", "solve_outbreak", "simulate_outbreak",
+    "__version__",
+]

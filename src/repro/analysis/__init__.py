@@ -1,0 +1,30 @@
+"""The analysis module (Fig. 1): four increasingly heavy tools.
+
+Run order and roles, exactly as §2.2/§3.2 describe:
+
+1. :mod:`repro.analysis.coredump` — static look at the post-fault memory
+   image; milliseconds; yields the *initial* VSEF.
+2. :mod:`repro.analysis.membug` — replay with red-zone/return-address/
+   double-free monitoring; yields the *improved* VSEF.
+3. :mod:`repro.analysis.taint` — replay with dynamic taint tracking;
+   isolates the responsible input for signature generation and recovery.
+4. :mod:`repro.analysis.slicing` — replay with full dependence tracking;
+   sanity-checks every earlier result against the backward slice.
+
+:mod:`repro.analysis.pipeline` sequences them over rollback/replay and
+produces the per-step timing/result records behind Tables 2 and 3.
+"""
+
+from repro.analysis.coredump import CoreDumpAnalyzer, CoreDumpReport
+from repro.analysis.membug import MemoryBugDetector, MemBugReport
+from repro.analysis.taint import TaintTracker, TaintViolation, TaintReport
+from repro.analysis.slicing import BackwardSlicer, SliceReport
+from repro.analysis.pipeline import AnalysisPipeline, AnalysisOutcome, StepResult
+
+__all__ = [
+    "CoreDumpAnalyzer", "CoreDumpReport",
+    "MemoryBugDetector", "MemBugReport",
+    "TaintTracker", "TaintViolation", "TaintReport",
+    "BackwardSlicer", "SliceReport",
+    "AnalysisPipeline", "AnalysisOutcome", "StepResult",
+]

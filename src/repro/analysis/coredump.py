@@ -1,0 +1,271 @@
+"""Static memory-state (core dump) analysis — analysis step #1 (§3.2).
+
+Looks only at the post-fault memory image: classify the faulting
+instruction, walk the stack checking frame consistency, walk the heap
+checking allocator metadata.  Runs in milliseconds and yields the
+*initial* VSEF — available "within only 40 ms of the first sign of
+trouble" in the paper — which is weaker than later results but has no
+false positives and is immediately shareable.
+
+Crash attribution uses the CPU's control-event ring (the reproduction's
+hardware LBR): a wild-PC fault is traced back to the ``ret`` or indirect
+jump that launched it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.antibody.vsef import VSEF, CodeLoc, loc_for_address
+from repro.errors import (FAULT_BADPC, FAULT_ILLEGAL, FAULT_NULL, VMFault)
+from repro.isa.disasm import preceded_by_call
+from repro.isa.encoding import decode
+from repro.isa.opcodes import FP, Op
+
+_COREDUMP_VIRTUAL_SECONDS = 0.04   # the paper's ~40-60ms to initial VSEF
+
+
+@dataclass
+class StackWalk:
+    """Result of walking the frame-pointer chain."""
+
+    frames: list[dict] = field(default_factory=list)
+    consistent: bool = True
+    problem: str = ""
+
+
+@dataclass
+class CoreDumpReport:
+    """Everything the static analysis learned."""
+
+    fault_kind: str
+    fault_pc: int
+    fault_addr: int | None
+    crash_site: str                  # human-readable, paper style
+    crash_function: str | None
+    stack: StackWalk = field(default_factory=StackWalk)
+    heap_problems: list[str] = field(default_factory=list)
+    classification: str = ""         # e.g. "stack smashing (wild return)"
+    vsefs: list[VSEF] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    virtual_seconds: float = _COREDUMP_VIRTUAL_SECONDS
+
+    @property
+    def stack_consistent(self) -> bool:
+        return self.stack.consistent
+
+    @property
+    def heap_consistent(self) -> bool:
+        return not self.heap_problems
+
+    def summary(self) -> str:
+        state = []
+        if not self.stack_consistent:
+            state.append("stack inconsistent")
+        if not self.heap_consistent:
+            state.append("heap inconsistent")
+        suffix = f"; {', '.join(state)}" if state else ""
+        return f"Crash at {self.crash_site}{suffix}"
+
+
+class CoreDumpAnalyzer:
+    """Analyzes the memory state of a faulted process."""
+
+    def __init__(self, process):
+        self.process = process
+
+    # -- stack -------------------------------------------------------------
+
+    def walk_stack(self) -> StackWalk:
+        """Validate the frame-pointer chain and each saved return address."""
+        process = self.process
+        memory = process.memory
+        stack = memory.region_named("stack")
+        walk = StackWalk()
+        fp = process.cpu.regs[FP]
+        hops = 0
+        while hops < 128:
+            if not (stack.start <= fp < stack.end - 8):
+                if hops == 0 and fp == process.layout.stack_top - 16:
+                    break  # initial frame; nothing pushed yet
+                walk.consistent = False
+                walk.problem = f"frame pointer {fp:#010x} outside stack"
+                break
+            try:
+                saved_fp = memory.read_word(fp)
+                ret_addr = memory.read_word(fp + 4)
+            except VMFault:
+                walk.consistent = False
+                walk.problem = f"unreadable frame at {fp:#010x}"
+                break
+            frame = {"fp": fp, "saved_fp": saved_fp, "ret_addr": ret_addr,
+                     "function": process.function_at(ret_addr)}
+            walk.frames.append(frame)
+            code = memory.region_named("code")
+            is_code = code.start <= ret_addr < code.end
+            if not is_code or not preceded_by_call(self._safe_fetch, ret_addr):
+                walk.consistent = False
+                walk.problem = (f"return address {ret_addr:#010x} at "
+                                f"[{fp + 4:#010x}] is not a call site")
+                break
+            if saved_fp == process.layout.stack_top - 16:
+                break  # outermost frame: main's sentinel
+            fp = saved_fp
+            hops += 1
+        return walk
+
+    def _safe_fetch(self, addr: int, size: int) -> bytes:
+        return self.process.memory.read(addr, size)
+
+    # -- heap ----------------------------------------------------------------
+
+    def check_heap(self) -> list[str]:
+        return self.process.allocator.check_consistency()
+
+    # -- main entry -------------------------------------------------------------
+
+    def analyze(self, fault: VMFault) -> CoreDumpReport:
+        process = self.process
+        crash_function = process.function_at(fault.pc)
+        report = CoreDumpReport(
+            fault_kind=fault.kind,
+            fault_pc=fault.pc,
+            fault_addr=fault.addr,
+            crash_site=process.describe_address(fault.pc),
+            crash_function=crash_function,
+            stack=self.walk_stack(),
+            heap_problems=self.check_heap())
+        self._classify(fault, report)
+        return report
+
+    def _classify(self, fault: VMFault, report: CoreDumpReport):
+        process = self.process
+        native = self._native_name(fault.pc)
+
+        if fault.kind == FAULT_NULL and native is None:
+            report.classification = "NULL pointer dereference"
+            reg = self._faulting_base_register(fault)
+            loc = loc_for_address(process, fault.pc)
+            if loc is not None and reg is not None:
+                report.vsefs.append(VSEF(
+                    kind="null_check", params={"pc": loc, "reg": reg},
+                    provenance="memory_state",
+                    note=f"check for NULL pointer at {report.crash_site}"))
+            return
+
+        if fault.kind in (FAULT_BADPC, FAULT_ILLEGAL):
+            # Wild control transfer: find the launching event in the ring.
+            launcher = self._launching_event(fault)
+            if launcher is not None and launcher.kind == "ret":
+                report.classification = "stack smashing (wild return)"
+                # Report the crash the way the paper does: at the function
+                # whose ret was hijacked, not at the garbage target.
+                report.crash_site = process.describe_address(launcher.pc)
+                report.crash_function = process.function_at(launcher.pc)
+                victim = self._smashed_function(launcher)
+                if victim is not None:
+                    name, entry = victim
+                    report.vsefs.append(VSEF(
+                        kind="ret_guard",
+                        params={"entry": CodeLoc(
+                            "code", entry - process.layout.code_base),
+                            "function": name},
+                        provenance="memory_state",
+                        note=f"use a side return-address stack for {name}"))
+                return
+            if launcher is not None and launcher.kind == "branch":
+                report.classification = "wild indirect jump"
+                loc = loc_for_address(process, launcher.pc)
+                if loc is not None:
+                    report.vsefs.append(VSEF(
+                        kind="taint_subset",
+                        params={"pcs": [], "sinks": [loc]},
+                        provenance="memory_state",
+                        note="validate indirect jump target"))
+                return
+            report.classification = "wild program counter"
+            return
+
+        if native is not None:
+            caller_loc = self._caller_loc(fault)
+            if native == "free" or (not report.heap_consistent
+                                    and native in ("malloc", "calloc",
+                                                   "realloc")):
+                report.classification = "heap inconsistency in allocator" \
+                    if native != "free" else "double free / corrupt free"
+                report.vsefs.append(VSEF(
+                    kind="double_free", params={"caller": caller_loc},
+                    provenance="memory_state",
+                    note="check for double frees"))
+                return
+            if native in ("strcat", "strcpy", "strncpy", "strncat",
+                          "memcpy", "memset"):
+                report.classification = f"overflow in lib. {native}"
+                report.vsefs.append(VSEF(
+                    kind="heap_bounds",
+                    params={"native": native, "caller": caller_loc},
+                    provenance="memory_state",
+                    note=(f"heap bounds-check {native} when called by "
+                          f"{self._caller_name(fault)}")))
+                return
+            report.classification = f"fault inside lib. {native}"
+            return
+
+        report.classification = f"data fault ({fault.kind})"
+        loc = loc_for_address(process, fault.pc)
+        reg = self._faulting_base_register(fault)
+        if loc is not None and reg is not None:
+            report.vsefs.append(VSEF(
+                kind="store_guard", params={"pc": loc},
+                provenance="memory_state",
+                note=f"guard memory access at {report.crash_site}"))
+
+    # -- helpers --------------------------------------------------------------
+
+    def _native_name(self, pc: int) -> str | None:
+        for name, addr in self.process.native_addresses.items():
+            if addr == pc:
+                return name
+        return None
+
+    def _caller_loc(self, fault: VMFault) -> CodeLoc | None:
+        if fault.source_pc is None:
+            return None
+        # source_pc is the return address in the application; report the
+        # enclosing function's location.
+        return loc_for_address(self.process, fault.source_pc)
+
+    def _caller_name(self, fault: VMFault) -> str:
+        if fault.source_pc is None:
+            return "(unknown)"
+        name = self.process.function_at(fault.source_pc)
+        return f"{fault.source_pc:#010x} ({name})" if name \
+            else f"{fault.source_pc:#010x}"
+
+    def _launching_event(self, fault: VMFault):
+        ring = self.process.cpu.control_ring
+        for event in reversed(ring):
+            if event.target == fault.pc and event.kind in ("ret", "branch",
+                                                           "call"):
+                return event
+        return ring[-1] if ring else None
+
+    def _smashed_function(self, launcher) -> tuple[str, int] | None:
+        """The function whose RET launched the wild transfer."""
+        process = self.process
+        name = process.function_at(launcher.pc)
+        if name is None:
+            return None
+        return name, process.symbols[name]
+
+    def _faulting_base_register(self, fault: VMFault) -> int | None:
+        """Decode the faulting instruction to find its base register."""
+        try:
+            insn = decode(self.process.memory.read, fault.pc)
+        except Exception:
+            return None
+        if insn.op in (Op.LDW, Op.LDB):
+            return insn.operands[1]
+        if insn.op in (Op.STW, Op.STB):
+            return insn.operands[0]
+        return None

@@ -1,0 +1,355 @@
+"""The rollback/replay analysis pipeline (Fig. 3).
+
+After the lightweight monitor trips, the pipeline:
+
+1. runs **memory-state analysis** on the crashed image (no rollback
+   needed) — milliseconds, yields the initial VSEF;
+2. finds the newest checkpoint from which the fault *reproduces* (plain
+   replay, widening to older checkpoints if corruption predates one);
+3. replays with the **memory-bug detector** attached — improved VSEFs;
+4. replays with **taint analysis** attached — isolates the malicious
+   input (with the paper's one-message-at-a-time replay as fallback,
+   which their unintegrated taint port forced them to measure);
+5. replays with the **backward slicer** attached — cross-checks that
+   every blamed instruction lies in the slice from the crash.
+
+Each step records wall time and modeled virtual time
+(``window_cycles × tool overhead ÷ CPU_HZ``); cumulative virtual times
+are exactly the quantities in Table 3 (time to first/best VSEF, initial
+analysis time, total analysis time).
+
+The pipeline leaves the process rolled back to the chosen checkpoint so
+the recovery manager can re-execute the benign suffix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.coredump import CoreDumpAnalyzer, CoreDumpReport
+from repro.analysis.membug import MemoryBugDetector
+from repro.analysis.slicing import BackwardSlicer, SliceReport
+from repro.analysis.taint import TaintReport, TaintTracker, TaintViolation
+from repro.antibody.vsef import VSEF
+from repro.errors import ReproError, VMFault
+from repro.machine.cpu import CPU_HZ
+from repro.machine.process import Process
+from repro.runtime.checkpoint import Checkpoint, CheckpointManager
+from repro.runtime.proxy import NetworkProxy
+
+_REPLAY_STEP_BUDGET = 30_000_000
+#: Virtual cost of a rollback: "nearly instantaneous, almost identical to
+#: a context switch" — charge 1 ms.
+ROLLBACK_VIRTUAL_SECONDS = 0.001
+#: Virtual cost of the static core-dump walk (the paper reaches its
+#: initial VSEF 40-60 ms after detection, dominated by this step).
+COREDUMP_VIRTUAL_SECONDS = 0.04
+
+
+@dataclass
+class StepResult:
+    """Timing + findings for one analysis step."""
+
+    name: str
+    wall_seconds: float
+    virtual_seconds: float
+    cumulative_virtual: float
+    summary: str
+    vsefs: list[VSEF] = field(default_factory=list)
+    detail: object = None
+
+
+@dataclass
+class ReplayOutcome:
+    fault: VMFault | None
+    violation: TaintViolation | None
+    window_cycles: int
+    reason: str
+
+
+@dataclass
+class AnalysisOutcome:
+    """Everything the pipeline learned about one attack."""
+
+    detection_fault: VMFault
+    steps: list[StepResult] = field(default_factory=list)
+    coredump: CoreDumpReport | None = None
+    membug_reports: list = field(default_factory=list)
+    taint: TaintReport | None = None
+    slice_report: SliceReport | None = None
+    slice_verified: bool | None = None
+    malicious_msg_ids: list[int] = field(default_factory=list)
+    exploit_input: bytes | None = None
+    checkpoint: Checkpoint | None = None
+    reproduced: bool = False
+    isolation_replays: int = 0
+
+    @property
+    def all_vsefs(self) -> list[VSEF]:
+        out: list[VSEF] = []
+        for step in self.steps:
+            out.extend(step.vsefs)
+        return out
+
+    def step(self, name: str) -> StepResult | None:
+        for step in self.steps:
+            if step.name == name:
+                return step
+        return None
+
+    # -- the Table 3 quantities -------------------------------------------
+
+    @property
+    def time_to_first_vsef(self) -> float | None:
+        for step in self.steps:
+            if step.vsefs:
+                return step.cumulative_virtual
+        return None
+
+    @property
+    def time_to_best_vsef(self) -> float | None:
+        best = None
+        for step in self.steps:
+            if step.vsefs:
+                best = step.cumulative_virtual
+            if step.name == "memory_bug":
+                break
+        return best
+
+    @property
+    def initial_analysis_time(self) -> float | None:
+        step = self.step("input_taint")
+        return step.cumulative_virtual if step else None
+
+    @property
+    def total_analysis_time(self) -> float:
+        return self.steps[-1].cumulative_virtual if self.steps else 0.0
+
+
+class AnalysisPipeline:
+    """Runs the four analysis steps over rollback/replay."""
+
+    def __init__(self, process: Process, checkpoints: CheckpointManager,
+                 proxy: NetworkProxy, enable_membug: bool = True,
+                 enable_taint: bool = True, enable_slicing: bool = True,
+                 isolate_by_replay: bool = True):
+        self.process = process
+        self.checkpoints = checkpoints
+        self.proxy = proxy
+        self.enable_membug = enable_membug
+        self.enable_taint = enable_taint
+        self.enable_slicing = enable_slicing
+        self.isolate_by_replay = isolate_by_replay
+
+    # -- replay machinery ----------------------------------------------------
+
+    def _replay(self, checkpoint: Checkpoint, tools=(),
+                only_msg_ids: set[int] | None = None) -> ReplayOutcome:
+        """Restore ``checkpoint`` and re-feed the delivered suffix with
+        ``tools`` attached; side effects are sandboxed and dropped."""
+        process = self.process
+        process.restore_full(checkpoint.snapshot, keep_log=True)
+        process.replay_mode = True
+        process.sandboxed = True
+        sent_before = len(process.sent)
+        for tool in tools:
+            process.hooks.attach(tool, process)
+        fault = violation = None
+        reason = "idle"
+        try:
+            feed = self.proxy.delivered_since(checkpoint.msg_cursor)
+            if only_msg_ids is not None:
+                feed = [m for m in feed if m.msg_id in only_msg_ids]
+            for message in feed:
+                process.feed(message.data, msg_id=message.msg_id)
+                result = process.run(max_steps=_REPLAY_STEP_BUDGET)
+                reason = result.reason
+                if result.reason == "exit":
+                    break
+        except VMFault as caught:
+            fault = caught
+            reason = "fault"
+        except TaintViolation as caught:
+            violation = caught
+            reason = "taint"
+        except ReproError as caught:   # e.g. slice node budget
+            reason = f"aborted: {caught}"
+        finally:
+            for tool in tools:
+                process.hooks.detach(tool, process)
+            process.replay_mode = False
+            process.sandboxed = False
+            del process.sent[sent_before:]   # sandbox: drop side effects
+        window = process.cpu.cycles - checkpoint.taken_at_cycles
+        return ReplayOutcome(fault=fault, violation=violation,
+                             window_cycles=window, reason=reason)
+
+    def _find_reproducing_checkpoint(
+            self) -> tuple[Checkpoint | None, ReplayOutcome | None]:
+        """Newest checkpoint from which plain replay re-triggers the
+        fault; widen backward if corruption predates a checkpoint."""
+        checkpoint = self.checkpoints.latest()
+        while checkpoint is not None:
+            outcome = self._replay(checkpoint)
+            if outcome.fault is not None:
+                return checkpoint, outcome
+            checkpoint = self.checkpoints.older_than(checkpoint)
+        return None, None
+
+    # -- the pipeline ----------------------------------------------------------
+
+    def analyze(self, fault: VMFault) -> AnalysisOutcome:
+        process = self.process
+        outcome = AnalysisOutcome(detection_fault=fault)
+        cumulative = 0.0
+
+        # Step 1: memory-state analysis on the crashed image (§3.2).
+        wall_start = time.perf_counter()
+        coredump = CoreDumpAnalyzer(process).analyze(fault)
+        wall = time.perf_counter() - wall_start
+        cumulative += COREDUMP_VIRTUAL_SECONDS
+        outcome.coredump = coredump
+        outcome.steps.append(StepResult(
+            name="memory_state", wall_seconds=wall,
+            virtual_seconds=COREDUMP_VIRTUAL_SECONDS,
+            cumulative_virtual=cumulative,
+            summary=coredump.summary() + f"; {coredump.classification}",
+            vsefs=list(coredump.vsefs), detail=coredump))
+
+        # Locate the replay window.
+        wall_start = time.perf_counter()
+        checkpoint, repro = self._find_reproducing_checkpoint()
+        wall = time.perf_counter() - wall_start
+        outcome.checkpoint = checkpoint
+        if checkpoint is None:
+            # Nothing reproduces (e.g. no checkpoints yet): static results
+            # are all we have.
+            outcome.reproduced = False
+            return outcome
+        outcome.reproduced = True
+        window_seconds = repro.window_cycles / CPU_HZ
+        virtual = ROLLBACK_VIRTUAL_SECONDS + window_seconds
+        cumulative += virtual
+        outcome.steps.append(StepResult(
+            name="reproduce", wall_seconds=wall, virtual_seconds=virtual,
+            cumulative_virtual=cumulative,
+            summary=(f"fault reproduced from checkpoint #{checkpoint.seq} "
+                     f"(window {window_seconds * 1000:.1f} ms)")))
+
+        # Step 2: memory bug detection during instrumented replay.
+        if self.enable_membug:
+            detector = MemoryBugDetector()
+            wall_start = time.perf_counter()
+            replay = self._replay(checkpoint, tools=(detector,))
+            wall = time.perf_counter() - wall_start
+            virtual = (ROLLBACK_VIRTUAL_SECONDS + replay.window_cycles
+                       / CPU_HZ * detector.overhead_factor)
+            cumulative += virtual
+            vsefs = detector.derive_vsefs(process)
+            outcome.membug_reports = detector.reports
+            summary = "; ".join(r.describe(process)
+                                for r in detector.reports) or \
+                "no memory bug detected"
+            outcome.steps.append(StepResult(
+                name="memory_bug", wall_seconds=wall,
+                virtual_seconds=virtual, cumulative_virtual=cumulative,
+                summary=summary, vsefs=vsefs, detail=detector.reports))
+
+        # Step 3: isolate the malicious input — taint analysis when
+        # enabled, one-message-at-a-time replay as the fallback (the
+        # paper measured the latter in lieu of its unintegrated taint
+        # port; we support both).
+        if self.enable_taint or self.isolate_by_replay:
+            report = None
+            taint_vsef = None
+            malicious: list[int] = []
+            virtual = 0.0
+            wall_start = time.perf_counter()
+            if self.enable_taint:
+                tracker = TaintTracker()
+                replay = self._replay(checkpoint, tools=(tracker,))
+                report = tracker.report(fault=replay.fault)
+                virtual += (ROLLBACK_VIRTUAL_SECONDS + replay.window_cycles
+                            / CPU_HZ * tracker.overhead_factor)
+                malicious = list(report.malicious_msg_ids)
+                taint_vsef = report.derive_vsef(process)
+            if not malicious and self.isolate_by_replay:
+                isolated, extra_virtual, replays = \
+                    self._isolate_by_replay(checkpoint)
+                outcome.isolation_replays = replays
+                virtual += extra_virtual
+                malicious = isolated
+            wall = time.perf_counter() - wall_start
+            cumulative += virtual
+            outcome.taint = report
+            outcome.malicious_msg_ids = malicious
+            summary = (f"malicious input: message(s) {malicious}"
+                       if malicious else "input not isolated")
+            if report is not None and report.violation is not None:
+                summary = f"{report.violation.kind}; " + summary
+            if not self.enable_taint and malicious:
+                summary += f" (isolated by {outcome.isolation_replays} " \
+                           f"one-at-a-time replays)"
+            outcome.steps.append(StepResult(
+                name="input_taint", wall_seconds=wall,
+                virtual_seconds=virtual, cumulative_virtual=cumulative,
+                summary=summary,
+                vsefs=[taint_vsef] if taint_vsef else [], detail=report))
+            if malicious:
+                first = malicious[0]
+                if 0 <= first < len(self.proxy.log):
+                    outcome.exploit_input = self.proxy.log[first].data
+
+        # Step 4: backward slicing — the cross-check.
+        if self.enable_slicing:
+            slicer = BackwardSlicer()
+            wall_start = time.perf_counter()
+            replay = self._replay(checkpoint, tools=(slicer,))
+            wall = time.perf_counter() - wall_start
+            slice_report = slicer.backward_slice()
+            virtual = (ROLLBACK_VIRTUAL_SECONDS + replay.window_cycles
+                       / CPU_HZ * slicer.overhead_factor)
+            cumulative += virtual
+            outcome.slice_report = slice_report
+            blamed = self._blamed_pcs(outcome)
+            verified = slice_report.verifies(blamed) if blamed else True
+            outcome.slice_verified = verified
+            outcome.steps.append(StepResult(
+                name="slicing", wall_seconds=wall, virtual_seconds=virtual,
+                cumulative_virtual=cumulative,
+                summary=("verifies results" if verified else
+                         "DISAGREES with earlier steps"),
+                detail=slice_report))
+            if not outcome.malicious_msg_ids and slice_report.input_labels:
+                outcome.malicious_msg_ids = slice_report.malicious_msg_ids
+
+        # Leave the process at the checkpoint for recovery.
+        process.restore_full(checkpoint.snapshot, keep_log=True)
+        return outcome
+
+    def _isolate_by_replay(self, checkpoint: Checkpoint
+                           ) -> tuple[list[int], float, int]:
+        """The paper's fallback: replay suspicious messages one at a time
+        until one faults (they measured this in lieu of taint timing)."""
+        suspects = self.proxy.delivered_since(checkpoint.msg_cursor)
+        virtual = 0.0
+        replays = 0
+        for message in reversed(suspects):   # most recent first
+            replays += 1
+            outcome = self._replay(checkpoint,
+                                   only_msg_ids={message.msg_id})
+            virtual += ROLLBACK_VIRTUAL_SECONDS + \
+                outcome.window_cycles / CPU_HZ
+            if outcome.fault is not None:
+                return [message.msg_id], virtual, replays
+        return [], virtual, replays
+
+    def _blamed_pcs(self, outcome: AnalysisOutcome) -> list[int]:
+        """Instruction addresses earlier steps blamed (for slice check)."""
+        blamed = []
+        for report in outcome.membug_reports:
+            blamed.append(report.pc)
+        if outcome.taint is not None and outcome.taint.sink_pc is not None:
+            blamed.append(outcome.taint.sink_pc)
+        return blamed

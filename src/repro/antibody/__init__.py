@@ -1,0 +1,31 @@
+"""The antibody module (Fig. 1): VSEFs, input signatures, distribution.
+
+Antibodies are the shareable output of Sweeper's analysis:
+
+- :mod:`repro.antibody.vsef` — vulnerability-specific execution filters,
+  enforced through the CPU's per-PC check table (a handful of monitored
+  instructions, hence ~1% overhead);
+- :mod:`repro.antibody.signatures` — input signatures (exact-match first,
+  token-conjunction for polymorphic variants) applied at the proxy;
+- :mod:`repro.antibody.distribution` — the producer/consumer community
+  bus with the γ₂ dissemination latency used by Section 6's model;
+- :mod:`repro.antibody.verify` — sandboxed verification of received
+  antibodies (replay the exploit input under heavyweight analysis).
+"""
+
+from repro.antibody.vsef import (VSEF, CodeLoc, InstalledVSEF, install_vsef,
+                                 resolve_loc, loc_for_address)
+from repro.antibody.signatures import (ExactSignature, TokenSignature,
+                                       generate_exact, generate_token,
+                                       SignatureSet)
+from repro.antibody.distribution import AntibodyBundle, CommunityBus
+from repro.antibody.verify import verify_antibody
+
+__all__ = [
+    "VSEF", "CodeLoc", "InstalledVSEF", "install_vsef", "resolve_loc",
+    "loc_for_address",
+    "ExactSignature", "TokenSignature", "generate_exact", "generate_token",
+    "SignatureSet",
+    "AntibodyBundle", "CommunityBus",
+    "verify_antibody",
+]

@@ -1,0 +1,110 @@
+"""Antibody distribution: the Sweeper community (§3.3 "Distribution", §6).
+
+Producers publish antibodies *piecemeal, as each analysis step
+completes* — the initial VSEF first (tens of milliseconds), the improved
+VSEF and the input signature later — because applying a VSEF early and
+verifying later only risks wasted cycles, never new behaviour.
+
+:class:`CommunityBus` is a virtual-time event queue: ``publish`` stamps
+each bundle with the producer's availability time plus the dissemination
+latency γ₂, and consumers drain what has arrived by their local clock.
+The worm model consumes the resulting end-to-end γ = γ₁ + γ₂.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class AntibodyBundle:
+    """What a producer shares: VSEFs, signatures, and the exploit input.
+
+    Including the exploit-triggering input lets untrusting consumers
+    regenerate or verify antibodies themselves (§2.1).
+    """
+
+    app: str
+    vsefs: list = field(default_factory=list)          # list[VSEF]
+    signatures: list = field(default_factory=list)     # Exact/TokenSignature
+    exploit_input: bytes | None = None
+    produced_at: float = 0.0       # producer-local virtual seconds
+    stage: str = "initial"         # "initial" | "improved" | "final"
+    bundle_id: str = field(default_factory=lambda: f"ab-{next(_ids)}")
+
+    def to_dict(self) -> dict:
+        return {
+            "bundle_id": self.bundle_id,
+            "app": self.app,
+            "stage": self.stage,
+            "produced_at": self.produced_at,
+            "vsefs": [v.to_dict() for v in self.vsefs],
+            "signatures": [s.to_dict() for s in self.signatures],
+            "exploit_input": (self.exploit_input.hex()
+                              if self.exploit_input is not None else None),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "AntibodyBundle":
+        """Revive a bundle from its wire form (inverse of to_dict)."""
+        from repro.antibody.signatures import (ExactSignature,
+                                               TokenSignature)
+        from repro.antibody.vsef import VSEF
+
+        signatures = []
+        for entry in data.get("signatures", []):
+            if entry["type"] == "exact":
+                signatures.append(ExactSignature.from_dict(entry))
+            else:
+                signatures.append(TokenSignature.from_dict(entry))
+        raw_input = data.get("exploit_input")
+        return AntibodyBundle(
+            app=data["app"],
+            vsefs=[VSEF.from_dict(v) for v in data.get("vsefs", [])],
+            signatures=signatures,
+            exploit_input=bytes.fromhex(raw_input)
+            if raw_input is not None else None,
+            produced_at=data.get("produced_at", 0.0),
+            stage=data.get("stage", "initial"),
+            bundle_id=data["bundle_id"])
+
+
+@dataclass
+class _Delivery:
+    bundle: AntibodyBundle
+    available_at: float
+
+
+class CommunityBus:
+    """Virtual-time antibody dissemination with latency γ₂."""
+
+    def __init__(self, dissemination_latency: float = 3.0):
+        #: γ₂ — Vigilante measured < 3 s for initial alert dissemination;
+        #: the paper adopts that figure (§6.3).
+        self.dissemination_latency = dissemination_latency
+        self._deliveries: list[_Delivery] = []
+        self.published: list[AntibodyBundle] = []
+
+    def publish(self, bundle: AntibodyBundle):
+        self.published.append(bundle)
+        self._deliveries.append(_Delivery(
+            bundle=bundle,
+            available_at=bundle.produced_at + self.dissemination_latency))
+        self._deliveries.sort(key=lambda d: d.available_at)
+
+    def available(self, now: float) -> list[AntibodyBundle]:
+        """Bundles a consumer polling at virtual time ``now`` can see."""
+        return [d.bundle for d in self._deliveries if d.available_at <= now]
+
+    def first_available_time(self, app: str | None = None) -> float | None:
+        """When the earliest (initial) antibody reaches consumers."""
+        times = [d.available_at for d in self._deliveries
+                 if app is None or d.bundle.app == app]
+        return min(times) if times else None
+
+    def response_time(self, app: str | None = None) -> float | None:
+        """γ = γ₁ + γ₂ for the earliest antibody, measured from attack."""
+        return self.first_available_time(app)

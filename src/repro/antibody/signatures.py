@@ -1,0 +1,140 @@
+"""Input signatures.
+
+Sweeper starts with *exact-match* signatures — zero false positives and
+immune to malicious training (§3.3) — because VSEFs already provide the
+low-false-negative safety net.  For polymorphic worms it additionally
+derives Polygraph-style *token-conjunction* signatures: the ordered
+invariant substrings shared by multiple observed exploit payloads.
+
+Signatures are applied by the network proxy before requests reach the
+protected process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from difflib import SequenceMatcher
+
+_ids = itertools.count(1)
+
+DEFAULT_MIN_TOKEN = 4
+
+
+@dataclass
+class ExactSignature:
+    """Matches a byte-for-byte identical request."""
+
+    payload: bytes
+    sig_id: str = field(default_factory=lambda: f"sig-exact-{next(_ids)}")
+
+    def matches(self, data: bytes) -> bool:
+        return data == self.payload
+
+    def to_dict(self) -> dict:
+        return {"type": "exact", "sig_id": self.sig_id,
+                "payload": self.payload.hex()}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ExactSignature":
+        return ExactSignature(payload=bytes.fromhex(data["payload"]),
+                              sig_id=data["sig_id"])
+
+
+@dataclass
+class TokenSignature:
+    """Matches requests containing all tokens, in order (Polygraph [40])."""
+
+    tokens: list[bytes]
+    sig_id: str = field(default_factory=lambda: f"sig-token-{next(_ids)}")
+
+    def matches(self, data: bytes) -> bool:
+        cursor = 0
+        for token in self.tokens:
+            index = data.find(token, cursor)
+            if index < 0:
+                return False
+            cursor = index + len(token)
+        return True
+
+    def to_dict(self) -> dict:
+        return {"type": "token", "sig_id": self.sig_id,
+                "tokens": [t.hex() for t in self.tokens]}
+
+    @staticmethod
+    def from_dict(data: dict) -> "TokenSignature":
+        return TokenSignature(tokens=[bytes.fromhex(t)
+                                      for t in data["tokens"]],
+                              sig_id=data["sig_id"])
+
+
+def generate_exact(payload: bytes) -> ExactSignature:
+    """The immediate, zero-false-positive signature for one exploit."""
+    return ExactSignature(payload=bytes(payload))
+
+
+def _common_blocks(a: bytes, b: bytes, min_token: int) -> list[bytes]:
+    matcher = SequenceMatcher(a=a, b=b, autojunk=False)
+    return [a[block.a:block.a + block.size]
+            for block in matcher.get_matching_blocks()
+            if block.size >= min_token]
+
+
+def generate_token(samples: list[bytes],
+                   min_token: int = DEFAULT_MIN_TOKEN) -> TokenSignature:
+    """Derive the ordered invariant tokens across exploit ``samples``.
+
+    With a single sample this degenerates to one token (the whole
+    payload); with polymorphic variants the invariant protocol framing
+    and the non-mutable exploit structure survive as tokens.
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    tokens = [bytes(samples[0])]
+    for sample in samples[1:]:
+        refined: list[bytes] = []
+        cursor = 0
+        for token in tokens:
+            for block in _common_blocks(token, sample[cursor:], min_token):
+                refined.append(block)
+            index = sample.find(refined[-1], cursor) if refined else -1
+            if index >= 0:
+                cursor = index + len(refined[-1])
+        tokens = refined or tokens
+    # Drop duplicates while preserving order.
+    seen: set[bytes] = set()
+    unique = []
+    for token in tokens:
+        if token not in seen:
+            seen.add(token)
+            unique.append(token)
+    return TokenSignature(tokens=unique)
+
+
+@dataclass
+class SignatureSet:
+    """The proxy's active filter set."""
+
+    exact: list[ExactSignature] = field(default_factory=list)
+    token: list[TokenSignature] = field(default_factory=list)
+
+    def add(self, signature):
+        if isinstance(signature, ExactSignature):
+            self.exact.append(signature)
+        elif isinstance(signature, TokenSignature):
+            self.token.append(signature)
+        else:
+            raise TypeError(f"not a signature: {signature!r}")
+
+    def match(self, data: bytes):
+        """The first signature matching ``data``, or None."""
+        for signature in self.exact:
+            if signature.matches(data):
+                return signature
+        for signature in self.token:
+            if signature.matches(data):
+                return signature
+        return None
+
+    def __len__(self) -> int:
+        return len(self.exact) + len(self.token)

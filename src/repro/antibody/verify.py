@@ -1,0 +1,60 @@
+"""Sandboxed antibody verification (§3.3 "Distribution").
+
+A consumer that does not trust a producer can verify a bundle itself:
+spin up a sandboxed copy of the vulnerable program, apply the received
+VSEFs, feed the included exploit input, and confirm that *something*
+detects the attack — either a VSEF fires (clean detection) or the
+lightweight monitor still crashes the sandbox (the VSEF was unnecessary
+but harmless).  Verification is deliberately deferrable: hosts apply
+VSEFs immediately and verify when convenient, because a bogus VSEF can
+only waste cycles (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AttackDetected, VMFault
+from repro.antibody.distribution import AntibodyBundle
+from repro.antibody.vsef import install_vsef
+from repro.machine.process import Process
+
+_SANDBOX_STEP_BUDGET = 2_000_000
+
+
+@dataclass
+class VerificationResult:
+    verified: bool
+    detected_by: str          # "vsef" | "fault" | "none"
+    detail: str = ""
+
+
+def verify_antibody(image, bundle: AntibodyBundle,
+                    seed: int = 1234) -> VerificationResult:
+    """Verify ``bundle`` against the program ``image`` in a sandbox.
+
+    Returns ``verified=True`` when the exploit input is detected with the
+    bundle's VSEFs installed.  A bundle without an exploit input cannot
+    be verified (the paper's piecemeal distribution means early bundles
+    may not carry it yet) — callers treat that as "apply now, verify when
+    the input arrives".
+    """
+    if bundle.exploit_input is None:
+        return VerificationResult(False, "none",
+                                  "bundle carries no exploit input yet")
+    sandbox = Process(image, seed=seed, name="sandbox")
+    installed = [install_vsef(vsef, sandbox) for vsef in bundle.vsefs]
+    try:
+        # Let the server initialize, then feed only the exploit.
+        sandbox.run(max_steps=_SANDBOX_STEP_BUDGET)
+        sandbox.feed(bundle.exploit_input)
+        result = sandbox.run(max_steps=_SANDBOX_STEP_BUDGET)
+    except AttackDetected as detected:
+        return VerificationResult(True, "vsef", str(detected))
+    except VMFault as fault:
+        return VerificationResult(True, "fault", str(fault))
+    finally:
+        for binding in installed:
+            binding.uninstall()
+    return VerificationResult(False, "none",
+                              f"exploit did not trigger ({result.reason})")

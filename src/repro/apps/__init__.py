@@ -1,0 +1,36 @@
+"""The evaluation workloads: three servers, four vulnerabilities (Table 1).
+
+Each server is written in the reproduction's assembly and re-creates one
+of the paper's real-world targets, with a faithful analogue of the CVE it
+was attacked through:
+
+====================  =============  ==============  =====================
+module                paper target   CVE             bug class
+====================  =============  ==============  =====================
+:mod:`repro.apps.httpd`   Apache 1.3.27  CVE-2003-0542   stack smashing
+:mod:`repro.apps.httpd`   Apache 1.3.12  CVE-2003-1054   NULL dereference
+:mod:`repro.apps.cvsd`    cvs 1.11.4     CVE-2003-0015   double free
+:mod:`repro.apps.squidp`  squid 2.3      CVE-2002-0068   heap overflow
+====================  =============  ==============  =====================
+
+:mod:`repro.apps.exploits` builds the attack payloads (including
+polymorphic variants) and :mod:`repro.apps.workload` generates benign
+request streams and measures throughput.
+"""
+
+from repro.apps.httpd import HTTPD_SOURCE, build_httpd
+from repro.apps.squidp import SQUIDP_SOURCE, build_squidp
+from repro.apps.cvsd import CVSD_SOURCE, build_cvsd
+from repro.apps.exploits import (EXPLOITS, ExploitSpec, apache1_exploit,
+                                 apache2_exploit, cvs_exploit, squid_exploit)
+from repro.apps.workload import (benign_requests, ThroughputResult,
+                                 measure_throughput)
+
+__all__ = [
+    "HTTPD_SOURCE", "build_httpd",
+    "SQUIDP_SOURCE", "build_squidp",
+    "CVSD_SOURCE", "build_cvsd",
+    "EXPLOITS", "ExploitSpec", "apache1_exploit", "apache2_exploit",
+    "cvs_exploit", "squid_exploit",
+    "benign_requests", "ThroughputResult", "measure_throughput",
+]

@@ -1,0 +1,164 @@
+"""``cvsd`` — the CVS 1.11.4 stand-in with CVE-2003-0015 (double free).
+
+The real bug: CVS's ``dirswitch`` error handling freed the current
+directory buffer and then, on a malformed ``Directory`` request, the
+cleanup path freed it again — with attacker-controlled bytes written
+into the stale buffer in between, turning the second ``free`` into a
+wild pointer dereference inside libc.
+
+The analogue here does exactly that: a ``Directory`` argument starting
+with ``..`` takes the error path, which (a) frees ``cur_dir``, (b) logs
+the offending path into the now-freed buffer (the use-after-free write
+that plants the attacker's bytes over the free-list link) and (c) runs
+the generic cleanup, freeing ``cur_dir`` a second time.  ``free`` chases
+the planted link and faults — Table 2's "Crash at 0x4f0eaaa0 (lib.
+free); heap inconsistent / Double free by dirswitch" row.
+
+Benign ``Directory``/``Entry``/``noop`` requests maintain a heap-backed
+current-directory string, giving the workload realistic allocator churn.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Image, assemble
+
+CVSD_SOURCE = r"""
+; cvsd -- CVS 1.11.4 analogue (see module docstring)
+.equ REQMAX 4096
+
+.text
+main:
+    ; boot: cur_dir = strdup("/")
+    mov r0, 8
+    call @malloc
+    mov r1, root_str
+    call @strcpy
+    mov r1, cur_dir
+    st [r1], r0
+
+cvs_loop:
+    mov r0, reqbuf
+    mov r1, REQMAX
+    sys recv
+    cmp r0, 0
+    je cvs_loop
+    mov r1, reqbuf
+    add r1, r0
+    mov r2, 0
+    stb [r1], r2
+    call handle_cvs
+    jmp cvs_loop
+
+; ---------------------------------------------------------------------
+handle_cvs:
+    push fp
+    mov fp, sp
+    mov r0, reqbuf
+    mov r1, dir_cmd
+    mov r2, 10
+    call @strncmp
+    cmp r0, 0
+    je hc_dir
+    mov r0, reqbuf
+    mov r1, entry_cmd
+    mov r2, 6
+    call @strncmp
+    cmp r0, 0
+    je hc_entry
+    ; anything else: treat as noop
+    mov r0, ok_str
+    mov r1, 3
+    sys send
+    jmp hc_out
+hc_entry:
+    ; record the entry in a scratch log (heap churn)
+    mov r0, 48
+    call @malloc
+    mov r2, r0
+    mov r1, reqbuf
+    push r2
+    mov r2, 47
+    call @strncpy
+    pop r0
+    call @free
+    mov r0, ok_str
+    mov r1, 3
+    sys send
+    jmp hc_out
+hc_dir:
+    mov r0, reqbuf
+    add r0, 10
+    call dirswitch
+    mov r0, ok_str
+    mov r1, 3
+    sys send
+hc_out:
+    mov sp, fp
+    pop fp
+    ret
+
+; ---------------------------------------------------------------------
+; dirswitch: r0 = directory argument.
+; CVE-2003-0015 analogue lives in the error path.
+dirswitch:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    mov r4, r0
+    ; malformed? (paths escaping the repository start with "..")
+    mov r1, dotdot
+    mov r2, 2
+    call @strncmp
+    cmp r0, 0
+    je ds_error
+    ; normal switch: cur_dir = strdup(arg); free(old)
+    mov r0, r4
+    call @strlen
+    add r0, 1
+    call @malloc
+    mov r5, r0
+    mov r1, r4
+    call @strcpy
+    mov r1, cur_dir
+    ld r0, [r1]
+    call @free
+    mov r1, cur_dir
+    st [r1], r5
+    jmp ds_out
+ds_error:
+    ; (a) error cleanup frees the current directory buffer ...
+    mov r1, cur_dir
+    ld r0, [r1]
+    call @free
+    ; (b) ... then "logs" the offending path into the stale buffer
+    ;     (use-after-free write planting attacker bytes on the free link)
+    mov r1, cur_dir
+    ld r0, [r1]
+    mov r1, r4
+    call @strcpy
+    ; (c) ... and the generic request cleanup frees it AGAIN.
+    mov r1, cur_dir
+    ld r0, [r1]
+    call @free                  ; <- double free: SEGV inside lib free
+ds_out:
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret
+
+.data
+dir_cmd:   .asciiz "Directory "
+entry_cmd: .asciiz "Entry "
+dotdot:    .asciiz ".."
+root_str:  .asciiz "/"
+ok_str:    .asciiz "ok\n"
+cur_dir:   .word 0
+reqbuf:    .space 4104
+"""
+
+
+def build_cvsd() -> Image:
+    """Assemble the cvsd image (entry ``main``)."""
+    return assemble(CVSD_SOURCE)

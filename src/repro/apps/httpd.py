@@ -1,0 +1,250 @@
+"""``httpd`` — the Apache 1.3.x stand-in, carrying two real bug analogues.
+
+**Apache1 (CVE-2003-0542)**: ``try_alias_list`` copies the request path
+into a fixed 72-byte stack buffer with an unbounded byte-copy loop
+(``lmatcher``), exactly the shape of the mod_alias/mod_rewrite overflow.
+A long path overwrites the saved frame pointer and return address; the
+paper's Table 2 blames the copying store (their ``0x808c3ee lmatcher``)
+and protects ``try_alias_list``'s return address.
+
+**Apache2 (CVE-2003-1054)**: a ``Referer:`` header whose URL has an
+*empty* host (``ftp://`` / ``http://`` with nothing after the scheme)
+reaches ``is_ip`` with a NULL pointer, matching Table 2's
+"crash at is_ip; accessing NULL pointer" and its
+``Referer: (ftp://|http://){0}?`` signature.
+
+The binary also contains ``backdoor``, a tiny "shell" gadget at a fixed
+text offset: the stack-smash exploit targets its *reference-layout*
+address, so on an unrandomized host the hijack genuinely succeeds (the
+worm "owns" the server), while under ASLR it faults — which is the
+lightweight detection the whole system builds on.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Image, assemble
+
+#: Stack buffer size in try_alias_list; paths shorter than this are safe.
+ALIAS_BUF_SIZE = 72
+#: Fixed text offset of the backdoor gadget (pinned by padding below so
+#: exploit payloads stay stable as the rest of the program evolves).
+BACKDOOR_OFFSET = 0x105
+
+HTTPD_SOURCE = r"""
+; httpd -- Apache 1.3.x analogue (see module docstring)
+.equ REQMAX 8192
+
+.text
+main:
+    jmp start
+
+pad: .space 256                 ; pins backdoor at a stable text offset
+
+; What a successful control-flow hijack reaches: the "shell".
+backdoor:
+    mov r0, owned_str
+    mov r1, 7
+    sys send
+    mov r0, 0
+    sys exit
+
+start:
+    ; boot work: allocate the document cache
+    mov r0, 2048
+    call @malloc
+    mov r1, doccache
+    st [r1], r0
+
+mainloop:
+    mov r0, reqbuf
+    mov r1, REQMAX
+    sys recv
+    cmp r0, 0
+    je mainloop
+    ; NUL-terminate the request
+    mov r1, reqbuf
+    add r1, r0
+    mov r2, 0
+    stb [r1], r2
+    call handle_request
+    jmp mainloop
+
+; ---------------------------------------------------------------------
+handle_request:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    ; method must be "GET "
+    mov r0, reqbuf
+    mov r1, get_str
+    mov r2, 4
+    call @strncmp
+    cmp r0, 0
+    jne hr_bad
+    ; resolve the path against the alias list (Apache1 vulnerability)
+    mov r0, reqbuf
+    add r0, 4
+    call try_alias_list
+    mov r4, r0                  ; page id
+    ; Referer handling (Apache2 vulnerability)
+    mov r0, reqbuf
+    mov r1, referer_str
+    call @strstr
+    cmp r0, 0
+    je hr_respond
+    add r0, 9                   ; skip "Referer: "
+    mov r5, r0
+    mov r1, http_str
+    mov r2, 7
+    call @strncmp
+    cmp r0, 0
+    jne hr_try_ftp
+    mov r0, r5
+    add r0, 7
+    jmp hr_hostcheck
+hr_try_ftp:
+    mov r0, r5
+    mov r1, ftp_str
+    mov r2, 6
+    call @strncmp
+    cmp r0, 0
+    jne hr_respond              ; unrecognized scheme: ignore referer
+    mov r0, r5
+    add r0, 6
+hr_hostcheck:
+    ; empty host -> the buggy lookup yields NULL (CVE-2003-1054 analogue)
+    ldb r1, [r0]
+    cmp r1, 0
+    je hr_nullhost
+    cmp r1, 10
+    je hr_nullhost
+    cmp r1, 13
+    je hr_nullhost
+    jmp hr_isip
+hr_nullhost:
+    mov r0, 0
+hr_isip:
+    call is_ip                  ; NULL dereference inside when r0 == 0
+
+hr_respond:
+    ; per-request heap churn: log entry
+    mov r0, 48
+    call @malloc
+    mov r5, r0
+    mov r1, reqbuf
+    mov r2, 47
+    call @strncpy
+    mov r0, r5
+    call @free
+    ; page 1 = index, anything else = generic page
+    cmp r4, 1
+    je hr_index
+    mov r0, generic_page
+    mov r1, 192
+    sys send
+    jmp hr_out
+hr_index:
+    mov r0, index_page
+    mov r1, 192
+    sys send
+    jmp hr_out
+hr_bad:
+    mov r0, badreq_str
+    mov r1, 16
+    sys send
+hr_out:
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret
+
+; ---------------------------------------------------------------------
+; try_alias_list: match path (r0) against the alias table.
+; CVE-2003-0542 analogue: the copy loop is unbounded, the buffer is 72
+; bytes below fp -- a long path reaches the saved fp and return address.
+try_alias_list:
+    push fp
+    mov fp, sp
+    sub sp, 72                  ; char buf[72]
+    mov r1, r0                  ; src cursor
+    mov r2, fp
+    sub r2, 72                  ; dst cursor
+lmatcher:                       ; the paper's blamed copy loop
+    ldb r3, [r1]
+    cmp r3, 0
+    je lm_done
+    cmp r3, ' '
+    je lm_done
+    stb [r2], r3                ; <- the overflowing store
+    add r1, 1
+    add r2, 1
+    jmp lmatcher
+lm_done:
+    mov r3, 0
+    stb [r2], r3
+    ; alias lookups
+    mov r0, fp
+    sub r0, 72
+    mov r1, alias_root
+    call @strcmp
+    cmp r0, 0
+    je tal_hit
+    mov r0, fp
+    sub r0, 72
+    mov r1, alias_index
+    call @strcmp
+    cmp r0, 0
+    je tal_hit
+    mov r0, 2                   ; no alias: generic page
+    jmp tal_out
+tal_hit:
+    mov r0, 1
+tal_out:
+    mov sp, fp
+    pop fp
+    ret                         ; <- hijacked return when smashed
+
+; ---------------------------------------------------------------------
+; is_ip: does host (r0) look like a dotted quad?  No NULL check.
+is_ip:
+    push fp
+    mov fp, sp
+    ldb r1, [r0]                ; <- CVE-2003-1054 analogue: NULL deref
+    cmp r1, '0'
+    jl ii_no
+    cmp r1, '9'
+    jg ii_no
+    mov r0, 1
+    jmp ii_out
+ii_no:
+    mov r0, 0
+ii_out:
+    mov sp, fp
+    pop fp
+    ret
+
+.data
+get_str:      .asciiz "GET "
+referer_str:  .asciiz "Referer: "
+http_str:     .asciiz "http://"
+ftp_str:      .asciiz "ftp://"
+alias_root:   .asciiz "/"
+alias_index:  .asciiz "/index.html"
+owned_str:    .asciiz "OWNED!"
+badreq_str:   .asciiz "HTTP/1.0 400 Bad"
+index_page:   .asciiz "HTTP/1.0 200 OK\n\nWelcome to the index page of the reproduction httpd server. It intentionally mirrors the behaviour of Apache 1.3.x for the Sweeper evaluation workloads, nothing more."
+generic_page: .asciiz "HTTP/1.0 200 OK\n\nGeneric content page served by the reproduction httpd server. The body length is fixed so that throughput numbers are comparable across request streams.."
+doccache:     .word 0
+reqbuf:       .space 8200
+"""
+
+
+def build_httpd() -> Image:
+    """Assemble the httpd image (entry ``main``)."""
+    image = assemble(HTTPD_SOURCE)
+    section, offset = image.symbols["backdoor"]
+    assert section == "text" and offset == BACKDOOR_OFFSET, \
+        f"backdoor moved to {offset:#x}; update BACKDOOR_OFFSET"
+    return image

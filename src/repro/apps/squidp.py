@@ -1,0 +1,283 @@
+"""``squidp`` — the Squid 2.3 stand-in with CVE-2002-0068 (Fig. 2).
+
+``ftpBuildTitleUrl`` reproduces the paper's walkthrough exactly:
+
+1. ``t = xcalloc(64 + strlen(user), 1)`` — the undersized title buffer;
+2. ``buf = rfc1738_escape_part(user)`` — allocates ``strlen(user)*3 + 1``
+   and %-escapes every non-alphanumeric byte (3x expansion);
+3. ``strcat(t, buf)`` — unbounded, so a user string with many escaped
+   characters overflows ``t``.
+
+Crash mode matches the paper: the escape buffer is large enough to be
+mmap'd away from the main arena (glibc behaviour our allocator mirrors),
+a small connection-scratch block sits between ``t`` and the brk (so the
+overflow clobbers heap metadata → "heap inconsistent"), and the copy
+finally runs off the arena's last mapped page → SEGV *inside lib strcat*
+called by ``ftpBuildTitleUrl`` — Table 2's
+``0x4f0f0907 (lib. strcat)`` / ``0x804ee82 (ftpBuildTitleUrl)`` row.
+
+Benign FTP URLs (short or mostly-alphanumeric user parts) fit ``t``
+comfortably; plain HTTP requests take the proxy fast path.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Image, assemble
+
+SQUIDP_SOURCE = r"""
+; squidp -- Squid 2.3 analogue (see module docstring)
+.equ REQMAX 16384
+
+.text
+main:
+    ; boot: warm the cache index
+    mov r0, 2048
+    call @malloc
+    mov r1, cache_ptr
+    st [r1], r0
+
+sq_loop:
+    mov r0, reqbuf
+    mov r1, REQMAX
+    sys recv
+    cmp r0, 0
+    je sq_loop
+    mov r1, reqbuf
+    add r1, r0
+    mov r2, 0
+    stb [r1], r2
+    call handle_sq
+    jmp sq_loop
+
+; ---------------------------------------------------------------------
+handle_sq:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    mov r0, reqbuf
+    mov r1, get_str
+    mov r2, 4
+    call @strncmp
+    cmp r0, 0
+    jne hs_bad
+    mov r4, reqbuf
+    add r4, 4                   ; url
+    mov r0, r4
+    mov r1, ftp_scheme
+    mov r2, 6
+    call @strncmp
+    cmp r0, 0
+    jne hs_http
+    ; --- FTP path: build the title URL (the vulnerable path) ---
+    mov r0, r4
+    call ftpBuildTitleUrl       ; returns heap title string
+    mov r4, r0
+    call @strlen
+    mov r1, r0
+    mov r0, r4
+    sys send                    ; respond with the title
+    mov r0, r4
+    call @free
+    jmp hs_out
+hs_http:
+    ; --- plain proxy path: log-entry churn + canned response ---
+    mov r0, 64
+    call @malloc
+    mov r5, r0
+    mov r1, r4
+    mov r2, 63
+    call @strncpy
+    mov r0, r5
+    call @free
+    mov r0, proxy_resp
+    mov r1, 160
+    sys send
+    jmp hs_out
+hs_bad:
+    mov r0, bad_str
+    mov r1, 12
+    sys send
+hs_out:
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret
+
+; ---------------------------------------------------------------------
+; ftpBuildTitleUrl: r0 = "ftp://user@host/..." -> heap title string.
+; This is Fig. 2 of the paper, line for line.
+ftpBuildTitleUrl:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    push r7
+    mov r4, r0                  ; url
+    ; find the '@' delimiting the user part
+    mov r0, r4
+    add r0, 6
+    mov r1, '@'
+    call @strchr
+    cmp r0, 0
+    je fb_nouser
+    mov r5, r0                  ; position of '@'
+    mov r6, r4
+    add r6, 6                   ; user start
+    mov r7, r5
+    sub r7, r6                  ; user length
+    ; user = malloc(len+1); memcpy; terminate
+    mov r0, r7
+    add r0, 1
+    call @malloc
+    push r0
+    mov r1, r6
+    mov r2, r7
+    call @memcpy
+    pop r0
+    mov r6, r0                  ; r6 = user (heap copy)
+    add r0, r7
+    mov r1, 0
+    stb [r0], r1
+    ; (1) len = 64 + strlen(user); t = xcalloc(len, 1)
+    mov r0, r6
+    call @strlen
+    mov r7, r0
+    add r0, 64
+    mov r1, 1
+    call @calloc
+    mov r5, r0                  ; r5 = t
+    ; connection bookkeeping allocated after t (sits before brk)
+    mov r0, 32
+    call @malloc
+    mov r1, conn_scratch
+    st [r1], r0
+    ; strcpy(t, "ftp://")
+    mov r0, r5
+    mov r1, ftp_scheme
+    call @strcpy
+    ; (2) buf = rfc1738_escape_part(user)
+    mov r0, r6
+    call rfc1738_escape_part
+    push r0
+    ; (3) strcat(t, buf)   <- CVE-2002-0068: t overflows in lib strcat
+    mov r1, r0
+    mov r0, r5
+    call @strcat
+    ; cleanup
+    pop r0
+    call @free                  ; buf
+    mov r1, conn_scratch
+    ld r0, [r1]
+    call @free                  ; scratch
+    mov r0, r6
+    call @free                  ; user
+    mov r0, r5                  ; return t
+    jmp fb_out
+fb_nouser:
+    ; no user part: title is just a copy of the url
+    mov r0, r4
+    call @strlen
+    add r0, 1
+    call @malloc
+    mov r1, r4
+    call @strcpy
+fb_out:
+    pop r7
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret
+
+; ---------------------------------------------------------------------
+; rfc1738_escape_part: r0 = string -> heap string with %XX escapes.
+; bufsize = strlen(user)*3 + 1  (Fig. 2 step 2)
+rfc1738_escape_part:
+    push fp
+    mov fp, sp
+    push r4
+    push r5
+    push r6
+    push r7
+    mov r4, r0
+    call @strlen
+    mov r5, r0
+    mul r0, 3
+    add r0, 1
+    mov r1, 1
+    call @calloc
+    mov r6, r0                  ; buf
+    mov r7, r6                  ; out cursor
+rep_loop:
+    ldb r1, [r4]
+    cmp r1, 0
+    je rep_done
+    cmp r1, '0'
+    jl rep_esc
+    cmp r1, '9'
+    jle rep_copy
+    cmp r1, 'A'
+    jl rep_esc
+    cmp r1, 'Z'
+    jle rep_copy
+    cmp r1, 'a'
+    jl rep_esc
+    cmp r1, 'z'
+    jle rep_copy
+    jmp rep_esc
+rep_copy:
+    stb [r7], r1
+    add r7, 1
+    jmp rep_next
+rep_esc:
+    mov r2, '%'
+    stb [r7], r2
+    add r7, 1
+    mov r2, r1
+    shr r2, 4
+    mov r3, hexdigits
+    add r3, r2
+    ldb r2, [r3]
+    stb [r7], r2
+    add r7, 1
+    mov r2, r1
+    and r2, 15
+    mov r3, hexdigits
+    add r3, r2
+    ldb r2, [r3]
+    stb [r7], r2
+    add r7, 1
+rep_next:
+    add r4, 1
+    jmp rep_loop
+rep_done:
+    mov r1, 0
+    stb [r7], r1
+    mov r0, r6
+    pop r7
+    pop r6
+    pop r5
+    pop r4
+    mov sp, fp
+    pop fp
+    ret
+
+.data
+get_str:      .asciiz "GET "
+ftp_scheme:   .asciiz "ftp://"
+hexdigits:    .asciiz "0123456789ABCDEF"
+bad_str:      .asciiz "400 invalid"
+proxy_resp:   .asciiz "HTTP/1.0 200 OK\nVia: squidp reproduction proxy\n\nCached object body follows; the byte count of this canned answer is held constant for the throughput benchmarks."
+cache_ptr:    .word 0
+conn_scratch: .word 0
+reqbuf:       .space 16392
+"""
+
+
+def build_squidp() -> Image:
+    """Assemble the squidp image (entry ``main``)."""
+    return assemble(SQUIDP_SOURCE)

@@ -1,0 +1,97 @@
+"""Exception hierarchy shared across the Sweeper reproduction.
+
+Faults raised by the virtual machine are ordinary Python exceptions that
+carry enough context (program counter, fault address, fault kind) for the
+lightweight monitor to classify them, mirroring the information a SIGSEGV
+siginfo carries on a real host.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly source (bad mnemonic, undefined label, ...)."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Instruction cannot be encoded or decoded."""
+
+
+class LoaderError(ReproError):
+    """Program image cannot be mapped into a process."""
+
+
+class VMFault(ReproError):
+    """A hardware-level fault inside the virtual machine.
+
+    ``kind`` is one of the ``FAULT_*`` constants below.  ``pc`` is the
+    address of the faulting instruction (for control-transfer faults this
+    is the *target* that could not be fetched; ``source_pc`` then holds the
+    transfer instruction).  ``addr`` is the data address involved, if any.
+    """
+
+    def __init__(self, kind: str, pc: int, addr: int | None = None,
+                 source_pc: int | None = None, detail: str = ""):
+        self.kind = kind
+        self.pc = pc
+        self.addr = addr
+        self.source_pc = source_pc
+        self.detail = detail
+        where = f"pc={pc:#010x}"
+        if addr is not None:
+            where += f" addr={addr:#010x}"
+        if source_pc is not None:
+            where += f" source_pc={source_pc:#010x}"
+        msg = f"{kind} at {where}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+FAULT_SEGV = "SEGV"                 # access to unmapped memory
+FAULT_NULL = "NULL_DEREF"           # access below the null guard page
+FAULT_BADPC = "BAD_PC"              # fetch from unmapped memory
+FAULT_ILLEGAL = "ILLEGAL_OPCODE"    # undecodable instruction byte
+FAULT_DIVZERO = "DIV_ZERO"          # integer division by zero
+FAULT_PROT = "PROT"                 # write to read-only memory
+
+
+class AttackDetected(ReproError):
+    """Raised when a deployed antibody (VSEF or filter) blocks execution.
+
+    Unlike :class:`VMFault`, this is a *clean* detection: the vulnerable
+    action was stopped before corrupting state, so the request can simply
+    be dropped without rollback.
+    """
+
+    def __init__(self, vsef_id: str, pc: int, reason: str):
+        self.vsef_id = vsef_id
+        self.pc = pc
+        self.reason = reason
+        super().__init__(f"VSEF {vsef_id} triggered at pc={pc:#010x}: {reason}")
+
+
+class SandboxViolation(ReproError):
+    """A replayed execution attempted a side effect the sandbox forbids."""
+
+
+class RecoveryFailed(ReproError):
+    """Re-execution diverged irreconcilably; caller should restart."""
+
+
+class ProcessExited(ReproError):
+    """The guest program executed the exit syscall (or HALT)."""
+
+    def __init__(self, status: int = 0):
+        self.status = status
+        super().__init__(f"process exited with status {status}")

@@ -1,0 +1,13 @@
+"""Dynamic instrumentation framework (the reproduction's PIN [35]).
+
+Tools subclass :class:`~repro.instrument.hooks.Tool` and override only the
+callbacks they need.  Tools can be attached to and detached from a
+*running* process — Sweeper's whole premise is that heavyweight analysis
+is added on demand during replay, never during normal execution.  When no
+tool is attached the CPU takes a fast path that skips every callback.
+"""
+
+from repro.instrument.hooks import HookManager, Tool
+from repro.instrument.tracer import ExecutionTracer
+
+__all__ = ["HookManager", "Tool", "ExecutionTracer"]

@@ -1,0 +1,94 @@
+"""Execution tracer: a debugging tool built on the instrumentation API.
+
+Not part of the paper's system, but indispensable when writing guest
+programs: attach an :class:`ExecutionTracer` to a process and get a
+symbolized instruction/call/syscall trace, bounded to the last N events.
+
+Example::
+
+    tracer = ExecutionTracer(limit=2000)
+    process.hooks.attach(tracer, process)
+    process.run(max_steps=...)
+    print(tracer.render())
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.instrument.hooks import Tool
+from repro.isa.disasm import format_insn
+
+
+class ExecutionTracer(Tool):
+    """Records a bounded, symbolized execution trace."""
+
+    name = "tracer"
+    overhead_factor = 1.0
+
+    def __init__(self, limit: int = 10_000, trace_memory: bool = False):
+        self.limit = limit
+        self.trace_memory = trace_memory
+        self.events: deque[str] = deque(maxlen=limit)
+        self.instruction_count = 0
+        self._symbols: dict[int, str] = {}
+        self.process = None
+
+    def on_attach(self, process):
+        if process is None:
+            return
+        self.process = process
+        self._symbols = {addr: name
+                         for name, addr in process.symbols.items()}
+        for name, addr in process.native_addresses.items():
+            self._symbols[addr] = f"@{name}"
+
+    def _where(self, addr: int) -> str:
+        name = self._symbols.get(addr)
+        if name is not None:
+            return f"{addr:#010x} <{name}>"
+        if self.process is not None:
+            function = self.process.function_at(addr)
+            if function is not None:
+                return f"{addr:#010x} <{function}+?>"
+        return f"{addr:#010x}"
+
+    def on_ins(self, pc, insn, cpu):
+        self.instruction_count += 1
+        self.events.append(
+            f"  {format_insn(insn, addr=pc, symbols=self._symbols)}")
+
+    def on_call(self, pc, target, return_addr):
+        self.events.append(f"CALL {self._where(target)} "
+                           f"(from {pc:#010x})")
+
+    def on_ret(self, pc, target, sp):
+        self.events.append(f"RET  -> {self._where(target)}")
+
+    def on_native(self, pc, name, args):
+        rendered = ", ".join(f"{arg:#x}" for arg in args)
+        self.events.append(f"NATIVE {name}({rendered})")
+
+    def on_syscall(self, pc, number, args, result):
+        self.events.append(f"SYS  #{number} args={args[:2]}")
+
+    def on_mem_write(self, pc, addr, size, data):
+        if self.trace_memory:
+            self.events.append(f"  WRITE [{addr:#010x}]+{size}")
+
+    def on_mem_read(self, pc, addr, size):
+        if self.trace_memory:
+            self.events.append(f"  READ  [{addr:#010x}]+{size}")
+
+    def render(self, last: int | None = None) -> str:
+        """The trace as text; ``last`` limits to the final N events."""
+        events = list(self.events)
+        if last is not None:
+            events = events[-last:]
+        header = (f"--- trace: {self.instruction_count} instructions, "
+                  f"showing {len(events)} events ---")
+        return "\n".join([header] + events)
+
+    def clear(self):
+        self.events.clear()
+        self.instruction_count = 0

@@ -1,0 +1,27 @@
+"""Instruction set architecture for the Sweeper reproduction VM.
+
+The ISA is a small 32-bit register machine whose instructions are encoded
+as bytes and fetched from VM memory, so injected input ("shellcode") is
+genuinely executable and control-flow hijacks behave as they do on x86.
+
+Public surface:
+
+- :mod:`repro.isa.opcodes` — the opcode table and register names.
+- :mod:`repro.isa.encoding` — byte encode/decode of single instructions.
+- :mod:`repro.isa.assembler` — two-pass assembler producing relocatable
+  :class:`~repro.isa.assembler.Image` objects.
+- :mod:`repro.isa.disasm` — disassembler for debugging and stack-walk
+  validation.
+"""
+
+from repro.isa.opcodes import Op, REG_NAMES, REG_NUMBERS, NUM_REGS, SP, FP
+from repro.isa.encoding import Insn, encode, decode, insn_length
+from repro.isa.assembler import assemble, Image, Relocation
+from repro.isa.disasm import disassemble, format_insn
+
+__all__ = [
+    "Op", "REG_NAMES", "REG_NUMBERS", "NUM_REGS", "SP", "FP",
+    "Insn", "encode", "decode", "insn_length",
+    "assemble", "Image", "Relocation",
+    "disassemble", "format_insn",
+]

@@ -1,0 +1,471 @@
+"""Two-pass assembler producing relocatable program images.
+
+The assembler understands two sections (``.text`` and ``.data``), labels,
+data directives, symbolic constants and native-library imports.  Because
+the Sweeper runtime randomizes the load address of every region (that is
+its lightweight attack monitor), images are *relocatable*: every absolute
+reference is recorded as a :class:`Relocation` and patched by the loader
+once the randomized bases are known.
+
+Syntax overview::
+
+    .equ BUFSZ 64
+    .text
+    main:
+        push fp
+        mov fp, sp
+        sub sp, BUFSZ
+        mov r0, buf          ; label reference -> data relocation
+        call @strcpy         ; native library import
+        ld r1, [r0+4]
+        st [r0], r1
+        cmp r1, 0
+        je done
+        jmp main
+    done:
+        sys exit
+    .data
+    buf: .space 64
+    msg: .asciiz "hello\\n"
+    tbl: .word 1, 2, main
+
+Comments start with ``;`` or ``#``.  ``sys`` accepts either a number or a
+symbolic syscall name from :data:`repro.machine.syscalls.SYSCALL_NUMBERS`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import encode, insn_length
+from repro.isa.opcodes import Op, REG_NUMBERS
+
+# Syscall names are defined here (rather than imported from the machine
+# package) to keep the ISA layer dependency-free; the machine asserts the
+# two tables agree.
+SYSCALL_NAMES = {
+    "exit": 0, "recv": 1, "send": 2, "time": 3, "rand": 4,
+    "log": 5, "getpid": 6,
+}
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """An absolute reference to be patched at load time.
+
+    ``section``/``offset`` locate the 32-bit immediate field to patch;
+    ``target`` is ``"text"``, ``"data"`` or ``"native"``; ``value`` is the
+    target-section offset (or the native symbol name) and ``addend`` is
+    added to the resolved address.
+    """
+
+    section: str
+    offset: int
+    target: str
+    value: int | str
+    addend: int = 0
+
+
+@dataclass
+class Image:
+    """A relocatable program: section blobs, relocations and symbols."""
+
+    text: bytes = b""
+    data: bytes = b""
+    relocations: list[Relocation] = field(default_factory=list)
+    symbols: dict[str, tuple[str, int]] = field(default_factory=dict)
+    entry: str = "main"
+
+    def symbol_offset(self, name: str) -> tuple[str, int]:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise AssemblerError(f"undefined symbol {name!r}")
+
+
+@dataclass
+class _Operand:
+    kind: str                    # "reg" | "imm" | "mem"
+    reg: int | None = None       # register number (reg/mem)
+    value: int = 0               # immediate or displacement
+    reloc_target: str | None = None   # "text"/"data"/"native" when symbolic
+    reloc_value: int | str = 0
+    reloc_addend: int = 0
+
+
+class _Assembler:
+    """Internal two-pass assembler state."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.equs: dict[str, int] = {}
+        self.symbols: dict[str, tuple[str, int]] = {}
+        self.relocations: list[Relocation] = []
+        self.sections: dict[str, bytearray] = {"text": bytearray(),
+                                               "data": bytearray()}
+        self.current = "text"
+        self.line_no = 0
+
+    # -- helpers ----------------------------------------------------------
+
+    def error(self, message: str) -> AssemblerError:
+        return AssemblerError(message, line=self.line_no)
+
+    def _strip(self, line: str) -> str:
+        out = []
+        in_string = False
+        for ch in line:
+            if ch == '"':
+                in_string = not in_string
+            if not in_string and ch in ";#":
+                break
+            out.append(ch)
+        return "".join(out).strip()
+
+    def _parse_int(self, token: str) -> int | None:
+        token = token.strip()
+        neg = token.startswith("-")
+        if neg:
+            token = token[1:].strip()
+        value = None
+        if re.fullmatch(r"0[xX][0-9a-fA-F]+", token):
+            value = int(token, 16)
+        elif re.fullmatch(r"[0-9]+", token):
+            value = int(token)
+        elif len(token) == 3 and token[0] == "'" and token[2] == "'":
+            value = ord(token[1])
+        elif token in self.equs:
+            value = self.equs[token]
+        if value is None:
+            return None
+        return -value if neg else value
+
+    def _parse_value(self, token: str) -> _Operand:
+        """Parse an immediate expression: int, label, label+int, @native."""
+        token = token.strip()
+        as_int = self._parse_int(token)
+        if as_int is not None:
+            return _Operand(kind="imm", value=as_int)
+        addend = 0
+        base = token
+        match = re.fullmatch(r"(.+?)\s*([+-])\s*(\S+)", token)
+        if match and self._parse_int(match.group(3)) is not None:
+            base = match.group(1).strip()
+            addend = self._parse_int(match.group(3))
+            if match.group(2) == "-":
+                addend = -addend
+        if base.startswith("@"):
+            return _Operand(kind="imm", reloc_target="native",
+                            reloc_value=base[1:], reloc_addend=addend)
+        if _LABEL_RE.fullmatch(base):
+            # Section resolved in pass 2 (labels may be forward references).
+            return _Operand(kind="imm", reloc_target="label",
+                            reloc_value=base, reloc_addend=addend)
+        raise self.error(f"cannot parse value {token!r}")
+
+    def _parse_operand(self, token: str) -> _Operand:
+        token = token.strip()
+        if token in REG_NUMBERS:
+            return _Operand(kind="reg", reg=REG_NUMBERS[token])
+        if token.startswith("["):
+            if not token.endswith("]"):
+                raise self.error(f"unterminated memory operand {token!r}")
+            inner = token[1:-1].strip()
+            match = re.fullmatch(r"(\w+)\s*(?:([+-])\s*(.+))?", inner)
+            if not match or match.group(1) not in REG_NUMBERS:
+                raise self.error(f"memory operand must be [reg+disp]: {token!r}")
+            reg = REG_NUMBERS[match.group(1)]
+            disp = 0
+            if match.group(3) is not None:
+                disp = self._parse_int(match.group(3))
+                if disp is None:
+                    raise self.error(f"bad displacement in {token!r}")
+                if match.group(2) == "-":
+                    disp = -disp
+            return _Operand(kind="mem", reg=reg, value=disp)
+        return self._parse_value(token)
+
+    def _split_operands(self, rest: str) -> list[str]:
+        out, depth, current = [], 0, []
+        in_string = False
+        for ch in rest:
+            if ch == '"':
+                in_string = not in_string
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            if ch == "," and depth == 0 and not in_string:
+                out.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+        if current:
+            out.append("".join(current))
+        return [tok.strip() for tok in out if tok.strip()]
+
+    # -- instruction selection -------------------------------------------
+
+    _ALU = {"add", "sub", "mul", "div", "mod", "and", "or", "xor",
+            "shl", "shr"}
+    _JCC = {"je": Op.JE, "jne": Op.JNE, "jl": Op.JL, "jle": Op.JLE,
+            "jg": Op.JG, "jge": Op.JGE, "jb": Op.JB, "jae": Op.JAE}
+
+    def _select(self, mnemonic: str,
+                operands: list[_Operand]) -> tuple[Op, list[_Operand]]:
+        m = mnemonic.lower()
+
+        def need(n: int):
+            if len(operands) != n:
+                raise self.error(f"{m} expects {n} operands, got {len(operands)}")
+
+        if m == "nop":
+            need(0)
+            return Op.NOP, []
+        if m == "halt":
+            need(0)
+            return Op.HALT, []
+        if m == "ret":
+            need(0)
+            return Op.RET, []
+        if m == "mov":
+            need(2)
+            if operands[0].kind != "reg":
+                raise self.error("mov destination must be a register")
+            if operands[1].kind == "reg":
+                return Op.MOVRR, operands
+            if operands[1].kind == "imm":
+                return Op.MOVRI, operands
+            raise self.error("mov source must be register or immediate")
+        if m in self._ALU:
+            need(2)
+            if operands[0].kind != "reg":
+                raise self.error(f"{m} destination must be a register")
+            table = {"add": (Op.ADDRR, Op.ADDRI), "sub": (Op.SUBRR, Op.SUBRI),
+                     "mul": (Op.MULRR, Op.MULRI), "div": (Op.DIVRR, Op.DIVRI),
+                     "mod": (Op.MODRR, Op.MODRI), "and": (Op.ANDRR, Op.ANDRI),
+                     "or": (Op.ORRR, Op.ORRI), "xor": (Op.XORRR, Op.XORRI),
+                     "shl": (Op.SHLRR, Op.SHLRI), "shr": (Op.SHRRR, Op.SHRRI)}
+            rr, ri = table[m]
+            if operands[1].kind == "reg":
+                return rr, operands
+            if operands[1].kind == "imm":
+                return ri, operands
+            raise self.error(f"{m} source must be register or immediate")
+        if m == "cmp":
+            need(2)
+            if operands[0].kind != "reg":
+                raise self.error("cmp first operand must be a register")
+            if operands[1].kind == "reg":
+                return Op.CMPRR, operands
+            if operands[1].kind == "imm":
+                return Op.CMPRI, operands
+            raise self.error("cmp second operand must be register or immediate")
+        if m in ("ld", "ldw", "ldb"):
+            need(2)
+            if operands[0].kind != "reg" or operands[1].kind != "mem":
+                raise self.error(f"{m} expects: {m} rd, [rs+disp]")
+            op = Op.LDB if m == "ldb" else Op.LDW
+            mem = operands[1]
+            return op, [operands[0], _Operand(kind="reg", reg=mem.reg),
+                        _Operand(kind="imm", value=mem.value)]
+        if m in ("st", "stw", "stb"):
+            need(2)
+            if operands[0].kind != "mem" or operands[1].kind != "reg":
+                raise self.error(f"{m} expects: {m} [rd+disp], rs")
+            op = Op.STB if m == "stb" else Op.STW
+            mem = operands[0]
+            return op, [_Operand(kind="reg", reg=mem.reg),
+                        _Operand(kind="imm", value=mem.value), operands[1]]
+        if m == "jmp":
+            need(1)
+            if operands[0].kind == "reg":
+                return Op.JMPR, operands
+            return Op.JMPI, operands
+        if m in self._JCC:
+            need(1)
+            if operands[0].kind != "imm":
+                raise self.error(f"{m} target must be a label or address")
+            return self._JCC[m], operands
+        if m == "call":
+            need(1)
+            if operands[0].kind == "reg":
+                return Op.CALLR, operands
+            return Op.CALLI, operands
+        if m == "push":
+            need(1)
+            if operands[0].kind == "reg":
+                return Op.PUSHR, operands
+            return Op.PUSHI, operands
+        if m == "pop":
+            need(1)
+            if operands[0].kind != "reg":
+                raise self.error("pop destination must be a register")
+            return Op.POPR, operands
+        if m == "sys":
+            need(1)
+            arg = operands[0]
+            if arg.kind != "imm" or arg.reloc_target not in (None, "label"):
+                raise self.error("sys expects a syscall number or name")
+            if arg.reloc_target == "label":
+                name = str(arg.reloc_value)
+                if name not in SYSCALL_NAMES:
+                    raise self.error(f"unknown syscall name {name!r}")
+                arg = _Operand(kind="imm", value=SYSCALL_NAMES[name])
+            return Op.SYS, [arg]
+        raise self.error(f"unknown mnemonic {mnemonic!r}")
+
+    # -- passes ------------------------------------------------------------
+
+    def _lines(self):
+        for number, raw in enumerate(self.source.splitlines(), start=1):
+            self.line_no = number
+            line = self._strip(raw)
+            if line:
+                yield line
+
+    def _emit_data_directive(self, directive: str, rest: str,
+                             section: bytearray, emit: bool):
+        if directive == ".space":
+            size = self._parse_int(rest)
+            if size is None or size < 0:
+                raise self.error(f"bad .space size {rest!r}")
+            section += b"\x00" * size
+        elif directive == ".byte":
+            for token in self._split_operands(rest):
+                value = self._parse_int(token)
+                if value is None:
+                    raise self.error(f"bad .byte value {token!r}")
+                section.append(value & 0xFF)
+        elif directive == ".word":
+            for token in self._split_operands(rest):
+                operand = self._parse_value(token)
+                if operand.reloc_target is not None:
+                    if emit:
+                        self._note_reloc(self.current, len(section), operand)
+                    section += (operand.reloc_addend & 0xFFFFFFFF).to_bytes(
+                        4, "little")
+                else:
+                    section += (operand.value & 0xFFFFFFFF).to_bytes(4, "little")
+        elif directive in (".asciiz", ".ascii"):
+            match = re.fullmatch(r'"(.*)"', rest.strip())
+            if not match:
+                raise self.error(f"{directive} expects a quoted string")
+            payload = (match.group(1)
+                       .encode("latin-1")
+                       .decode("unicode_escape")
+                       .encode("latin-1"))
+            section += payload
+            if directive == ".asciiz":
+                section.append(0)
+        else:
+            raise self.error(f"unknown directive {directive!r}")
+
+    def _note_reloc(self, section: str, offset: int, operand: _Operand):
+        target = operand.reloc_target
+        value: int | str
+        if target == "native":
+            value = operand.reloc_value
+        else:  # label
+            name = str(operand.reloc_value)
+            if name not in self.symbols:
+                raise self.error(f"undefined label {name!r}")
+            target, value = self.symbols[name]
+        self.relocations.append(Relocation(
+            section=section, offset=offset, target=target, value=value,
+            addend=operand.reloc_addend))
+
+    def run(self) -> Image:
+        for emit in (False, True):
+            self.current = "text"
+            self.sections = {"text": bytearray(), "data": bytearray()}
+            if emit:
+                self.relocations = []
+            for line in self._lines():
+                self._process_line(line, emit)
+        image = Image(text=bytes(self.sections["text"]),
+                      data=bytes(self.sections["data"]),
+                      relocations=self.relocations,
+                      symbols=dict(self.symbols))
+        return image
+
+    def _process_line(self, line: str, emit: bool):
+        while True:
+            match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2)
+            offset = len(self.sections[self.current])
+            if not emit:
+                if label in self.symbols:
+                    raise self.error(f"duplicate label {label!r}")
+                self.symbols[label] = (self.current, offset)
+            if not line:
+                return
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            if directive == ".text":
+                self.current = "text"
+            elif directive == ".data":
+                self.current = "data"
+            elif directive == ".equ":
+                bits = rest.split(None, 1)
+                if len(bits) != 2:
+                    raise self.error(".equ expects: .equ NAME value")
+                value = self._parse_int(bits[1])
+                if value is None:
+                    raise self.error(f"bad .equ value {bits[1]!r}")
+                self.equs[bits[0]] = value
+            else:
+                self._emit_data_directive(directive, rest,
+                                          self.sections[self.current], emit)
+            return
+        if self.current != "text":
+            raise self.error("instructions are only allowed in .text")
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        raw_operands = [self._parse_operand(tok)
+                        for tok in self._split_operands(rest)]
+        op, operands = self._select(mnemonic, raw_operands)
+        if not emit:
+            # Pass 1 only needs the length, which is operand-count invariant.
+            self.sections["text"] += b"\x00" * insn_length(op)
+            return
+        section = self.sections["text"]
+        values = []
+        cursor = len(section) + 1  # skip opcode byte
+        for operand in operands:
+            if operand.kind == "reg":
+                values.append(operand.reg)
+                cursor += 1
+            else:
+                if operand.reloc_target is not None:
+                    self._note_reloc("text", cursor, operand)
+                    values.append(operand.reloc_addend)
+                else:
+                    values.append(operand.value)
+                cursor += 4
+        section += encode(op, *values)
+
+
+def assemble(source: str, entry: str = "main") -> Image:
+    """Assemble ``source`` into a relocatable :class:`Image`.
+
+    ``entry`` names the symbol where execution starts; it must be defined
+    in the text section.
+    """
+    image = _Assembler(source).run()
+    image.entry = entry
+    if entry not in image.symbols:
+        raise AssemblerError(f"entry symbol {entry!r} not defined")
+    section, _offset = image.symbols[entry]
+    if section != "text":
+        raise AssemblerError(f"entry symbol {entry!r} is not in .text")
+    return image

@@ -1,0 +1,71 @@
+"""Disassembler.
+
+Used for human-readable traces, and by the core-dump analyzer's stack walk
+to verify that a candidate return address is immediately preceded by a
+CALL instruction (the same heuristic real stack unwinders use).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.encoding import Insn, decode, insn_length
+from repro.isa.opcodes import OP_SIGNATURES, Op, REG_NAMES
+
+
+def format_insn(insn: Insn, addr: int | None = None,
+                symbols: dict[int, str] | None = None) -> str:
+    """Render a decoded instruction as assembly-like text."""
+    parts = []
+    signature = OP_SIGNATURES[insn.op]
+    for kind, value in zip(signature, insn.operands):
+        if kind == "r":
+            parts.append(REG_NAMES[value])
+        elif kind == "i":
+            name = symbols.get(value) if symbols else None
+            parts.append(f"{value:#x}<{name}>" if name else f"{value:#x}")
+        else:
+            parts.append(str(value))
+    text = insn.op.name.lower()
+    if parts:
+        text += " " + ", ".join(parts)
+    if addr is not None:
+        text = f"{addr:#010x}: {text}"
+    return text
+
+
+def disassemble(fetch, addr: int, count: int = 1,
+                symbols: dict[int, str] | None = None) -> list[str]:
+    """Disassemble ``count`` instructions starting at ``addr``."""
+    out = []
+    for _ in range(count):
+        try:
+            insn = decode(fetch, addr)
+        except EncodingError:
+            out.append(f"{addr:#010x}: (bad)")
+            break
+        out.append(format_insn(insn, addr=addr, symbols=symbols))
+        addr += insn.length
+    return out
+
+
+def preceded_by_call(fetch, ret_addr: int, max_back: int = 16) -> bool:
+    """Heuristic: is ``ret_addr`` plausibly a return address?
+
+    Checks whether some CALL instruction ends exactly at ``ret_addr``.
+    CALLI and CALLR have fixed lengths, so only two offsets need checking;
+    ``max_back`` is retained for API symmetry with real unwinders.
+    """
+    for op in (Op.CALLI, Op.CALLR):
+        length = insn_length(op)
+        if length > max_back:
+            continue
+        start = ret_addr - length
+        if start < 0:
+            continue
+        try:
+            insn = decode(fetch, start)
+        except Exception:
+            continue
+        if insn.op == op:
+            return True
+    return False

@@ -1,0 +1,112 @@
+"""Byte-level instruction encoding and decoding.
+
+Instructions are variable length: one opcode byte followed by operand
+bytes as dictated by :data:`repro.isa.opcodes.OP_SIGNATURES`.  Decoding
+operates over any object supporting ``fetch(addr, n) -> bytes`` so the CPU
+can decode straight out of guest memory and the disassembler out of a
+``bytes`` buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.isa.opcodes import NUM_REGS, OP_SIGNATURES, Op
+
+_OPERAND_WIDTH = {"r": 1, "i": 4, "b": 1}
+
+
+@dataclass(frozen=True)
+class Insn:
+    """A decoded instruction.
+
+    ``operands`` is a tuple matching the opcode's signature: register
+    numbers for ``r`` slots, unsigned 32-bit values for ``i`` slots and
+    unsigned bytes for ``b`` slots.  ``length`` is the encoded size in
+    bytes, needed to advance the program counter.
+    """
+
+    op: Op
+    operands: tuple[int, ...]
+    length: int
+
+    @property
+    def signature(self) -> str:
+        return OP_SIGNATURES[self.op]
+
+
+def insn_length(op: Op) -> int:
+    """Encoded length in bytes of an instruction with opcode ``op``."""
+    return 1 + sum(_OPERAND_WIDTH[kind] for kind in OP_SIGNATURES[op])
+
+
+def encode(op: Op, *operands: int) -> bytes:
+    """Encode one instruction to bytes.
+
+    Immediate operands may be given as signed or unsigned Python ints;
+    they are wrapped to 32 bits.
+    """
+    signature = OP_SIGNATURES.get(op)
+    if signature is None:
+        raise EncodingError(f"unknown opcode {op!r}")
+    if len(operands) != len(signature):
+        raise EncodingError(
+            f"{op.name} expects {len(signature)} operands, got {len(operands)}")
+    out = bytearray([int(op)])
+    for kind, value in zip(signature, operands):
+        if kind == "r":
+            if not 0 <= value < NUM_REGS:
+                raise EncodingError(f"{op.name}: bad register number {value}")
+            out.append(value)
+        elif kind == "i":
+            out += struct.pack("<I", value & 0xFFFFFFFF)
+        elif kind == "b":
+            if not 0 <= value <= 0xFF:
+                raise EncodingError(f"{op.name}: byte operand {value} out of range")
+            out.append(value)
+    return bytes(out)
+
+
+def decode(fetch, addr: int) -> Insn:
+    """Decode the instruction at ``addr``.
+
+    ``fetch(addr, n)`` must return ``n`` bytes; it may raise (e.g. a VM
+    fault for an unmapped fetch) and that exception propagates.  Raises
+    :class:`EncodingError` for an undecodable opcode byte — the CPU maps
+    that to an ILLEGAL_OPCODE fault.
+    """
+    opcode_byte = fetch(addr, 1)[0]
+    try:
+        op = Op(opcode_byte)
+    except ValueError:
+        raise EncodingError(f"illegal opcode byte {opcode_byte:#04x} at {addr:#010x}")
+    signature = OP_SIGNATURES[op]
+    operands = []
+    offset = 1
+    for kind in signature:
+        width = _OPERAND_WIDTH[kind]
+        raw = fetch(addr + offset, width)
+        if kind == "i":
+            operands.append(struct.unpack("<I", raw)[0])
+        else:
+            value = raw[0]
+            if kind == "r" and value >= NUM_REGS:
+                raise EncodingError(
+                    f"bad register number {value} at {addr:#010x}")
+            operands.append(value)
+        offset += width
+    return Insn(op=op, operands=tuple(operands), length=offset)
+
+
+def decode_bytes(blob: bytes, offset: int = 0) -> Insn:
+    """Decode one instruction from a bytes buffer (no VM involved)."""
+
+    def fetch(addr: int, n: int) -> bytes:
+        chunk = blob[addr:addr + n]
+        if len(chunk) != n:
+            raise EncodingError(f"truncated instruction at offset {addr}")
+        return chunk
+
+    return decode(fetch, offset)

@@ -1,0 +1,187 @@
+"""Opcode and register definitions.
+
+Each opcode has a fixed operand signature described by a format string:
+
+- ``r`` — a register operand, encoded as one byte.
+- ``i`` — a 32-bit little-endian immediate (value, absolute address, or
+  branch target).
+- ``b`` — an 8-bit immediate (syscall number).
+
+Memory operands are expressed as a base register plus a signed 32-bit
+displacement, so ``LDW`` has signature ``rri``: destination register, base
+register, displacement.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.IntEnum):
+    """Opcode numbers.  The integer value is the encoding byte."""
+
+    # 0x00 is deliberately NOT a valid opcode: zero-filled memory must not
+    # decode as a NOP sled, so wild control transfers fault immediately.
+    NOP = 0x2F
+    HALT = 0x01
+
+    MOVRR = 0x02    # rd <- rs
+    MOVRI = 0x03    # rd <- imm32
+
+    LDW = 0x04      # rd <- mem32[rs + imm32]
+    LDB = 0x05      # rd <- zext(mem8[rs + imm32])
+    STW = 0x06      # mem32[rd + imm32] <- rs
+    STB = 0x07      # mem8[rd + imm32] <- low8(rs)
+
+    ADDRR = 0x08
+    ADDRI = 0x09
+    SUBRR = 0x0A
+    SUBRI = 0x0B
+    MULRR = 0x0C
+    MULRI = 0x0D
+    DIVRR = 0x0E
+    DIVRI = 0x0F
+    MODRR = 0x10
+    MODRI = 0x11
+    ANDRR = 0x12
+    ANDRI = 0x13
+    ORRR = 0x14
+    ORRI = 0x15
+    XORRR = 0x16
+    XORRI = 0x17
+    SHLRR = 0x18
+    SHLRI = 0x19
+    SHRRR = 0x1A
+    SHRRI = 0x1B
+
+    CMPRR = 0x1C    # set flags from rs1 - rs2
+    CMPRI = 0x1D
+
+    JMPI = 0x1E     # pc <- imm32
+    JMPR = 0x1F     # pc <- rd          (indirect jump; taint sink)
+    JE = 0x20
+    JNE = 0x21
+    JL = 0x22       # signed <
+    JLE = 0x23
+    JG = 0x24
+    JGE = 0x25
+    JB = 0x26       # unsigned <
+    JAE = 0x27      # unsigned >=
+
+    CALLI = 0x28    # push return addr; pc <- imm32
+    CALLR = 0x29    # push return addr; pc <- rd   (taint sink)
+    RET = 0x2A      # pc <- pop()                  (taint sink)
+
+    PUSHR = 0x2B
+    PUSHI = 0x2C
+    POPR = 0x2D
+
+    SYS = 0x2E      # syscall, number in imm8; args r0-r3, result r0
+
+
+#: Operand signature for every opcode (see module docstring).
+OP_SIGNATURES: dict[Op, str] = {
+    Op.NOP: "",
+    Op.HALT: "",
+    Op.MOVRR: "rr",
+    Op.MOVRI: "ri",
+    Op.LDW: "rri",
+    Op.LDB: "rri",
+    Op.STW: "rir",
+    Op.STB: "rir",
+    Op.ADDRR: "rr",
+    Op.ADDRI: "ri",
+    Op.SUBRR: "rr",
+    Op.SUBRI: "ri",
+    Op.MULRR: "rr",
+    Op.MULRI: "ri",
+    Op.DIVRR: "rr",
+    Op.DIVRI: "ri",
+    Op.MODRR: "rr",
+    Op.MODRI: "ri",
+    Op.ANDRR: "rr",
+    Op.ANDRI: "ri",
+    Op.ORRR: "rr",
+    Op.ORRI: "ri",
+    Op.XORRR: "rr",
+    Op.XORRI: "ri",
+    Op.SHLRR: "rr",
+    Op.SHLRI: "ri",
+    Op.SHRRR: "rr",
+    Op.SHRRI: "ri",
+    Op.CMPRR: "rr",
+    Op.CMPRI: "ri",
+    Op.JMPI: "i",
+    Op.JMPR: "r",
+    Op.JE: "i",
+    Op.JNE: "i",
+    Op.JL: "i",
+    Op.JLE: "i",
+    Op.JG: "i",
+    Op.JGE: "i",
+    Op.JB: "i",
+    Op.JAE: "i",
+    Op.CALLI: "i",
+    Op.CALLR: "r",
+    Op.RET: "",
+    Op.PUSHR: "r",
+    Op.PUSHI: "i",
+    Op.POPR: "r",
+    Op.SYS: "b",
+}
+
+#: ALU opcodes mapped to their Python semantics name, used by the CPU and
+#: by the taint tool's transfer functions.
+ALU_OPS: dict[Op, str] = {
+    Op.ADDRR: "add", Op.ADDRI: "add",
+    Op.SUBRR: "sub", Op.SUBRI: "sub",
+    Op.MULRR: "mul", Op.MULRI: "mul",
+    Op.DIVRR: "div", Op.DIVRI: "div",
+    Op.MODRR: "mod", Op.MODRI: "mod",
+    Op.ANDRR: "and", Op.ANDRI: "and",
+    Op.ORRR: "or", Op.ORRI: "or",
+    Op.XORRR: "xor", Op.XORRI: "xor",
+    Op.SHLRR: "shl", Op.SHLRI: "shl",
+    Op.SHRRR: "shr", Op.SHRRI: "shr",
+}
+
+#: Conditional branch opcodes and their predicate over (zf, sf, cf) flags.
+#: zf = "result zero", sf = "signed less", cf = "unsigned less".
+BRANCH_PREDICATES: dict[Op, str] = {
+    Op.JE: "zf",
+    Op.JNE: "not zf",
+    Op.JL: "sf",
+    Op.JLE: "sf or zf",
+    Op.JG: "not (sf or zf)",
+    Op.JGE: "not sf",
+    Op.JB: "cf",
+    Op.JAE: "not cf",
+}
+
+# ---------------------------------------------------------------------------
+# Registers
+# ---------------------------------------------------------------------------
+
+NUM_REGS = 10
+SP = 8   # stack pointer
+FP = 9   # frame pointer
+
+REG_NAMES = {i: f"r{i}" for i in range(8)}
+REG_NAMES[SP] = "sp"
+REG_NAMES[FP] = "fp"
+
+REG_NUMBERS = {name: num for num, name in REG_NAMES.items()}
+
+WORD_MASK = 0xFFFFFFFF
+WORD_SIZE = 4
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit unsigned word as a signed integer."""
+    value &= WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python integer into a 32-bit unsigned word."""
+    return value & WORD_MASK

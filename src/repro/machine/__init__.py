@@ -1,0 +1,22 @@
+"""The virtual machine substrate.
+
+This package stands in for the paper's x86/Linux process environment: a
+32-bit little-endian von-Neumann machine with paged memory, a randomized
+address-space layout, a boundary-tagged heap allocator, a native "libc"
+mapped at library addresses, and a syscall layer with Flashback-style
+logging for deterministic replay.
+"""
+
+from repro.machine.memory import PagedMemory, MemorySnapshot, PAGE_SIZE
+from repro.machine.layout import AddressSpaceLayout, ReferenceLayout
+from repro.machine.cpu import CPU, ControlEvent
+from repro.machine.process import Process, load_program
+from repro.machine.syscalls import SyscallLog, SYSCALL_NUMBERS
+
+__all__ = [
+    "PagedMemory", "MemorySnapshot", "PAGE_SIZE",
+    "AddressSpaceLayout", "ReferenceLayout",
+    "CPU", "ControlEvent",
+    "Process", "load_program",
+    "SyscallLog", "SYSCALL_NUMBERS",
+]

@@ -1,0 +1,330 @@
+"""The CPU: fetch/decode/execute with faults, hooks and VSEF checks.
+
+Design notes tied to the paper:
+
+- **Fault model** — data accesses to unmapped memory raise SEGV, accesses
+  under the NULL guard page raise NULL_DEREF, fetches from unmapped
+  memory raise BAD_PC (carrying the *source* control transfer for blame),
+  and undecodable bytes raise ILLEGAL_OPCODE.  These faults are the
+  lightweight monitor's trigger.
+
+- **Control-event ring** — the CPU always records the last 64 control
+  transfers (calls/rets/branches), standing in for a hardware LBR.  The
+  core-dump analyzer uses it to attribute a wild-PC crash to the ``ret``
+  (or indirect jump) that launched it.  Its cost is a deque append on
+  control transfers only, consistent with "lightweight".
+
+- **VSEF fast path** — deployed vulnerability-specific execution filters
+  register per-PC pre-execution checks in ``pre_checks``.  The common
+  case is a single dict lookup per instruction, and zero per-instruction
+  work when no VSEF is deployed; this is why VSEF overhead is ~1% while
+  full analysis is 20-1000x (§5.3).
+
+- **Virtual clock** — one cycle per instruction, plus per-byte costs in
+  natives.  ``CPU_HZ`` converts cycles to the virtual seconds used by all
+  timing experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import (FAULT_BADPC, FAULT_DIVZERO, FAULT_ILLEGAL,
+                          EncodingError, ProcessExited, VMFault)
+from repro.isa.encoding import Insn, decode
+from repro.isa.opcodes import (ALU_OPS, FP, SP, Op, to_signed, to_unsigned)
+from repro.machine.memory import PagedMemory
+
+#: Virtual CPU frequency: cycles per virtual second.  2 MHz is chosen so
+#: that (a) checkpoint cost vs. interval reproduces Figure 4's overhead
+#: band (~5% at 30 ms, <1% at 200 ms), and (b) instrumented-replay
+#: analysis times land in the same order of magnitude as Table 3 (tens
+#: of seconds for slicing) while experiments stay fast in wall time.
+CPU_HZ = 2_000_000
+
+CONTROL_RING_SIZE = 64
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One control transfer: kind is 'call', 'ret', 'branch' or 'native'."""
+
+    kind: str
+    pc: int
+    target: int
+
+
+class CPU:
+    """A single-threaded 32-bit CPU bound to one guest memory."""
+
+    def __init__(self, memory: PagedMemory, hooks):
+        self.memory = memory
+        self.hooks = hooks
+        self.regs = [0] * 10
+        self.pc = 0
+        self.zf = False
+        self.sf = False
+        self.cf = False
+        self.cycles = 0
+        self.control_ring: deque[ControlEvent] = deque(maxlen=CONTROL_RING_SIZE)
+        #: Every address ever observed as a CALL target; used to tell
+        #: function entries apart from local jump labels when symbolizing.
+        self.known_call_targets: set[int] = set()
+        #: pc -> list of callables(cpu, insn); the VSEF check table.
+        self.pre_checks: dict[int, list[Callable]] = {}
+        #: Native dispatch: absolute address -> handler(cpu, pc).
+        self.native_entries: dict[int, Callable] = {}
+        #: Syscall dispatch, set by the owning Process.
+        self.syscall_handler: Callable[[int, int], int] | None = None
+        #: Decoded-instruction cache for read-only (code) regions.  Safe
+        #: because those pages cannot change after load; instructions
+        #: fetched from writable memory (injected shellcode) are decoded
+        #: fresh every time.
+        self._decode_cache: dict[int, "Insn"] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def fetch(self, addr: int, size: int) -> bytes:
+        try:
+            return self.memory.read(addr, size)
+        except VMFault as fault:
+            source = self.control_ring[-1].pc if self.control_ring else None
+            raise VMFault(FAULT_BADPC, pc=addr, addr=addr, source_pc=source,
+                          detail="instruction fetch from unmapped memory") \
+                from fault
+
+    def _data_fault(self, fault: VMFault, pc: int) -> VMFault:
+        return VMFault(fault.kind, pc=pc, addr=fault.addr, detail=fault.detail)
+
+    def virtual_time(self) -> float:
+        """Virtual seconds elapsed since process start."""
+        return self.cycles / CPU_HZ
+
+    def snapshot_state(self) -> dict:
+        return {"regs": list(self.regs), "pc": self.pc, "zf": self.zf,
+                "sf": self.sf, "cf": self.cf, "cycles": self.cycles,
+                "control_ring": list(self.control_ring)}
+
+    def restore_state(self, state: dict):
+        self.regs = list(state["regs"])
+        self.pc = state["pc"]
+        self.zf = state["zf"]
+        self.sf = state["sf"]
+        self.cf = state["cf"]
+        self.cycles = state["cycles"]
+        self.control_ring = deque(state["control_ring"],
+                                  maxlen=CONTROL_RING_SIZE)
+
+    # -- stack -----------------------------------------------------------------
+
+    def push(self, value: int, pc: int):
+        self.regs[SP] = to_unsigned(self.regs[SP] - 4)
+        try:
+            self.memory.write_word(self.regs[SP], value)
+        except VMFault as fault:
+            raise self._data_fault(fault, pc)
+        if self.hooks.active:
+            self.hooks.mem_write(pc, self.regs[SP], 4,
+                                 (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def pop(self, pc: int) -> int:
+        addr = self.regs[SP]
+        try:
+            value = self.memory.read_word(addr)
+        except VMFault as fault:
+            raise self._data_fault(fault, pc)
+        if self.hooks.active:
+            self.hooks.mem_read(pc, addr, 4)
+        self.regs[SP] = to_unsigned(addr + 4)
+        return value
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction (or one native call at a native entry)."""
+        pc = self.pc
+        native = self.native_entries.get(pc)
+        if native is not None:
+            native(self, pc)
+            return
+        insn = self._decode_cache.get(pc)
+        if insn is None:
+            try:
+                insn = decode(self.fetch, pc)
+            except EncodingError as err:
+                source = self.control_ring[-1].pc if self.control_ring \
+                    else None
+                raise VMFault(FAULT_ILLEGAL, pc=pc, source_pc=source,
+                              detail=str(err))
+            region = self.memory.region_at(pc)
+            if region is not None and not region.writable:
+                self._decode_cache[pc] = insn
+        if self.pre_checks:
+            checks = self.pre_checks.get(pc)
+            if checks:
+                for check in checks:
+                    check(self, insn)
+        if self.hooks.active:
+            self.hooks.ins(pc, insn, self)
+        self.cycles += 1
+        self._execute(pc, insn)
+
+    def _set_reg(self, pc: int, reg: int, value: int):
+        value = to_unsigned(value)
+        self.regs[reg] = value
+        if self.hooks.active:
+            self.hooks.reg_write(pc, reg, value)
+
+    def _alu(self, name: str, a: int, b: int, pc: int) -> int:
+        if name == "add":
+            return a + b
+        if name == "sub":
+            return a - b
+        if name == "mul":
+            return a * b
+        if name in ("div", "mod"):
+            if b == 0:
+                raise VMFault(FAULT_DIVZERO, pc=pc)
+            return a // b if name == "div" else a % b
+        if name == "and":
+            return a & b
+        if name == "or":
+            return a | b
+        if name == "xor":
+            return a ^ b
+        if name == "shl":
+            return a << (b & 31)
+        if name == "shr":
+            return a >> (b & 31)
+        raise AssertionError(name)
+
+    def _execute(self, pc: int, insn: Insn):
+        op = insn.op
+        ops = insn.operands
+        next_pc = pc + insn.length
+        hooks = self.hooks if self.hooks.active else None
+
+        if op in ALU_OPS:
+            rd = ops[0]
+            rhs = self.regs[ops[1]] if insn.signature == "rr" else ops[1]
+            result = self._alu(ALU_OPS[op], self.regs[rd], rhs, pc)
+            self._set_reg(pc, rd, result)
+        elif op == Op.MOVRR:
+            self._set_reg(pc, ops[0], self.regs[ops[1]])
+        elif op == Op.MOVRI:
+            self._set_reg(pc, ops[0], ops[1])
+        elif op in (Op.LDW, Op.LDB):
+            rd, base, disp = ops
+            addr = to_unsigned(self.regs[base] + to_signed(disp))
+            size = 4 if op == Op.LDW else 1
+            try:
+                raw = self.memory.read(addr, size)
+            except VMFault as fault:
+                raise self._data_fault(fault, pc)
+            if hooks:
+                hooks.mem_read(pc, addr, size)
+            self._set_reg(pc, rd, int.from_bytes(raw, "little"))
+        elif op in (Op.STW, Op.STB):
+            base, disp, rs = ops
+            addr = to_unsigned(self.regs[base] + to_signed(disp))
+            size = 4 if op == Op.STW else 1
+            data = (self.regs[rs] & (0xFFFFFFFF if size == 4 else 0xFF)
+                    ).to_bytes(size, "little")
+            try:
+                self.memory.write(addr, data)
+            except VMFault as fault:
+                raise self._data_fault(fault, pc)
+            if hooks:
+                hooks.mem_write(pc, addr, size, data)
+        elif op in (Op.CMPRR, Op.CMPRI):
+            a = self.regs[ops[0]]
+            b = self.regs[ops[1]] if op == Op.CMPRR else ops[1]
+            self.zf = a == b
+            self.sf = to_signed(a) < to_signed(b)
+            self.cf = a < b
+        elif op == Op.JMPI:
+            target = ops[0]
+            self.control_ring.append(ControlEvent("branch", pc, target))
+            if hooks:
+                hooks.branch(pc, target, True)
+            self.pc = target
+            return
+        elif op == Op.JMPR:
+            target = self.regs[ops[0]]
+            self.control_ring.append(ControlEvent("branch", pc, target))
+            if hooks:
+                hooks.branch(pc, target, True)
+            self.pc = target
+            return
+        elif op in (Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE, Op.JB,
+                    Op.JAE):
+            taken = self._predicate(op)
+            target = ops[0]
+            if hooks:
+                hooks.branch(pc, target, taken)
+            if taken:
+                self.control_ring.append(ControlEvent("branch", pc, target))
+                self.pc = target
+                return
+        elif op == Op.CALLI or op == Op.CALLR:
+            target = ops[0] if op == Op.CALLI else self.regs[ops[0]]
+            self.push(next_pc, pc)
+            self.known_call_targets.add(target)
+            self.control_ring.append(ControlEvent("call", pc, target))
+            if hooks:
+                hooks.call(pc, target, next_pc)
+            self.pc = target
+            return
+        elif op == Op.RET:
+            sp_before = self.regs[SP]
+            target = self.pop(pc)
+            self.control_ring.append(ControlEvent("ret", pc, target))
+            if hooks:
+                hooks.ret(pc, target, sp_before)
+            self.pc = target
+            return
+        elif op == Op.PUSHR:
+            self.push(self.regs[ops[0]], pc)
+        elif op == Op.PUSHI:
+            self.push(ops[0], pc)
+        elif op == Op.POPR:
+            self._set_reg(pc, ops[0], self.pop(pc))
+        elif op == Op.SYS:
+            if self.syscall_handler is None:
+                raise VMFault(FAULT_ILLEGAL, pc=pc, detail="no syscall handler")
+            # The handler may raise _WouldBlock; the Process rewinds pc to
+            # re-execute the SYS on resume, so update pc first.
+            self.pc = next_pc
+            self.syscall_handler(ops[0], pc)
+            return
+        elif op == Op.NOP:
+            pass
+        elif op == Op.HALT:
+            raise ProcessExited(self.regs[0])
+        else:  # pragma: no cover - the decoder rejects unknown opcodes
+            raise VMFault(FAULT_ILLEGAL, pc=pc, detail=f"unhandled {op!r}")
+        self.pc = next_pc
+
+    def _predicate(self, op: Op) -> bool:
+        if op == Op.JE:
+            return self.zf
+        if op == Op.JNE:
+            return not self.zf
+        if op == Op.JL:
+            return self.sf
+        if op == Op.JLE:
+            return self.sf or self.zf
+        if op == Op.JG:
+            return not (self.sf or self.zf)
+        if op == Op.JGE:
+            return not self.sf
+        if op == Op.JB:
+            return self.cf
+        return not self.cf  # JAE
+
+
+# Re-export register aliases for convenience of callers.
+REG_SP = SP
+REG_FP = FP

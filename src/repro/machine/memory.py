@@ -1,0 +1,254 @@
+"""Paged guest memory with copy-on-write snapshots.
+
+The memory model is the foundation of two Sweeper mechanisms:
+
+1. **Lightweight checkpointing** — :meth:`PagedMemory.snapshot` freezes the
+   current pages and shares them with the snapshot, exactly like the
+   fork()-based shadow-process checkpoints of Rx/FlashBack.  The first
+   write to a frozen page copies it (copy-on-write), so checkpoint cost is
+   proportional to the *written* working set, not the address space.
+
+2. **Lightweight attack detection** — accesses to unmapped addresses fault
+   (SEGV), and the first page is a permanent NULL guard (NULL_DEREF).
+   Under address-space randomization, hijacked control flow and wild
+   pointers land in unmapped memory with high probability, which is the
+   paper's primary lightweight monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (FAULT_NULL, FAULT_PROT, FAULT_SEGV, ReproError,
+                          VMFault)
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+NULL_GUARD_END = 0x1000
+
+
+@dataclass(frozen=True)
+class Region:
+    """A mapped address range.  ``end`` is exclusive and page-aligned."""
+
+    name: str
+    start: int
+    end: int
+    writable: bool = True
+
+
+@dataclass
+class MemorySnapshot:
+    """An immutable view of memory at checkpoint time.
+
+    Holds shared references to the page objects that existed when the
+    snapshot was taken; :class:`PagedMemory` copies any such page before
+    modifying it.
+    """
+
+    pages: dict[int, bytearray]
+    regions: list[Region]
+    page_count: int = field(init=False)
+
+    def __post_init__(self):
+        self.page_count = len(self.pages)
+
+
+class PagedMemory:
+    """Sparse paged memory for one guest process."""
+
+    def __init__(self):
+        self._pages: dict[int, bytearray] = {}
+        self._frozen: set[int] = set()
+        self._regions: list[Region] = []
+        self._region_hot: Region | None = None   # last-hit cache
+        #: Cumulative count of pages copied by COW faults; the timing
+        #: model charges checkpoint cost from this.
+        self.cow_copies = 0
+
+    # -- mapping -----------------------------------------------------------
+
+    @property
+    def regions(self) -> list[Region]:
+        return list(self._regions)
+
+    def region_named(self, name: str) -> Region:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise ReproError(f"no region named {name!r}")
+
+    def region_at(self, addr: int) -> Region | None:
+        hot = self._region_hot
+        if hot is not None and hot.start <= addr < hot.end:
+            return hot
+        for region in self._regions:
+            if region.start <= addr < region.end:
+                self._region_hot = region
+                return region
+        return None
+
+    def map_region(self, name: str, start: int, size: int,
+                   writable: bool = True) -> Region:
+        """Map ``size`` bytes (rounded up to pages) at page-aligned ``start``."""
+        if start % PAGE_SIZE:
+            raise ReproError(f"region {name!r} start {start:#x} not page aligned")
+        if start < NULL_GUARD_END:
+            raise ReproError(f"region {name!r} overlaps the NULL guard page")
+        end = start + _round_up(size)
+        for existing in self._regions:
+            if start < existing.end and existing.start < end:
+                raise ReproError(
+                    f"region {name!r} overlaps {existing.name!r}")
+        region = Region(name=name, start=start, end=end, writable=writable)
+        self._regions.append(region)
+        self._region_hot = None
+        return region
+
+    def extend_region(self, name: str, new_end: int) -> Region:
+        """Grow a region (heap brk).  ``new_end`` is rounded up to a page."""
+        region = self.region_named(name)
+        new_end = region.start + _round_up(new_end - region.start)
+        if new_end < region.end:
+            raise ReproError(f"cannot shrink region {name!r}")
+        for other in self._regions:
+            if other is not region and region.start < other.end \
+                    and other.start < new_end:
+                raise ReproError(
+                    f"extending {name!r} would overlap {other.name!r}")
+        grown = Region(name=region.name, start=region.start, end=new_end,
+                       writable=region.writable)
+        self._regions[self._regions.index(region)] = grown
+        self._region_hot = None
+        return grown
+
+    def is_mapped(self, addr: int) -> bool:
+        return self.region_at(addr) is not None
+
+    def mapped_page_count(self) -> int:
+        """Number of pages currently spanned by mapped regions."""
+        return sum((r.end - r.start) >> PAGE_SHIFT for r in self._regions)
+
+    # -- access ------------------------------------------------------------
+
+    def _check(self, addr: int, size: int, write: bool):
+        addr &= 0xFFFFFFFF
+        if addr < NULL_GUARD_END:
+            raise VMFault(FAULT_NULL, pc=-1, addr=addr)
+        end = addr + size
+        cursor = addr
+        while cursor < end:
+            region = self.region_at(cursor)
+            if region is None:
+                raise VMFault(FAULT_SEGV, pc=-1, addr=cursor)
+            if write and not region.writable:
+                raise VMFault(FAULT_PROT, pc=-1, addr=cursor)
+            cursor = min(end, region.end)
+
+    def _page_for_read(self, index: int) -> bytes | bytearray:
+        return self._pages.get(index, b"\x00" * PAGE_SIZE)
+
+    def _page_for_write(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        elif index in self._frozen:
+            page = bytearray(page)
+            self._pages[index] = page
+            self._frozen.discard(index)
+            self.cow_copies += 1
+        return page
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes, faulting on unmapped or NULL-guard access."""
+        if size == 0:
+            return b""
+        self._check(addr, size, write=False)
+        out = bytearray()
+        cursor = addr
+        remaining = size
+        while remaining:
+            index, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out += self._page_for_read(index)[offset:offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes):
+        """Write bytes, faulting on unmapped, NULL-guard or read-only access."""
+        if not data:
+            return
+        self._check(addr, len(data), write=True)
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            index, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(len(view), PAGE_SIZE - offset)
+            self._page_for_write(index)[offset:offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    def write_unchecked(self, addr: int, data: bytes):
+        """Write ignoring protections (loader patching read-only code)."""
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            index, offset = divmod(cursor, PAGE_SIZE)
+            chunk = min(len(view), PAGE_SIZE - offset)
+            self._page_for_write(index)[offset:offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    def read_byte(self, addr: int) -> int:
+        return self.read(addr, 1)[0]
+
+    def write_byte(self, addr: int, value: int):
+        self.write(addr, bytes([value & 0xFF]))
+
+    def read_word(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def write_word(self, addr: int, value: int):
+        self.write(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def read_cstring(self, addr: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated string (faults if it runs off the map)."""
+        out = bytearray()
+        cursor = addr
+        while len(out) < limit:
+            byte = self.read_byte(cursor)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            cursor += 1
+        raise ReproError(f"unterminated string at {addr:#x}")
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> MemorySnapshot:
+        """Take a copy-on-write snapshot (the Rx shadow process)."""
+        self._frozen = set(self._pages)
+        return MemorySnapshot(pages=dict(self._pages),
+                              regions=list(self._regions))
+
+    def restore(self, snap: MemorySnapshot):
+        """Roll memory back to ``snap`` (near-instant, like a context switch)."""
+        self._pages = dict(snap.pages)
+        self._regions = list(snap.regions)
+        self._region_hot = None
+        # Restored pages are shared with the snapshot again.
+        self._frozen = set(self._pages)
+
+    def dirty_pages_since(self, snap: MemorySnapshot) -> int:
+        """How many pages differ from ``snap`` by identity (COW accounting)."""
+        dirty = 0
+        for index, page in self._pages.items():
+            if snap.pages.get(index) is not page:
+                dirty += 1
+        return dirty
+
+
+def _round_up(size: int) -> int:
+    return (size + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)

@@ -1,0 +1,384 @@
+"""Native "libc" routines mapped into the guest's library region.
+
+The protected servers call these the way real servers call glibc.  Each
+native executes with the guest's program counter set to its own library
+address, performs its work through byte-granular guest-memory operations
+that fire instrumentation hooks, and charges virtual cycles proportional
+to the bytes it touches.  Consequences that matter for fidelity:
+
+- an overflowing ``strcat`` writes real bytes until it runs off the
+  mapped heap, faulting *at strcat's library address* with the partial
+  overflow already in memory (Table 2's Squid row);
+- a double ``free`` chases the stale free-list link and faults *at free's
+  library address* with an inconsistent heap (Table 2's CVS row);
+- the memory-bug and taint tools observe every byte a native moves, so
+  analysis attributes blame to the library callsite plus the application
+  caller, exactly like the paper's ``strcat called by ftpBuildTitleUrl``.
+
+The two addresses quoted in the paper are preserved at reference layout:
+``strcat = 0x4f0f0907`` and ``free = 0x4f0eaaa0``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import VMFault
+from repro.machine.allocator import Allocator
+
+#: Library-region offsets for every native.  Stable across runs; the
+#: loader adds the (randomized) lib base.
+NATIVE_OFFSETS: dict[str, int] = {
+    "malloc": 0xEA100,
+    "calloc": 0xEA300,
+    "realloc": 0xEA500,
+    "free": 0xEAAA0,     # paper: 0x4f0eaaa0 at reference layout
+    "strlen": 0xF0100,
+    "strcpy": 0xF0200,
+    "strncpy": 0xF0300,
+    "strncat": 0xF0500,
+    "memcpy": 0xF0600,
+    "memset": 0xF0700,
+    "strcmp": 0xF0800,
+    "strcat": 0xF0907,   # paper: 0x4f0f0907 at reference layout
+    "strncmp": 0xF0A00,
+    "strchr": 0xF0B00,
+    "atoi": 0xF0C00,
+    "itoa": 0xF0D00,
+    "strstr": 0xF0E00,
+}
+
+_MAX_CSTR = 1 << 20
+
+
+class NativeContext:
+    """Execution context handed to a native routine.
+
+    Wraps guest memory so that every access fires hooks with the native's
+    own library address as the reporting PC, and exposes the application
+    caller's return address for blame attribution.
+    """
+
+    def __init__(self, process, pc: int, name: str):
+        self.process = process
+        self.cpu = process.cpu
+        self.memory = process.memory
+        self.allocator: Allocator = process.allocator
+        self.pc = pc
+        self.name = name
+        self.hooks = process.hooks
+        #: Return address of the application call into this native.
+        self.caller = self.memory.read_word(self.cpu.regs[8])  # [sp]
+
+    def arg(self, index: int) -> int:
+        return self.cpu.regs[index]
+
+    def cycles(self, amount: int):
+        self.cpu.cycles += amount
+
+    # -- hooked memory operations ------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        data = self.memory.read(addr, size)
+        if self.hooks.active:
+            self.hooks.mem_read(self.pc, addr, size)
+        return data
+
+    def write(self, addr: int, data: bytes):
+        """A write of constant / computed bytes (not a byte-copy)."""
+        self.memory.write(addr, data)
+        if self.hooks.active:
+            self.hooks.mem_write(self.pc, addr, len(data), data)
+
+    def copy_byte(self, dst: int, src: int):
+        """Copy one byte preserving provenance (taint flows through it)."""
+        value = self.memory.read(src, 1)
+        if self.hooks.active:
+            self.hooks.mem_read(self.pc, src, 1)
+            self.hooks.mem_copy(self.pc, dst, src, 1)
+        self.memory.write(dst, value)
+
+    def cstrlen(self, addr: int) -> int:
+        """Length of the NUL-terminated string at ``addr`` (hooked reads)."""
+        length = 0
+        while length < _MAX_CSTR:
+            byte = self.memory.read(addr + length, 1)[0]
+            if self.hooks.active:
+                self.hooks.mem_read(self.pc, addr + length, 1)
+            if byte == 0:
+                return length
+            length += 1
+        raise VMFault("SEGV", pc=self.pc, addr=addr,
+                      detail="unterminated string")
+
+
+NativeFn = Callable[[NativeContext], int]
+NATIVES: dict[str, NativeFn] = {}
+
+
+def native(name: str):
+    def register(fn: NativeFn) -> NativeFn:
+        NATIVES[name] = fn
+        return fn
+    return register
+
+
+# ---------------------------------------------------------------------------
+# String routines
+# ---------------------------------------------------------------------------
+
+@native("strlen")
+def _strlen(ctx: NativeContext) -> int:
+    length = ctx.cstrlen(ctx.arg(0))
+    ctx.cycles(length + 1)
+    return length
+
+
+@native("strcpy")
+def _strcpy(ctx: NativeContext) -> int:
+    dst, src = ctx.arg(0), ctx.arg(1)
+    offset = 0
+    while True:
+        byte = ctx.memory.read(src + offset, 1)[0]
+        ctx.copy_byte(dst + offset, src + offset)
+        if byte == 0:
+            break
+        offset += 1
+    ctx.cycles(offset + 1)
+    return dst
+
+
+@native("strncpy")
+def _strncpy(ctx: NativeContext) -> int:
+    dst, src, limit = ctx.arg(0), ctx.arg(1), ctx.arg(2)
+    offset = 0
+    terminated = False
+    while offset < limit:
+        if not terminated:
+            byte = ctx.memory.read(src + offset, 1)[0]
+            ctx.copy_byte(dst + offset, src + offset)
+            if byte == 0:
+                terminated = True
+        else:
+            ctx.write(dst + offset, b"\x00")
+        offset += 1
+    ctx.cycles(limit + 1)
+    return dst
+
+
+@native("strcat")
+def _strcat(ctx: NativeContext) -> int:
+    """The unbounded strcat the Squid exploit (CVE-2002-0068) abuses."""
+    dst, src = ctx.arg(0), ctx.arg(1)
+    dst_len = ctx.cstrlen(dst)
+    offset = 0
+    while True:
+        byte = ctx.memory.read(src + offset, 1)[0]
+        ctx.copy_byte(dst + dst_len + offset, src + offset)
+        if byte == 0:
+            break
+        offset += 1
+    ctx.cycles(dst_len + offset + 2)
+    return dst
+
+
+@native("strncat")
+def _strncat(ctx: NativeContext) -> int:
+    dst, src, limit = ctx.arg(0), ctx.arg(1), ctx.arg(2)
+    dst_len = ctx.cstrlen(dst)
+    offset = 0
+    while offset < limit:
+        byte = ctx.memory.read(src + offset, 1)[0]
+        if byte == 0:
+            break
+        ctx.copy_byte(dst + dst_len + offset, src + offset)
+        offset += 1
+    ctx.write(dst + dst_len + offset, b"\x00")
+    ctx.cycles(dst_len + offset + 2)
+    return dst
+
+
+@native("memcpy")
+def _memcpy(ctx: NativeContext) -> int:
+    dst, src, size = ctx.arg(0), ctx.arg(1), ctx.arg(2)
+    for offset in range(size):
+        ctx.copy_byte(dst + offset, src + offset)
+    ctx.cycles(size + 1)
+    return dst
+
+
+@native("memset")
+def _memset(ctx: NativeContext) -> int:
+    dst, value, size = ctx.arg(0), ctx.arg(1), ctx.arg(2)
+    if size:
+        ctx.write(dst, bytes([value & 0xFF]) * size)
+    ctx.cycles(size + 1)
+    return dst
+
+
+@native("strcmp")
+def _strcmp(ctx: NativeContext) -> int:
+    return _compare(ctx, ctx.arg(0), ctx.arg(1), None)
+
+
+@native("strncmp")
+def _strncmp(ctx: NativeContext) -> int:
+    return _compare(ctx, ctx.arg(0), ctx.arg(1), ctx.arg(2))
+
+
+def _compare(ctx: NativeContext, a: int, b: int, limit: int | None) -> int:
+    offset = 0
+    while limit is None or offset < limit:
+        byte_a = ctx.read(a + offset, 1)[0]
+        byte_b = ctx.read(b + offset, 1)[0]
+        if byte_a != byte_b:
+            ctx.cycles(offset + 1)
+            return 1 if byte_a > byte_b else 0xFFFFFFFF
+        if byte_a == 0:
+            break
+        offset += 1
+    ctx.cycles(offset + 1)
+    return 0
+
+
+@native("strchr")
+def _strchr(ctx: NativeContext) -> int:
+    addr, wanted = ctx.arg(0), ctx.arg(1) & 0xFF
+    offset = 0
+    while True:
+        byte = ctx.read(addr + offset, 1)[0]
+        if byte == wanted:
+            ctx.cycles(offset + 1)
+            return addr + offset
+        if byte == 0:
+            ctx.cycles(offset + 1)
+            return 0
+        offset += 1
+
+
+@native("strstr")
+def _strstr(ctx: NativeContext) -> int:
+    haystack, needle = ctx.arg(0), ctx.arg(1)
+    needle_len = ctx.cstrlen(needle)
+    if needle_len == 0:
+        return haystack
+    first = ctx.read(needle, 1)[0]
+    offset = 0
+    while True:
+        byte = ctx.read(haystack + offset, 1)[0]
+        if byte == 0:
+            ctx.cycles(offset + 1)
+            return 0
+        if byte == first:
+            matched = True
+            for i in range(1, needle_len):
+                if ctx.read(haystack + offset + i, 1)[0] != \
+                        ctx.read(needle + i, 1)[0]:
+                    matched = False
+                    break
+            if matched:
+                ctx.cycles(offset + needle_len)
+                return haystack + offset
+        offset += 1
+
+
+@native("atoi")
+def _atoi(ctx: NativeContext) -> int:
+    addr = ctx.arg(0)
+    text = []
+    offset = 0
+    while True:
+        byte = ctx.read(addr + offset, 1)[0]
+        char = chr(byte)
+        if offset == 0 and char == "-":
+            text.append(char)
+        elif char.isdigit():
+            text.append(char)
+        else:
+            break
+        offset += 1
+    ctx.cycles(offset + 1)
+    if not text or text == ["-"]:
+        return 0
+    return int("".join(text)) & 0xFFFFFFFF
+
+
+@native("itoa")
+def _itoa(ctx: NativeContext) -> int:
+    value, buf = ctx.arg(0), ctx.arg(1)
+    text = str(value).encode()
+    ctx.write(buf, text + b"\x00")
+    ctx.cycles(len(text) + 1)
+    return buf
+
+
+# ---------------------------------------------------------------------------
+# Heap routines
+# ---------------------------------------------------------------------------
+
+@native("malloc")
+def _malloc(ctx: NativeContext) -> int:
+    size = ctx.arg(0)
+    payload = ctx.allocator.malloc(size)
+    ctx.cycles(16)
+    if ctx.hooks.active:
+        ctx.hooks.malloc(ctx.pc, payload, size)
+    return payload
+
+
+@native("calloc")
+def _calloc(ctx: NativeContext) -> int:
+    count, unit = ctx.arg(0), ctx.arg(1)
+    size = (count * unit) & 0xFFFFFFFF
+    payload = ctx.allocator.malloc(size)
+    if ctx.hooks.active:
+        # Announce the allocation before zeroing so red-zone tools know
+        # the block is live when they see the writes.
+        ctx.hooks.malloc(ctx.pc, payload, size)
+    if payload and size:
+        ctx.write(payload, b"\x00" * size)
+    ctx.cycles(size + 16)
+    return payload
+
+
+@native("realloc")
+def _realloc(ctx: NativeContext) -> int:
+    old, size = ctx.arg(0), ctx.arg(1)
+    if old == 0:
+        ctx.cpu.regs[0] = size
+        return _malloc(ctx)
+    block = ctx.allocator.read_block(old - 12)
+    new = ctx.allocator.malloc(size)
+    if ctx.hooks.active:
+        ctx.hooks.malloc(ctx.pc, new, size)
+    for offset in range(min(block.size, size)):
+        ctx.copy_byte(new + offset, old + offset)
+    if ctx.hooks.active:
+        ctx.hooks.free(ctx.pc, old)
+    ctx.allocator.free(old)
+    ctx.cycles(size + 32)
+    return new
+
+
+@native("free")
+def _free(ctx: NativeContext) -> int:
+    payload = ctx.arg(0)
+    if ctx.hooks.active:
+        ctx.hooks.free(ctx.pc, payload)
+    ctx.allocator.free(payload)
+    ctx.cycles(16)
+    return 0
+
+
+def native_name_at(lib_base: int, addr: int) -> str | None:
+    """The native mapped at ``addr`` for a given library base, if any."""
+    offset = addr - lib_base
+    for name, native_offset in NATIVE_OFFSETS.items():
+        if native_offset == offset:
+            return name
+    return None
+
+
+def build_native_map(lib_base: int) -> dict[int, str]:
+    """Absolute address -> native name for a concrete layout."""
+    return {lib_base + offset: name for name, offset in NATIVE_OFFSETS.items()}

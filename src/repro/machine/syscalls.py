@@ -1,0 +1,70 @@
+"""Syscall numbering and the FlashBack-style syscall log.
+
+The log records the result of every non-deterministic syscall during live
+execution.  During replay, ``time`` and ``rand`` return the logged values
+so re-execution is deterministic (§4.1's FlashBack alternative); ``recv``
+is replayed through the network proxy instead, because recovery must be
+able to *drop* the attack message, and ``send`` is sandboxed.
+
+If recovery changes the syscall sequence (the dropped message made fewer
+or different calls), replay falls back to live values from that point;
+the output-commit check in :mod:`repro.runtime.recovery` decides whether
+the divergence is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import SYSCALL_NAMES
+
+#: Single source of truth lives in the assembler (so `sys recv` works in
+#: .asm sources); the machine re-exports it.
+SYSCALL_NUMBERS = dict(SYSCALL_NAMES)
+
+SYS_EXIT = SYSCALL_NUMBERS["exit"]
+SYS_RECV = SYSCALL_NUMBERS["recv"]
+SYS_SEND = SYSCALL_NUMBERS["send"]
+SYS_TIME = SYSCALL_NUMBERS["time"]
+SYS_RAND = SYSCALL_NUMBERS["rand"]
+SYS_LOG = SYSCALL_NUMBERS["log"]
+SYS_GETPID = SYSCALL_NUMBERS["getpid"]
+
+
+@dataclass(frozen=True)
+class SyscallRecord:
+    """One logged syscall result."""
+
+    number: int
+    result: int
+    msg_id: int | None = None
+    payload: bytes | None = None
+
+
+@dataclass
+class SyscallLog:
+    """Append-only log with a replay cursor."""
+
+    records: list[SyscallRecord] = field(default_factory=list)
+    cursor: int = 0
+
+    def append(self, record: SyscallRecord):
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def next_matching(self, number: int) -> SyscallRecord | None:
+        """Advance the cursor to the next record of ``number``; None if the
+        replay has diverged from the log (different syscall order)."""
+        if self.cursor < len(self.records):
+            record = self.records[self.cursor]
+            if record.number == number:
+                self.cursor += 1
+                return record
+        return None
+
+    def truncate(self, length: int):
+        """Forget records past ``length`` (rollback to a checkpoint)."""
+        del self.records[length:]
+        self.cursor = min(self.cursor, length)

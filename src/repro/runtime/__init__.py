@@ -1,0 +1,22 @@
+"""The runtime module (Fig. 1): checkpointing, proxy, monitor, recovery.
+
+This is the always-on part of Sweeper.  During normal execution only two
+lightweight mechanisms run: periodic in-memory checkpoints (Rx-style COW
+shadow snapshots) and the lightweight monitors (address-space
+randomization faults + deployed antibodies).  Everything else — replay,
+heavyweight analysis, recovery — activates only after an attack.
+"""
+
+from repro.runtime.checkpoint import Checkpoint, CheckpointManager
+from repro.runtime.proxy import NetworkProxy, LoggedMessage
+from repro.runtime.monitor import Detection, classify_fault
+from repro.runtime.recovery import RecoveryManager, RecoveryResult
+from repro.runtime.sweeper import Sweeper, SweeperConfig, SweeperEvent
+
+__all__ = [
+    "Checkpoint", "CheckpointManager",
+    "NetworkProxy", "LoggedMessage",
+    "Detection", "classify_fault",
+    "RecoveryManager", "RecoveryResult",
+    "Sweeper", "SweeperConfig", "SweeperEvent",
+]

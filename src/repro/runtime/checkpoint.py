@@ -1,0 +1,132 @@
+"""Lightweight checkpointing (Rx [45] / FlashBack [52] style).
+
+Checkpoints are in-memory COW snapshots taken every ``interval_ms`` of
+*virtual* time, with bounded retention (the paper's defaults: every
+200 ms, keep the 20 most recent).  Taking one costs virtual cycles
+proportional to the number of mapped pages (the fork()-style page-table
+copy); the COW copies themselves are charged when writes actually touch
+frozen pages.  Figure 4's overhead-vs-interval curve *emerges* from this
+cost model rather than being scripted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.machine.cpu import CPU_HZ
+from repro.machine.process import Process, ProcessSnapshot
+
+#: Cycle cost of initiating one checkpoint (fork bookkeeping)...
+CHECKPOINT_BASE_CYCLES = 1500
+#: ...plus per mapped page (page-table entry copy + COW arming).
+CHECKPOINT_PER_PAGE_CYCLES = 55
+#: Cost charged per page later copied on write (the deferred COW work).
+COW_COPY_CYCLES = 180
+
+_seq = itertools.count(1)
+
+
+@dataclass
+class Checkpoint:
+    """One retained checkpoint."""
+
+    snapshot: ProcessSnapshot
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    @property
+    def msg_cursor(self) -> int:
+        return self.snapshot.msg_cursor
+
+    @property
+    def taken_at_cycles(self) -> int:
+        return self.snapshot.taken_at_cycles
+
+
+class CheckpointManager:
+    """Takes, retains and selects checkpoints for one process."""
+
+    def __init__(self, interval_ms: float = 200.0, max_checkpoints: int = 20):
+        self.interval_ms = interval_ms
+        self.max_checkpoints = max_checkpoints
+        self.checkpoints: list[Checkpoint] = []
+        self._last_cp_cycles: int | None = None
+        self._last_cow_copies = 0
+        self.total_taken = 0
+        self.total_cost_cycles = 0
+
+    @property
+    def interval_cycles(self) -> int:
+        return int(self.interval_ms / 1000.0 * CPU_HZ)
+
+    def due(self, process: Process) -> bool:
+        if self._last_cp_cycles is None:
+            return True
+        return process.cpu.cycles - self._last_cp_cycles >= \
+            self.interval_cycles
+
+    def cycles_until_due(self, process: Process) -> int:
+        if self._last_cp_cycles is None:
+            return 0
+        elapsed = process.cpu.cycles - self._last_cp_cycles
+        return max(0, self.interval_cycles - elapsed)
+
+    def take(self, process: Process) -> Checkpoint:
+        """Take a checkpoint now, charging its virtual cost."""
+        memory = process.memory
+        # Charge the deferred COW copies performed since the last take.
+        new_copies = memory.cow_copies - self._last_cow_copies
+        cost = (CHECKPOINT_BASE_CYCLES
+                + CHECKPOINT_PER_PAGE_CYCLES * memory.mapped_page_count()
+                + COW_COPY_CYCLES * new_copies)
+        process.cpu.cycles += cost
+        self.total_cost_cycles += cost
+        self._last_cow_copies = memory.cow_copies
+        checkpoint = Checkpoint(snapshot=process.snapshot_full())
+        self.checkpoints.append(checkpoint)
+        self.total_taken += 1
+        self._last_cp_cycles = process.cpu.cycles
+        while len(self.checkpoints) > self.max_checkpoints:
+            self.checkpoints.pop(0)
+        return checkpoint
+
+    def maybe_take(self, process: Process) -> Checkpoint | None:
+        if self.due(process):
+            return self.take(process)
+        return None
+
+    # -- selection --------------------------------------------------------------
+
+    def latest(self) -> Checkpoint | None:
+        return self.checkpoints[-1] if self.checkpoints else None
+
+    def before_message(self, msg_index: int) -> Checkpoint | None:
+        """Newest checkpoint taken before the ``msg_index``-th delivered
+        message was consumed — the rollback point for analyzing or
+        dropping that message."""
+        best = None
+        for checkpoint in self.checkpoints:
+            if checkpoint.msg_cursor <= msg_index:
+                best = checkpoint
+        return best
+
+    def older_than(self, checkpoint: Checkpoint) -> Checkpoint | None:
+        """The next-older retained checkpoint (for widening the replay
+        window when a fault does not reproduce)."""
+        previous = None
+        for candidate in self.checkpoints:
+            if candidate.seq == checkpoint.seq:
+                return previous
+            previous = candidate
+        return None
+
+    def after_rollback(self, process: Process):
+        """Re-arm interval accounting after the process rolled back."""
+        self._last_cp_cycles = process.cpu.cycles
+        self._last_cow_copies = process.memory.cow_copies
+
+    def discard_after(self, checkpoint: Checkpoint):
+        """Drop checkpoints newer than ``checkpoint`` (their timeline was
+        rolled back away)."""
+        self.checkpoints = [c for c in self.checkpoints
+                            if c.seq <= checkpoint.seq]

@@ -1,0 +1,60 @@
+"""Lightweight monitoring: fault classification and detection records.
+
+Monitoring against *generic* attacks is free-riding on address-space
+randomization: a hijack lands in unmapped memory and the resulting fault
+is the detection signal.  Monitoring against *specific* (known) attacks
+is done by deployed antibodies — signature filters at the proxy and
+VSEFs in the CPU check table — which raise
+:class:`~repro.errors.AttackDetected` cleanly instead of crashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (AttackDetected, FAULT_BADPC, FAULT_ILLEGAL,
+                          FAULT_NULL, VMFault)
+
+
+@dataclass
+class Detection:
+    """One attack detection event."""
+
+    kind: str                  # "crash" (ASLR/fault) | "vsef" | "filter"
+    virtual_time: float
+    msg_id: int | None
+    fault: VMFault | None = None
+    vsef_id: str | None = None
+    signature_id: str | None = None
+    suspicion: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "crash":
+            return f"lightweight monitor tripped: {self.suspicion}"
+        if self.kind == "vsef":
+            return f"VSEF {self.vsef_id} blocked the request"
+        return f"input filter {self.signature_id} dropped the request"
+
+
+def classify_fault(fault: VMFault) -> str:
+    """A one-line suspicion classification for the event log."""
+    if fault.kind == FAULT_NULL:
+        return "NULL-pointer dereference"
+    if fault.kind in (FAULT_BADPC, FAULT_ILLEGAL):
+        return ("wild control transfer (consistent with a hijack defeated "
+                "by address-space randomization)")
+    if fault.kind == "DIV_ZERO":
+        return "arithmetic fault"
+    return "invalid memory access (possible overflow under randomization)"
+
+
+def detection_from_fault(fault: VMFault, virtual_time: float,
+                         msg_id: int | None) -> Detection:
+    return Detection(kind="crash", virtual_time=virtual_time, msg_id=msg_id,
+                     fault=fault, suspicion=classify_fault(fault))
+
+
+def detection_from_vsef(blocked: AttackDetected, virtual_time: float,
+                        msg_id: int | None) -> Detection:
+    return Detection(kind="vsef", virtual_time=virtual_time, msg_id=msg_id,
+                     vsef_id=blocked.vsef_id, suspicion=blocked.reason)

@@ -1,0 +1,120 @@
+"""The network proxy: input logging, filtering, replay, output commit.
+
+A separate proxy process in the paper (§3.1), the proxy here is the sole
+path between "the network" and the protected process.  It:
+
+- logs every inbound message (replay needs the full recent history);
+- applies input-signature antibodies before delivery (filtered requests
+  never reach the server);
+- tracks which messages were actually delivered, in order, so rollback
+  knows exactly what to re-feed;
+- records committed (externally visible) responses so recovery can
+  suppress duplicates and detect divergence (the Rx output-commit
+  problem, §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.antibody.signatures import SignatureSet
+from repro.machine.process import Process
+
+
+@dataclass
+class LoggedMessage:
+    """One inbound request as the proxy saw it."""
+
+    msg_id: int
+    data: bytes
+    arrival_time: float = 0.0
+    filtered_by: str | None = None     # signature id if blocked
+    malicious: bool = False            # marked by analysis
+
+
+@dataclass
+class CommittedOutput:
+    msg_id: int | None
+    data: bytes
+
+
+class NetworkProxy:
+    """Message log + filter + replay + output commit for one process."""
+
+    def __init__(self):
+        self.signatures = SignatureSet()
+        self.log: list[LoggedMessage] = []
+        self.delivered: list[int] = []      # msg_ids, in delivery order
+        self.committed: list[CommittedOutput] = []
+        self._committed_by_msg: dict[int | None, list[bytes]] = {}
+        self.filtered_count = 0
+
+    # -- ingress ------------------------------------------------------------
+
+    def submit(self, data: bytes, arrival_time: float = 0.0) -> LoggedMessage:
+        """Log one inbound request, applying signature filters."""
+        message = LoggedMessage(msg_id=len(self.log), data=bytes(data),
+                                arrival_time=arrival_time)
+        signature = self.signatures.match(data)
+        if signature is not None:
+            message.filtered_by = signature.sig_id
+            self.filtered_count += 1
+        self.log.append(message)
+        return message
+
+    def deliver(self, message: LoggedMessage, process: Process) -> bool:
+        """Hand one logged message to the process (unless filtered)."""
+        if message.filtered_by is not None:
+            return False
+        process.feed(message.data, msg_id=message.msg_id)
+        self.delivered.append(message.msg_id)
+        return True
+
+    # -- replay support -----------------------------------------------------------
+
+    def delivered_since(self, cursor: int,
+                        exclude: set[int] | None = None
+                        ) -> list[LoggedMessage]:
+        """Messages the process consumed from delivery index ``cursor``
+        on, in order, minus ``exclude`` — the replay feed."""
+        exclude = exclude or set()
+        out = []
+        for msg_id in self.delivered[cursor:]:
+            if msg_id in exclude:
+                continue
+            out.append(self.log[msg_id])
+        return out
+
+    def mark_malicious(self, msg_ids: list[int]):
+        for msg_id in msg_ids:
+            if 0 <= msg_id < len(self.log):
+                self.log[msg_id].malicious = True
+
+    def rewind_delivery(self, cursor: int):
+        """Forget deliveries past ``cursor`` (the timeline rolled back);
+        the replayed deliveries are re-recorded as they happen."""
+        del self.delivered[cursor:]
+
+    # -- egress / output commit -------------------------------------------------------
+
+    def commit(self, msg_id: int | None, data: bytes):
+        """Record a response that actually left the machine."""
+        self.committed.append(CommittedOutput(msg_id=msg_id, data=data))
+        self._committed_by_msg.setdefault(msg_id, []).append(data)
+
+    def committed_for(self, msg_id: int | None) -> list[bytes]:
+        return list(self._committed_by_msg.get(msg_id, []))
+
+    def reconcile(self, msg_id: int | None, data: bytes) -> str:
+        """Classify a response produced during recovery re-execution.
+
+        Returns ``"duplicate"`` (already committed byte-identical — must
+        be suppressed), ``"divergent"`` (committed but different bytes —
+        the §4.1 consistency hazard) or ``"new"`` (safe to send).
+        """
+        previous = self._committed_by_msg.get(msg_id)
+        if previous:
+            if data in previous:
+                return "duplicate"
+            return "divergent"
+        return "new"

@@ -1,0 +1,115 @@
+"""Fast recovery: rollback + re-execution without the attack input (§3.1).
+
+Once analysis has identified the malicious message(s), recovery:
+
+1. rolls the process back to the newest checkpoint that precedes the
+   first malicious message;
+2. re-executes the benign messages received since then, in order, with
+   deterministic ``time``/``rand`` from the FlashBack syscall log;
+3. reconciles re-produced outputs against the proxy's commit log —
+   byte-identical responses to already-answered requests are suppressed
+   (the output-commit problem), divergent ones are counted and, under
+   ``strict``, abort recovery in favour of a restart (§4.1).
+
+The result is continuous service: concurrent valid requests complete
+without the multi-second restart + cache-warmup penalty the paper's
+introduction complains about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AttackDetected, RecoveryFailed, VMFault
+from repro.machine.cpu import CPU_HZ
+from repro.machine.process import Process
+from repro.runtime.checkpoint import Checkpoint, CheckpointManager
+from repro.runtime.proxy import NetworkProxy
+
+_RECOVERY_STEP_BUDGET = 30_000_000
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one recovery pass."""
+
+    ok: bool
+    replayed_messages: int = 0
+    dropped_messages: int = 0
+    duplicates_suppressed: int = 0
+    new_outputs: list[bytes] = field(default_factory=list)
+    divergences: int = 0
+    virtual_seconds: float = 0.0
+    detail: str = ""
+
+
+class RecoveryManager:
+    """Performs rollback + re-execution recovery for one process."""
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+
+    def recover(self, process: Process, proxy: NetworkProxy,
+                checkpoints: CheckpointManager, checkpoint: Checkpoint,
+                drop_msg_ids: set[int]) -> RecoveryResult:
+        """Roll back to ``checkpoint`` and re-execute without the attack."""
+        replay_feed = proxy.delivered_since(checkpoint.msg_cursor,
+                                            exclude=drop_msg_ids)
+        dropped = len(proxy.delivered_since(checkpoint.msg_cursor)) \
+            - len(replay_feed)
+
+        process.restore_full(checkpoint.snapshot, keep_log=True)
+        checkpoints.discard_after(checkpoint)
+        checkpoints.after_rollback(process)
+        proxy.rewind_delivery(checkpoint.msg_cursor)
+
+        process.replay_mode = True
+        sent_before = len(process.sent)
+        start_cycles = process.cpu.cycles
+        result = RecoveryResult(ok=True, dropped_messages=dropped)
+        try:
+            for message in replay_feed:
+                proxy.deliver(message, process)
+                run = process.run(max_steps=_RECOVERY_STEP_BUDGET)
+                if run.reason == "exit":
+                    result.detail = "process exited during recovery replay"
+                    break
+                result.replayed_messages += 1
+        except VMFault as fault:
+            # A *different* fault during recovery replay means the attack
+            # corrupted state before the chosen checkpoint, or the service
+            # is inherently divergent: fall back to restart semantics.
+            process.replay_mode = False
+            raise RecoveryFailed(
+                f"fault during recovery replay: {fault}") from fault
+        except AttackDetected as blocked:
+            # An antibody fired on a message we believed benign: the
+            # malicious set was incomplete.  Fall back to restart.
+            process.replay_mode = False
+            raise RecoveryFailed(
+                f"antibody fired during recovery replay: {blocked}") \
+                from blocked
+        finally:
+            process.replay_mode = False
+
+        # Output commit: suppress duplicates, surface divergence.
+        for sent in process.sent[sent_before:]:
+            verdict = proxy.reconcile(sent.msg_id, sent.data)
+            if verdict == "duplicate":
+                result.duplicates_suppressed += 1
+            elif verdict == "divergent":
+                result.divergences += 1
+            else:
+                proxy.commit(sent.msg_id, sent.data)
+                result.new_outputs.append(sent.data)
+        del process.sent[sent_before:]
+
+        if result.divergences and self.strict:
+            raise RecoveryFailed(
+                f"{result.divergences} divergent response(s) during "
+                "re-execution; aborting to restart (§4.1)")
+
+        # Future syscalls append fresh records from here.
+        process.syscall_log.truncate(process.syscall_log.cursor)
+        result.virtual_seconds = (process.cpu.cycles - start_cycles) / CPU_HZ
+        return result

@@ -1,0 +1,77 @@
+"""Sampled heavyweight monitoring (§4.2 "Sampling to Catch More Attacks").
+
+Address-space randomization is probabilistic: with probability ρ an
+exploit guesses the layout and succeeds silently.  The paper's answer is
+to run heavyweight detection (dynamic taint analysis) on a *fraction* of
+requests — the instrumentation is dynamic, so the decision can be made
+per message, and hosts can sample more aggressively when idle.
+
+:class:`RequestSampler` implements that policy: every Nth request is
+served with a :class:`~repro.analysis.taint.TaintTracker` attached.  A
+taint violation on a sampled request is a *pre-corruption* detection —
+it fires at the sink, before the hijacked control transfer executes —
+so the runtime can drop the request like a VSEF block and derive
+taint-grade antibodies (propagation-subset VSEF + exact signature)
+directly from the tracker, without needing a crash to replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.taint import TaintReport, TaintTracker
+
+
+@dataclass
+class SampledDetection:
+    """A taint violation caught on a sampled request."""
+
+    msg_id: int | None
+    report: TaintReport
+    virtual_time: float
+
+
+class RequestSampler:
+    """Decides which requests get heavyweight (taint) monitoring.
+
+    ``every`` = N means requests 0, N, 2N, ... are sampled; 0 disables
+    sampling.  ``overhead_factor`` is the virtual-time multiplier charged
+    to a sampled request (TaintCheck-class instrumentation).
+    """
+
+    def __init__(self, every: int = 0, overhead_factor: float = 20.0):
+        if every < 0:
+            raise ValueError("sampling period cannot be negative")
+        self.every = every
+        self.overhead_factor = overhead_factor
+        self.requests_seen = 0
+        self.requests_sampled = 0
+        self.detections: list[SampledDetection] = []
+
+    def should_sample(self) -> bool:
+        """Called once per request; advances the request counter."""
+        index = self.requests_seen
+        self.requests_seen += 1
+        if self.every <= 0:
+            return False
+        sampled = index % self.every == 0
+        if sampled:
+            self.requests_sampled += 1
+        return sampled
+
+    def make_tool(self) -> TaintTracker:
+        """A fresh tracker for one sampled request."""
+        return TaintTracker(raise_on_violation=True)
+
+    def record(self, msg_id: int | None, report: TaintReport,
+               virtual_time: float) -> SampledDetection:
+        detection = SampledDetection(msg_id=msg_id, report=report,
+                                     virtual_time=virtual_time)
+        self.detections.append(detection)
+        return detection
+
+    @property
+    def sample_rate(self) -> float:
+        if self.requests_seen == 0:
+            return 0.0
+        return self.requests_sampled / self.requests_seen

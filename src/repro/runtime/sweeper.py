@@ -1,0 +1,472 @@
+"""The Sweeper orchestrator: the end-to-end defense loop of Fig. 3.
+
+``Sweeper`` wraps one protected process with the full stack: lightweight
+monitoring + checkpointing during normal execution; rollback/replay
+analysis after a detection; antibody generation, installation and
+publication; and rollback/re-execute recovery.  It also maintains the
+global virtual clock used by every timing experiment — a clock that,
+unlike the process's cycle counter, never rewinds across rollbacks.
+
+Typical use::
+
+    sweeper = Sweeper(image, app_name="squid")
+    responses = sweeper.submit(benign_request)
+    responses = sweeper.submit(exploit)       # detected, analyzed, healed
+    assert sweeper.antibodies                 # VSEFs + signature now live
+    responses = sweeper.submit(benign_request)  # service continues
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.pipeline import AnalysisOutcome, AnalysisPipeline
+from repro.analysis.taint import TaintViolation
+from repro.antibody.distribution import AntibodyBundle, CommunityBus
+from repro.antibody.signatures import generate_exact
+from repro.antibody.vsef import VSEF, InstalledVSEF, install_vsef
+from repro.errors import AttackDetected, RecoveryFailed, VMFault
+from repro.isa.assembler import Image, assemble
+from repro.machine.cpu import CPU_HZ
+from repro.machine.process import Process
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.monitor import (Detection, detection_from_fault,
+                                   detection_from_vsef)
+from repro.runtime.proxy import NetworkProxy
+from repro.runtime.recovery import RecoveryManager, RecoveryResult
+from repro.runtime.sampling import RequestSampler
+
+_RUN_STEP_BUDGET = 50_000_000
+
+
+@dataclass
+class SweeperConfig:
+    """Tunables; defaults follow §5.1 (200 ms interval, 20 checkpoints)."""
+
+    checkpoint_interval_ms: float = 200.0
+    max_checkpoints: int = 20
+    entropy_bits: int = 12
+    seed: int = 0
+    enable_membug: bool = True
+    enable_taint: bool = True
+    enable_slicing: bool = True
+    isolate_by_replay: bool = True
+    strict_recovery: bool = False
+    publish_antibodies: bool = True
+    #: γ₂ dissemination latency for the community bus (Vigilante's <3 s).
+    dissemination_latency: float = 3.0
+    #: §4.2 sampling: run taint analysis on every Nth request (0 = off).
+    #: Catches attacks that defeat address randomization (the ρ case).
+    sample_every: int = 0
+
+
+@dataclass
+class SweeperEvent:
+    """One entry in the virtual-time event log (drives Figure 5)."""
+
+    virtual_time: float
+    kind: str
+    detail: str = ""
+
+
+@dataclass
+class AttackRecord:
+    """Everything Sweeper did about one attack."""
+
+    detection: Detection
+    outcome: AnalysisOutcome | None
+    recovery: RecoveryResult | None
+    vsefs_installed: list[VSEF] = field(default_factory=list)
+    signature_ids: list[str] = field(default_factory=list)
+    detected_at: float = 0.0
+    first_vsef_at: float | None = None
+    recovered_at: float | None = None
+
+
+class Sweeper:
+    """Protects one server process end to end."""
+
+    def __init__(self, image: Image | str, app_name: str = "app",
+                 config: SweeperConfig | None = None,
+                 bus: CommunityBus | None = None):
+        if isinstance(image, str):
+            image = assemble(image)
+        self.image = image
+        self.app_name = app_name
+        self.config = config or SweeperConfig()
+        self.process = Process(image, seed=self.config.seed, name=app_name)
+        self.proxy = NetworkProxy()
+        self.checkpoints = CheckpointManager(
+            interval_ms=self.config.checkpoint_interval_ms,
+            max_checkpoints=self.config.max_checkpoints)
+        self.recovery = RecoveryManager(strict=self.config.strict_recovery)
+        self.pipeline = AnalysisPipeline(
+            self.process, self.checkpoints, self.proxy,
+            enable_membug=self.config.enable_membug,
+            enable_taint=self.config.enable_taint,
+            enable_slicing=self.config.enable_slicing,
+            isolate_by_replay=self.config.isolate_by_replay)
+        self.bus = bus if bus is not None else (
+            CommunityBus(self.config.dissemination_latency)
+            if self.config.publish_antibodies else None)
+
+        self.sampler = RequestSampler(every=self.config.sample_every)
+        self.clock = 0.0                    # never-rewinding virtual time
+        self._last_cycles = self.process.cpu.cycles
+        self.events: list[SweeperEvent] = []
+        self.attacks: list[AttackRecord] = []
+        self.detections: list[Detection] = []
+        self.antibodies: list[VSEF] = []
+        self._installed: list[InstalledVSEF] = []
+        self._vsef_keys: set[tuple] = set()
+
+        self._boot()
+
+    # -- clock / events ---------------------------------------------------------
+
+    def _sync_clock(self):
+        delta = self.process.cpu.cycles - self._last_cycles
+        if delta > 0:
+            self.clock += delta / CPU_HZ
+        self._last_cycles = self.process.cpu.cycles
+
+    def _rebase_cycles(self):
+        """After a rollback the cycle counter rewound; re-anchor it."""
+        self._last_cycles = self.process.cpu.cycles
+
+    def _event(self, kind: str, detail: str = ""):
+        self.events.append(SweeperEvent(virtual_time=self.clock, kind=kind,
+                                        detail=detail))
+
+    # -- normal operation -----------------------------------------------------------
+
+    def _boot(self):
+        """Run server initialization up to its first recv."""
+        result = self.process.run(max_steps=_RUN_STEP_BUDGET)
+        self._sync_clock()
+        if result.reason != "idle":
+            raise RecoveryFailed(
+                f"server failed to initialize ({result.reason})")
+        self.checkpoints.take(self.process)
+        self._sync_clock()
+        self._event("boot", "server initialized; first checkpoint taken")
+
+    def advance_busy(self, cycles: int):
+        """Account ``cycles`` of additional per-request service work
+        (cache lookups, disk I/O, compression — work a real server does
+        that the miniature guest programs do not).  Checkpoints fire on
+        schedule throughout, so throughput experiments see the same
+        contention a saturated server would."""
+        remaining = cycles
+        while remaining > 0:
+            until_due = self.checkpoints.cycles_until_due(self.process)
+            if until_due <= 0:
+                self.checkpoints.take(self.process)
+                continue
+            chunk = min(remaining, until_due)
+            self.process.cpu.cycles += chunk
+            remaining -= chunk
+        self._sync_clock()
+
+    def submit(self, data: bytes) -> list[bytes]:
+        """Feed one request through the proxy; returns new responses."""
+        message = self.proxy.submit(data, arrival_time=self.clock)
+        if message.filtered_by is not None:
+            self._event("filtered",
+                        f"msg {message.msg_id} blocked by "
+                        f"{message.filtered_by}")
+            self.detections.append(Detection(
+                kind="filter", virtual_time=self.clock,
+                msg_id=message.msg_id, signature_id=message.filtered_by))
+            return []
+        sent_before = len(self.process.sent)
+        tracker = None
+        if self.sampler.should_sample():
+            # §4.2: heavyweight taint monitoring for this request only.
+            tracker = self.sampler.make_tool()
+            self.process.hooks.attach(tracker, self.process)
+        cycles_start = self.process.cpu.cycles
+        self.proxy.deliver(message, self.process)
+        try:
+            self._run_protected()
+        except TaintViolation as violation:
+            self._handle_sampled_detection(message, tracker, violation)
+        finally:
+            if tracker is not None:
+                if tracker in self.process.hooks.tools:
+                    self.process.hooks.detach(tracker, self.process)
+                # Charge the sampled request's instrumentation overhead.
+                executed = self.process.cpu.cycles - cycles_start
+                if executed > 0:
+                    self.clock += executed / CPU_HZ * \
+                        (self.sampler.overhead_factor - 1.0)
+        responses = []
+        for sent in self.process.sent[sent_before:]:
+            self.proxy.commit(sent.msg_id, sent.data)
+            responses.append(sent.data)
+        return responses
+
+    def _run_protected(self):
+        """Run until idle, checkpointing on schedule, handling attacks."""
+        while True:
+            budget = self.checkpoints.cycles_until_due(self.process)
+            try:
+                if budget <= 0:
+                    self.checkpoints.take(self.process)
+                    self._sync_clock()
+                    continue
+                result = self.process.run(max_cycles=budget,
+                                          max_steps=_RUN_STEP_BUDGET)
+                self._sync_clock()
+                if result.reason in ("idle", "exit"):
+                    return
+            except VMFault as fault:
+                self._sync_clock()
+                self._handle_fault(fault)
+                return
+            except AttackDetected as blocked:
+                self._sync_clock()
+                self._handle_vsef_block(blocked)
+                return
+
+    # -- attack handling -----------------------------------------------------------------
+
+    def _handle_fault(self, fault: VMFault):
+        detection = detection_from_fault(fault, self.clock,
+                                         self.process.current_msg_id)
+        self.detections.append(detection)
+        self._event("detect", detection.describe())
+        record = AttackRecord(detection=detection, outcome=None,
+                              recovery=None, detected_at=self.clock)
+        self.attacks.append(record)
+
+        wall_start = time.perf_counter()
+        outcome = self.pipeline.analyze(fault)
+        record.outcome = outcome
+        self._rebase_cycles()
+
+        # Advance the clock step by step, publishing antibodies piecemeal
+        # as each stage completes (§3.3 "Distribution").
+        base = self.clock
+        published_initial = False
+        for step in outcome.steps:
+            self.clock = base + step.cumulative_virtual
+            self._event(f"analysis:{step.name}", step.summary)
+            new_vsefs = self._install_new(step.vsefs)
+            record.vsefs_installed.extend(new_vsefs)
+            if new_vsefs and record.first_vsef_at is None:
+                record.first_vsef_at = self.clock
+                self._event("antibody:first-vsef",
+                            new_vsefs[0].describe())
+            if new_vsefs and self.bus is not None:
+                stage = "initial" if not published_initial else "improved"
+                published_initial = True
+                self.bus.publish(AntibodyBundle(
+                    app=self.app_name, vsefs=list(new_vsefs),
+                    produced_at=self.clock, stage=stage))
+
+        # Input signature once the exploit input is isolated.
+        if outcome.exploit_input is not None:
+            signature = generate_exact(outcome.exploit_input)
+            self.proxy.signatures.add(signature)
+            record.signature_ids.append(signature.sig_id)
+            self._event("antibody:signature",
+                        f"exact-match filter {signature.sig_id}")
+            self.proxy.mark_malicious(outcome.malicious_msg_ids)
+            if self.bus is not None:
+                self.bus.publish(AntibodyBundle(
+                    app=self.app_name, vsefs=list(record.vsefs_installed),
+                    signatures=[signature],
+                    exploit_input=outcome.exploit_input,
+                    produced_at=self.clock, stage="final"))
+
+        # Recovery: rollback & re-execute without the malicious input.
+        record.recovery = self._recover(outcome,
+                                        suspect=detection.msg_id)
+        record.recovered_at = self.clock
+        self._event("recovered",
+                    f"service restored; wall analysis "
+                    f"{time.perf_counter() - wall_start:.3f}s")
+
+    def _recover(self, outcome: AnalysisOutcome,
+                 suspect: int | None = None) -> RecoveryResult | None:
+        drop = set(outcome.malicious_msg_ids)
+        if not drop and suspect is not None:
+            # Analysis could not isolate the input; drop the request that
+            # was being served when the monitor tripped.
+            drop = {suspect}
+        checkpoint = outcome.checkpoint
+        if drop:
+            candidate = self.checkpoints.before_message(
+                self._delivery_index(min(drop)))
+            if candidate is not None:
+                checkpoint = candidate
+        if checkpoint is None:
+            self._event("recovery:restart",
+                        "no usable checkpoint; restarting process")
+            self._restart()
+            return None
+        try:
+            result = self.recovery.recover(self.process, self.proxy,
+                                           self.checkpoints, checkpoint,
+                                           drop)
+        except RecoveryFailed as failed:
+            self._event("recovery:restart", str(failed))
+            self._restart()
+            return None
+        self._rebase_cycles()
+        self.clock += result.virtual_seconds
+        return result
+
+    def _delivery_index(self, msg_id: int) -> int:
+        try:
+            return self.proxy.delivered.index(msg_id)
+        except ValueError:
+            return len(self.proxy.delivered)
+
+    def _restart(self):
+        """Full restart: the expensive fallback Sweeper tries to avoid."""
+        self.clock += 5.0   # §1.1: "restarting ... takes up to several seconds"
+        config = self.config
+        self.process = Process(self.image, seed=config.seed + 1,
+                               name=self.app_name)
+        self.checkpoints = CheckpointManager(
+            interval_ms=config.checkpoint_interval_ms,
+            max_checkpoints=config.max_checkpoints)
+        self.pipeline = AnalysisPipeline(
+            self.process, self.checkpoints, self.proxy,
+            enable_membug=config.enable_membug,
+            enable_taint=config.enable_taint,
+            enable_slicing=config.enable_slicing,
+            isolate_by_replay=config.isolate_by_replay)
+        self.proxy.rewind_delivery(0)
+        self.proxy.delivered.clear()
+        self._installed.clear()
+        self._last_cycles = self.process.cpu.cycles
+        self._boot()
+        for vsef in self.antibodies:
+            self._installed.append(install_vsef(vsef, self.process))
+
+    def _handle_sampled_detection(self, message, tracker, violation):
+        """A sampled request tripped taint analysis *before* corruption
+        took effect: derive taint-grade antibodies on the spot, then drop
+        the request via rollback (§4.2).
+
+        This path fires even when the exploit would have *succeeded*
+        (layouts guessed correctly): the sink check does not depend on
+        the attack crashing.
+        """
+        report = tracker.report()
+        # Detach before recovery so replay does not re-trip the sink.
+        if tracker in self.process.hooks.tools:
+            self.process.hooks.detach(tracker, self.process)
+        self.sampler.record(message.msg_id, report, self.clock)
+        detection = Detection(kind="sampled", virtual_time=self.clock,
+                              msg_id=message.msg_id,
+                              suspicion=str(violation))
+        self.detections.append(detection)
+        self._event("sampled-detect", str(violation))
+
+        drop = set(report.malicious_msg_ids) or {message.msg_id}
+        vsef = report.derive_vsef(self.process)
+        new_vsefs = self._install_new([vsef] if vsef else [])
+        signatures = []
+        first = min(drop)
+        if 0 <= first < len(self.proxy.log):
+            signature = generate_exact(self.proxy.log[first].data)
+            self.proxy.signatures.add(signature)
+            signatures.append(signature)
+            self.proxy.mark_malicious(sorted(drop))
+        if (new_vsefs or signatures) and self.bus is not None:
+            self.bus.publish(AntibodyBundle(
+                app=self.app_name, vsefs=new_vsefs, signatures=signatures,
+                exploit_input=self.proxy.log[first].data
+                if signatures else None,
+                produced_at=self.clock, stage="initial"))
+        if new_vsefs:
+            self._event("antibody:first-vsef", new_vsefs[0].describe())
+
+        checkpoint = self.checkpoints.before_message(
+            self._delivery_index(first)) or self.checkpoints.latest()
+        if checkpoint is None:
+            self._restart()
+            return
+        try:
+            result = self.recovery.recover(self.process, self.proxy,
+                                           self.checkpoints, checkpoint,
+                                           drop)
+        except RecoveryFailed as failed:
+            self._event("recovery:restart", str(failed))
+            self._restart()
+            return
+        self._rebase_cycles()
+        self.clock += result.virtual_seconds
+        self._event("recovered", "sampled detection handled cleanly")
+
+    def _handle_vsef_block(self, blocked: AttackDetected):
+        """An antibody fired: clean block, no corruption, cheap recovery."""
+        detection = detection_from_vsef(blocked, self.clock,
+                                        self.process.current_msg_id)
+        self.detections.append(detection)
+        self._event("vsef-block", detection.describe())
+        drop = {self.process.current_msg_id} \
+            if self.process.current_msg_id is not None else set()
+        checkpoint = None
+        if drop:
+            checkpoint = self.checkpoints.before_message(
+                self._delivery_index(min(drop)))
+        if checkpoint is None:
+            checkpoint = self.checkpoints.latest()
+        if checkpoint is None:
+            return
+        try:
+            result = self.recovery.recover(self.process, self.proxy,
+                                           self.checkpoints, checkpoint,
+                                           drop)
+        except RecoveryFailed as failed:
+            self._event("recovery:restart", str(failed))
+            self._restart()
+            return
+        self._rebase_cycles()
+        self.clock += result.virtual_seconds
+        if drop:
+            self.proxy.mark_malicious(sorted(drop))
+
+    # -- antibody management ---------------------------------------------------------------
+
+    def _vsef_key(self, vsef: VSEF) -> tuple:
+        return (vsef.kind, tuple(sorted(
+            (k, str(v)) for k, v in vsef.params.items())))
+
+    def _install_new(self, vsefs: list[VSEF]) -> list[VSEF]:
+        installed = []
+        for vsef in vsefs:
+            key = self._vsef_key(vsef)
+            if key in self._vsef_keys:
+                continue
+            self._vsef_keys.add(key)
+            vsef.app = self.app_name
+            self._installed.append(install_vsef(vsef, self.process))
+            self.antibodies.append(vsef)
+            installed.append(vsef)
+        return installed
+
+    def apply_foreign_vsefs(self, vsefs: list[VSEF]) -> list[VSEF]:
+        """Apply antibodies received from the community (consumer role)."""
+        return self._install_new(vsefs)
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "virtual_time": self.clock,
+            "requests_seen": len(self.proxy.log),
+            "requests_filtered": self.proxy.filtered_count,
+            "attacks_handled": len(self.attacks),
+            "detections": len(self.detections),
+            "antibodies": len(self.antibodies),
+            "checkpoints_taken": self.checkpoints.total_taken,
+            "checkpoint_cost_seconds":
+                self.checkpoints.total_cost_cycles / CPU_HZ,
+        }

@@ -1,0 +1,29 @@
+"""Community defense modeling (§6): SI epidemics, hit-list worms, sweeps.
+
+- :mod:`repro.worm.si_model` — the paper's equations (1)-(4): a
+  Susceptible-Infected epidemic with a Producer sub-population that
+  begins antibody generation on first contact, plus the proactive
+  ``rho`` attenuation of hit-list worms under address randomization.
+- :mod:`repro.worm.community` — α/γ parameter sweeps reproducing
+  Figures 6, 7 and 8, and the end-to-end γ accounting that ties the
+  measured Sweeper pipeline times into the model.
+- :mod:`repro.worm.simulation` — a discrete-event (Gillespie) stochastic
+  worm simulator used to cross-validate the ODE model.
+"""
+
+from repro.worm.si_model import (WormParams, OutbreakResult, solve_outbreak,
+                                 infection_ratio, time_to_first_contact)
+from repro.worm.community import (figure6_data, figure7_data, figure8_data,
+                                  infection_ratio_grid, end_to_end_gamma,
+                                  SLAMMER, HITLIST_1K, HITLIST_4K)
+from repro.worm.simulation import simulate_outbreak, SimulationResult
+from repro.worm.export import grid_to_csv, series_for_gamma
+
+__all__ = [
+    "grid_to_csv", "series_for_gamma",
+    "WormParams", "OutbreakResult", "solve_outbreak", "infection_ratio",
+    "time_to_first_contact",
+    "figure6_data", "figure7_data", "figure8_data", "infection_ratio_grid",
+    "end_to_end_gamma", "SLAMMER", "HITLIST_1K", "HITLIST_4K",
+    "simulate_outbreak", "SimulationResult",
+]

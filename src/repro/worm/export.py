@@ -1,0 +1,44 @@
+"""Exporters for the worm-model figures (CSV / gnuplot-friendly).
+
+The benches render ASCII tables; these helpers produce machine-readable
+series for anyone regenerating the figures with their own plotting
+stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.worm.community import Scenario, infection_ratio_grid
+
+
+def grid_to_csv(scenario: Scenario,
+                grid: dict[float, dict[float, float]] | None = None) -> str:
+    """Render a γ×α infection-ratio grid as CSV.
+
+    Columns: ``gamma`` then one column per deployment ratio α, matching
+    the figures' one-curve-per-γ layout.
+    """
+    if grid is None:
+        grid = infection_ratio_grid(scenario)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    alphas = list(scenario.alphas)
+    writer.writerow(["gamma"] + [f"alpha={alpha}" for alpha in alphas])
+    for gamma in scenario.gammas:
+        writer.writerow([gamma] + [f"{grid[gamma][alpha]:.6f}"
+                                   for alpha in alphas])
+    return out.getvalue()
+
+
+def series_for_gamma(scenario: Scenario, gamma: float,
+                     grid: dict[float, dict[float, float]] | None = None
+                     ) -> list[tuple[float, float]]:
+    """One figure curve: (alpha, infection_ratio) pairs for a given γ."""
+    if grid is None:
+        grid = infection_ratio_grid(scenario)
+    if gamma not in grid:
+        raise KeyError(f"gamma {gamma} not in scenario "
+                       f"(has {sorted(grid)})")
+    return [(alpha, grid[gamma][alpha]) for alpha in scenario.alphas]

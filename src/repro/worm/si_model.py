@@ -1,0 +1,142 @@
+"""The paper's epidemic model (§6.1, equations (1)-(4)).
+
+Susceptible-Infected dynamics with a Producer fraction α::
+
+    dI/dt = β·ρ·I·(1 - α - I/N)          (1)/(3)
+    dP/dt = α·β·I·(1 - P/(α·N))          (2)/(4)
+
+``I`` is the number of infected hosts, ``P`` the number of Producers
+contacted by at least one infection attempt, ``β`` the per-infected
+contact rate toward vulnerable hosts, and ``ρ`` the probability that one
+infection attempt defeats proactive protection (address-space
+randomization); ``ρ = 1`` recovers the reactive-only equations (1)-(2).
+Note ρ attenuates *infection* but not *producer contact*: a failed
+attempt still crashes a Producer's server, which is exactly the
+detection signal.
+
+``T0`` is when ``P`` first reaches 1 — the earliest moment any Producer
+can start analysis.  All hosts are immune at ``T0 + γ`` (γ = analysis
+time γ₁ + dissemination time γ₂), so the outbreak's final size is
+``I(T0 + γ)`` and the infection ratio is ``I(T0 + γ)/N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+
+@dataclass(frozen=True)
+class WormParams:
+    """One outbreak scenario."""
+
+    beta: float                 # contact rate per infected host (1/s)
+    population: int             # N, vulnerable hosts
+    producer_ratio: float       # α
+    gamma: float                # response time γ = γ1 + γ2 (s)
+    rho: float = 1.0            # proactive-protection bypass probability
+    initial_infected: float = 1.0
+
+    def __post_init__(self):
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if not 0 <= self.producer_ratio < 1:
+            raise ValueError("producer ratio must be in [0, 1)")
+        if not 0 < self.rho <= 1:
+            raise ValueError("rho must be in (0, 1]")
+        if self.population <= 0:
+            raise ValueError("population must be positive")
+        if self.gamma < 0:
+            raise ValueError("gamma cannot be negative")
+
+
+@dataclass(frozen=True)
+class OutbreakResult:
+    """Solved outbreak."""
+
+    params: WormParams
+    t0: float                   # time of first producer contact
+    infected_at_t0: float
+    final_infected: float       # I(T0 + γ)
+    infection_ratio: float      # I(T0 + γ) / N
+    contained: bool             # producers existed and T0 was reached
+
+
+def _derivatives(params: WormParams):
+    beta, alpha = params.beta, params.producer_ratio
+    population, rho = params.population, params.rho
+    producers = alpha * population
+
+    def fn(_t, state):
+        infected, contacted = state
+        infected = min(max(infected, 0.0), population)
+        susceptible_fraction = max(0.0, 1.0 - alpha
+                                   - infected / population)
+        d_infected = beta * rho * infected * susceptible_fraction
+        if producers > 0:
+            d_contacted = (beta * infected
+                           * max(0.0, 1.0 - contacted / producers) * alpha)
+        else:
+            d_contacted = 0.0
+        return (d_infected, d_contacted)
+
+    return fn
+
+
+def time_to_first_contact(params: WormParams,
+                          horizon: float = 1e7) -> float | None:
+    """``T0``: when the first Producer receives an infection attempt."""
+    if params.producer_ratio <= 0:
+        return None
+
+    def first_contact(_t, state):
+        return state[1] - 1.0
+
+    first_contact.terminal = True
+    first_contact.direction = 1.0
+    solution = solve_ivp(_derivatives(params), (0.0, horizon),
+                         (params.initial_infected, 0.0),
+                         events=first_contact, rtol=1e-8, atol=1e-10,
+                         dense_output=True)
+    if solution.t_events[0].size == 0:
+        return None
+    return float(solution.t_events[0][0])
+
+
+def solve_outbreak(params: WormParams, horizon: float = 1e7
+                   ) -> OutbreakResult:
+    """Solve the outbreak: find ``T0`` then integrate to ``T0 + γ``."""
+    t0 = time_to_first_contact(params, horizon=horizon)
+    if t0 is None:
+        # No producers are ever contacted: the worm saturates the
+        # susceptible consumers unimpeded.
+        final = params.population * (1.0 - params.producer_ratio)
+        return OutbreakResult(params=params, t0=float("inf"),
+                              infected_at_t0=final, final_infected=final,
+                              infection_ratio=final / params.population,
+                              contained=False)
+    end = t0 + params.gamma
+    # A gamma of zero (or small enough to vanish in float addition)
+    # collapses to a single evaluation point.
+    eval_times = np.array([t0, end]) if end > t0 else np.array([t0])
+    solution = solve_ivp(_derivatives(params), (0.0, end),
+                         (params.initial_infected, 0.0),
+                         t_eval=eval_times, rtol=1e-8, atol=1e-10)
+    infected_at_t0 = float(solution.y[0][0])
+    final = float(solution.y[0][-1])
+    final = min(final, params.population * (1.0 - params.producer_ratio))
+    return OutbreakResult(params=params, t0=t0,
+                          infected_at_t0=infected_at_t0,
+                          final_infected=final,
+                          infection_ratio=final / params.population,
+                          contained=True)
+
+
+def infection_ratio(beta: float, population: int, producer_ratio: float,
+                    gamma: float, rho: float = 1.0) -> float:
+    """Convenience wrapper: the quantity Figures 6-8 plot."""
+    params = WormParams(beta=beta, population=population,
+                        producer_ratio=producer_ratio, gamma=gamma, rho=rho)
+    return solve_outbreak(params).infection_ratio

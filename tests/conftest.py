@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the Sweeper reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.machine.layout import ReferenceLayout
+from repro.machine.process import Process
+
+#: A minimal echo server: reads a message, echoes it back, repeats.
+ECHO_SOURCE = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 512
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r1, r0
+    mov r0, buf
+    sys send
+    jmp loop
+.data
+buf: .space 512
+"""
+
+#: A server exercising the heap on every request: dup the message into a
+#: fresh allocation, echo from the copy, free it.
+HEAP_ECHO_SOURCE = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 512
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r4, r0              ; length
+    add r0, 1
+    call @malloc
+    mov r5, r0
+    mov r1, buf
+    call @strcpy
+    mov r0, r5
+    mov r1, r4
+    sys send
+    mov r0, r5
+    call @free
+    jmp loop
+.data
+buf: .space 520
+"""
+
+
+def run_fragment(body: str, data: str = "", max_steps: int = 200_000,
+                 seed: int = 0, layout=None) -> Process:
+    """Assemble ``body`` (instructions after ``main:``), run to HALT."""
+    source = f".text\nmain:\n{body}\n halt\n"
+    if data:
+        source += f".data\n{data}\n"
+    process = Process(assemble(source), seed=seed, layout=layout)
+    result = process.run(max_steps=max_steps)
+    assert result.reason == "exit", f"fragment did not halt: {result.reason}"
+    return process
+
+
+@pytest.fixture
+def echo_process() -> Process:
+    return Process(assemble(ECHO_SOURCE), seed=7)
+
+
+@pytest.fixture
+def heap_echo_process() -> Process:
+    return Process(assemble(HEAP_ECHO_SOURCE), seed=7)
+
+
+@pytest.fixture
+def reference_layout():
+    return ReferenceLayout()

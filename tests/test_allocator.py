@@ -1,0 +1,216 @@
+"""Unit + property tests for the boundary-tagged heap allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import VMFault
+from repro.machine.allocator import (Allocator, BLOCK_MAGIC, HEADER_SIZE,
+                                     HeapCorruption, MMAP_THRESHOLD,
+                                     STATUS_ALLOCATED, STATUS_FREE)
+from repro.machine.memory import PagedMemory
+
+HEAP_BASE = 0x30000000
+
+
+def make_allocator() -> Allocator:
+    memory = PagedMemory()
+    memory.map_region("heap", HEAP_BASE, 4096)
+    allocator = Allocator(memory, HEAP_BASE)
+    allocator.initialize()
+    return allocator
+
+
+class TestBasics:
+    def test_initialize(self):
+        allocator = make_allocator()
+        assert allocator.initialized
+        assert allocator.brk == HEAP_BASE + 16
+        assert allocator.free_head == 0
+
+    def test_malloc_returns_payload_after_header(self):
+        allocator = make_allocator()
+        payload = allocator.malloc(32)
+        assert payload == HEAP_BASE + 16 + HEADER_SIZE
+        block = allocator.read_block(payload - HEADER_SIZE)
+        assert block.magic == BLOCK_MAGIC
+        assert block.size == 32
+        assert block.status == STATUS_ALLOCATED
+
+    def test_malloc_zero_returns_null(self):
+        assert make_allocator().malloc(0) == 0
+
+    def test_size_rounds_to_word(self):
+        allocator = make_allocator()
+        payload = allocator.malloc(5)
+        assert allocator.read_block(payload - HEADER_SIZE).size == 8
+
+    def test_payloads_do_not_overlap(self):
+        allocator = make_allocator()
+        a = allocator.malloc(16)
+        b = allocator.malloc(16)
+        assert b >= a + 16 + HEADER_SIZE
+
+    def test_heap_grows_on_demand(self):
+        allocator = make_allocator()
+        for _ in range(10):
+            assert allocator.malloc(900)
+
+    def test_free_and_reuse(self):
+        allocator = make_allocator()
+        first = allocator.malloc(64)
+        allocator.free(first)
+        assert allocator.read_block(first - HEADER_SIZE).status == STATUS_FREE
+        again = allocator.malloc(64)
+        assert again == first       # first fit reuses the freed block
+
+    def test_free_null_is_noop(self):
+        make_allocator().free(0)
+
+    def test_split_leaves_free_remainder(self):
+        allocator = make_allocator()
+        big = allocator.malloc(256)
+        allocator.free(big)
+        small = allocator.malloc(32)
+        assert small == big
+        # The remainder is free and allocatable.
+        rest = allocator.malloc(128)
+        assert rest != small
+        assert rest < allocator.brk
+
+
+class TestCorruption:
+    def test_free_with_clobbered_magic_crashes(self):
+        """Overflow into the next header -> crash inside free (the Squid/
+        CVS lightweight-detection mode)."""
+        allocator = make_allocator()
+        victim = allocator.malloc(16)
+        allocator.memory.write_word(victim - HEADER_SIZE, 0x41414141)
+        with pytest.raises(HeapCorruption):
+            allocator.free(victim)
+
+    def test_double_free_chases_stale_link(self):
+        """Second free dereferences the payload word (glibc unlink)."""
+        allocator = make_allocator()
+        victim = allocator.malloc(16)
+        allocator.free(victim)
+        # Attacker writes a wild pointer over the free-list link.
+        allocator.memory.write_word(victim, 0xDEAD0000)
+        with pytest.raises(VMFault) as excinfo:
+            allocator.free(victim)
+        assert excinfo.value.addr == 0xDEAD0000
+
+    def test_walk_detects_clobbered_header(self):
+        allocator = make_allocator()
+        a = allocator.malloc(16)
+        allocator.malloc(16)
+        # Overflow a: clobber the next block's magic.
+        allocator.memory.write_word(a + 16, 0x42424242)
+        problems = allocator.check_consistency()
+        assert problems
+        assert "bad magic" in problems[0]
+
+    def test_walk_clean_heap_is_consistent(self):
+        allocator = make_allocator()
+        blocks = [allocator.malloc(n) for n in (8, 24, 100)]
+        allocator.free(blocks[1])
+        assert allocator.check_consistency() == []
+
+
+class TestIntrospection:
+    def test_live_blocks(self):
+        allocator = make_allocator()
+        a = allocator.malloc(16)
+        b = allocator.malloc(32)
+        allocator.free(a)
+        live = {block.payload: block.size
+                for block in allocator.live_blocks()}
+        assert live == {b: 32}
+
+    def test_block_containing(self):
+        allocator = make_allocator()
+        payload = allocator.malloc(64)
+        block = allocator.block_containing(payload + 10)
+        assert block is not None and block.payload == payload
+        assert allocator.block_containing(allocator.brk + 100) is None
+
+    def test_walk_stops_at_brk(self):
+        allocator = make_allocator()
+        sizes = [16, 32, 48]
+        for size in sizes:
+            allocator.malloc(size)
+        assert [b.size for b in allocator.walk()] == sizes
+
+
+class TestMmapPath:
+    def test_large_allocation_goes_to_mmap(self):
+        allocator = make_allocator()
+        small = allocator.malloc(64)
+        big = allocator.malloc(MMAP_THRESHOLD)
+        assert big > HEAP_BASE + 0x01000000
+        assert small < HEAP_BASE + 0x01000000
+        # The mmap block has a proper header too.
+        block = allocator.read_block(big - HEADER_SIZE)
+        assert block.magic == BLOCK_MAGIC
+        assert block.status == STATUS_ALLOCATED
+
+    def test_mmap_blocks_have_guard_gaps(self):
+        allocator = make_allocator()
+        first = allocator.malloc(MMAP_THRESHOLD)
+        second = allocator.malloc(MMAP_THRESHOLD)
+        gap_start = first + MMAP_THRESHOLD
+        # Writing into the guard gap faults (that is the point).
+        probe = (second - HEADER_SIZE) - 2048
+        assert probe > gap_start
+        with pytest.raises(VMFault):
+            allocator.memory.read(probe, 1)
+
+    def test_mmap_free_marks_but_does_not_relink(self):
+        allocator = make_allocator()
+        big = allocator.malloc(MMAP_THRESHOLD)
+        allocator.free(big)
+        assert allocator.read_block(big - HEADER_SIZE).status == STATUS_FREE
+        assert allocator.free_head == 0
+
+    def test_mmap_blocks_invisible_to_arena_walk(self):
+        allocator = make_allocator()
+        allocator.malloc(MMAP_THRESHOLD)
+        assert allocator.check_consistency() == []
+
+    def test_mmap_double_free_still_detectable(self):
+        allocator = make_allocator()
+        big = allocator.malloc(MMAP_THRESHOLD)
+        allocator.free(big)
+        allocator.memory.write_word(big, 0xDEAD0000)
+        with pytest.raises(VMFault):
+            allocator.free(big)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.one_of(
+    st.tuples(st.just("malloc"), st.integers(1, 300)),
+    st.tuples(st.just("free"), st.integers(0, 10))),
+    min_size=1, max_size=40))
+def test_allocator_invariants_property(ops):
+    """Live payloads never overlap; the arena walk always stays
+    consistent under any malloc/free sequence."""
+    allocator = make_allocator()
+    live: list[tuple[int, int]] = []    # (payload, size)
+    for op, arg in ops:
+        if op == "malloc":
+            payload = allocator.malloc(arg)
+            assert payload != 0
+            size = (arg + 3) & ~3
+            for other, other_size in live:
+                assert payload + size <= other \
+                    or other + other_size <= payload, "overlap!"
+            live.append((payload, size))
+        elif live:
+            index = arg % len(live)
+            payload, _size = live.pop(index)
+            allocator.free(payload)
+        assert allocator.check_consistency() == []
+    # Everything reported live by the allocator is what we think is live.
+    reported = {block.payload for block in allocator.live_blocks()
+                if block.payload < HEAP_BASE + 0x01000000}
+    assert reported == {payload for payload, _ in live
+                        if payload < HEAP_BASE + 0x01000000}

@@ -1,0 +1,239 @@
+"""Unit tests for the three servers and the four exploits (Table 1)."""
+
+import pytest
+
+from repro.apps.cvsd import build_cvsd
+from repro.apps.exploits import (EXPLOITS, apache1_exploit, apache2_exploit,
+                                 cvs_exploit, polymorphic_variants,
+                                 squid_exploit)
+from repro.apps.httpd import build_httpd
+from repro.apps.squidp import build_squidp
+from repro.apps.workload import benign_requests, measure_throughput
+from repro.errors import VMFault
+from repro.machine.layout import ReferenceLayout
+from repro.machine.process import Process
+
+
+def boot(image, seed: int = 3, layout=None) -> Process:
+    process = Process(image, seed=seed, layout=layout)
+    result = process.run(max_steps=2_000_000)
+    assert result.reason == "idle"
+    return process
+
+
+def serve(process: Process, payload: bytes):
+    sent_before = len(process.sent)
+    process.feed(payload)
+    process.run(max_steps=5_000_000)
+    return [sent.data for sent in process.sent[sent_before:]]
+
+
+class TestHttpdBenign:
+    def test_index_page_served(self):
+        process = boot(build_httpd())
+        responses = serve(process, b"GET / HTTP/1.0\n")
+        assert len(responses) == 1
+        assert responses[0].startswith(b"HTTP/1.0 200 OK")
+
+    def test_generic_page_for_unknown_path(self):
+        process = boot(build_httpd())
+        responses = serve(process, b"GET /whatever HTTP/1.0\n")
+        assert b"Generic content" in responses[0]
+
+    def test_bad_method_rejected(self):
+        process = boot(build_httpd())
+        responses = serve(process, b"POST / HTTP/1.0\n")
+        assert responses[0].startswith(b"HTTP/1.0 400")
+
+    def test_referer_with_host_is_fine(self):
+        process = boot(build_httpd())
+        responses = serve(
+            process, b"GET / HTTP/1.0\nReferer: http://example.com/\n")
+        assert responses
+
+    def test_benign_request_stream(self):
+        process = boot(build_httpd())
+        for request in benign_requests("httpd", 30):
+            assert serve(process, request)
+
+
+class TestApache1Exploit:
+    def test_crashes_under_randomization(self):
+        process = boot(build_httpd(), seed=11)
+        process.feed(apache1_exploit())
+        with pytest.raises(VMFault) as excinfo:
+            process.run(max_steps=2_000_000)
+        assert excinfo.value.kind in ("BAD_PC", "ILLEGAL_OPCODE")
+
+    def test_succeeds_on_reference_layout(self):
+        """Without ASLR the hijack lands on the backdoor: the worm wins.
+        This is the rho = success case the worm model quantifies."""
+        process = boot(build_httpd(), layout=ReferenceLayout())
+        process.feed(apache1_exploit())
+        result = process.run(max_steps=2_000_000)
+        assert result.reason == "exit"           # backdoor exits the server
+        assert process.sent[-1].data.startswith(b"OWNED!")
+
+    def test_short_paths_never_smash(self):
+        process = boot(build_httpd())
+        responses = serve(process, b"GET /" + b"A" * 60 + b" HTTP/1.0\n")
+        assert responses
+
+
+class TestApache2Exploit:
+    def test_empty_host_referer_null_derefs(self):
+        process = boot(build_httpd(), seed=11)
+        process.feed(apache2_exploit())
+        with pytest.raises(VMFault) as excinfo:
+            process.run(max_steps=2_000_000)
+        assert excinfo.value.kind == "NULL_DEREF"
+
+    def test_http_scheme_variant_also_crashes(self):
+        process = boot(build_httpd(), seed=11)
+        process.feed(apache2_exploit(scheme=b"http://"))
+        with pytest.raises(VMFault):
+            process.run(max_steps=2_000_000)
+
+    def test_crash_is_in_is_ip(self):
+        process = boot(build_httpd(), seed=11)
+        process.feed(apache2_exploit())
+        with pytest.raises(VMFault) as excinfo:
+            process.run(max_steps=2_000_000)
+        assert process.function_at(excinfo.value.pc) == "is_ip"
+
+
+class TestCvsd:
+    def test_benign_directory_and_entry(self):
+        process = boot(build_cvsd())
+        assert serve(process, b"Directory /src\n") == [b"ok\n"]
+        assert serve(process, b"Entry main.c\n") == [b"ok\n"]
+        assert serve(process, b"noop\n") == [b"ok\n"]
+
+    def test_directory_state_is_heap_backed(self):
+        process = boot(build_cvsd())
+        serve(process, b"Directory /src/module/alpha\n")
+        cur_dir = process.memory.read_word(process.symbols["cur_dir"])
+        assert process.memory.read_cstring(cur_dir) == b"/src/module/alpha\n"
+
+    def test_exploit_crashes_in_free(self):
+        process = boot(build_cvsd(), seed=11)
+        serve(process, b"Directory /src\n")
+        process.feed(cvs_exploit())
+        with pytest.raises(VMFault) as excinfo:
+            process.run(max_steps=2_000_000)
+        assert excinfo.value.pc == process.native_addresses["free"]
+
+    def test_heap_inconsistent_after_exploit(self):
+        process = boot(build_cvsd(), seed=11)
+        serve(process, b"Directory /src\n")
+        process.feed(cvs_exploit())
+        with pytest.raises(VMFault):
+            process.run(max_steps=2_000_000)
+        # The UAF strcpy clobbered freed-block metadata.
+        assert process.allocator.check_consistency() != []
+
+
+class TestSquidp:
+    def test_http_proxy_path(self):
+        process = boot(build_squidp())
+        responses = serve(process, b"GET http://example.com/page")
+        assert b"squidp reproduction proxy" in responses[0]
+
+    def test_benign_ftp_title(self):
+        process = boot(build_squidp())
+        responses = serve(process, b"GET ftp://anonymous@ftp.site/pub/x")
+        assert responses[0].startswith(b"ftp://anonymous")
+
+    def test_ftp_without_user_part(self):
+        process = boot(build_squidp())
+        responses = serve(process, b"GET ftp://ftp.site/pub/x")
+        assert responses[0].startswith(b"ftp://ftp.site")
+
+    def test_escaping_expands_unsafe_bytes(self):
+        process = boot(build_squidp())
+        responses = serve(process, b"GET ftp://a\\b@ftp.site/x")
+        assert b"%5C" in responses[0]       # '\' escaped
+
+    def test_exploit_crashes_in_strcat(self):
+        process = boot(build_squidp(), seed=11)
+        process.feed(squid_exploit())
+        with pytest.raises(VMFault) as excinfo:
+            process.run(max_steps=8_000_000)
+        assert excinfo.value.pc == process.native_addresses["strcat"]
+        assert excinfo.value.source_pc is not None
+        assert process.function_at(excinfo.value.source_pc) == \
+            "ftpBuildTitleUrl"
+
+    def test_moderate_escapes_fit_the_buffer(self):
+        process = boot(build_squidp())
+        responses = serve(process, b"GET ftp://a\\\\b@ftp.site/x")
+        assert responses
+
+
+class TestExploitRegistry:
+    def test_table1_contents(self):
+        assert set(EXPLOITS) == {"Apache1", "Apache2", "CVS", "Squid"}
+        assert EXPLOITS["Squid"].cve == "CVE-2002-0068"
+        assert EXPLOITS["CVS"].bug_type == "Double Free"
+        assert EXPLOITS["Apache1"].bug_type == "Stack Smashing"
+        assert EXPLOITS["Apache2"].bug_type == "NULL Pointer"
+
+    def test_every_exploit_crashes_its_app(self):
+        for name, spec in EXPLOITS.items():
+            process = boot(spec.build_image(), seed=23)
+            if name == "CVS":
+                serve(process, b"Directory /src\n")
+            process.feed(spec.payload())
+            with pytest.raises(VMFault):
+                process.run(max_steps=8_000_000)
+
+    def test_polymorphic_variants_all_crash(self):
+        for name in ("Apache2", "CVS", "Squid"):
+            spec = EXPLOITS[name]
+            for variant in polymorphic_variants(name, count=3):
+                process = boot(spec.build_image(), seed=29)
+                if name == "CVS":
+                    serve(process, b"Directory /src\n")
+                process.feed(variant)
+                with pytest.raises(VMFault):
+                    process.run(max_steps=8_000_000)
+
+    def test_variants_are_distinct_bytes(self):
+        variants = polymorphic_variants("Squid", count=5)
+        assert len(set(variants)) == len(variants)
+
+
+class TestWorkloadHarness:
+    def test_benign_generators_cover_apps(self):
+        for app in ("httpd", "squidp", "cvsd"):
+            requests = benign_requests(app, 20)
+            assert len(requests) == 20
+
+    def test_generator_is_seed_deterministic(self):
+        assert benign_requests("httpd", 10, seed=3) == \
+            benign_requests("httpd", 10, seed=3)
+        assert benign_requests("httpd", 10, seed=3) != \
+            benign_requests("httpd", 10, seed=4)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            benign_requests("nginx", 1)
+
+    def test_throughput_unprotected(self):
+        result = measure_throughput(build_squidp(),
+                                    benign_requests("squidp", 20),
+                                    protected=False)
+        assert result.responses == 20
+        assert result.mbps > 0
+        assert not result.protected
+
+    def test_throughput_protected_close_to_baseline(self):
+        """The paper's headline: <1% overhead at the default 200 ms
+        checkpoint interval."""
+        requests = benign_requests("squidp", 30)
+        baseline = measure_throughput(build_squidp(), requests,
+                                      protected=False)
+        protected = measure_throughput(build_squidp(), requests,
+                                       protected=True)
+        overhead = 1.0 - protected.mbps / baseline.mbps
+        assert overhead < 0.05, f"overhead {overhead:.2%} too high"

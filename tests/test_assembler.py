@@ -1,0 +1,272 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode_bytes
+from repro.isa.opcodes import Op
+
+
+def test_minimal_program():
+    image = assemble(".text\nmain:\n halt\n")
+    assert image.text == bytes([int(Op.HALT)])
+    assert image.symbols["main"] == ("text", 0)
+    assert image.entry == "main"
+
+
+def test_entry_must_exist():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nstart:\n halt\n")          # no 'main'
+    image = assemble(".text\nstart:\n halt\n", entry="start")
+    assert image.entry == "start"
+
+
+def test_entry_must_be_in_text():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n halt\n.data\nmain: .word 0\n")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nmain:\nmain:\n halt\n")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nmain:\n jmp nowhere\n")
+
+
+def test_unknown_mnemonic_reports_line():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(".text\nmain:\n frobnicate r0\n")
+    assert "line 3" in str(excinfo.value)
+
+
+def test_data_directives():
+    image = assemble("""
+.text
+main:
+    halt
+.data
+b:   .byte 1, 2, 0xFF
+w:   .word 0x11223344, -1
+s:   .asciiz "hi"
+sp:  .space 4
+raw: .ascii "ab"
+""")
+    data = image.data
+    assert data[0:3] == bytes([1, 2, 0xFF])
+    assert data[3:7] == (0x11223344).to_bytes(4, "little")
+    assert data[7:11] == b"\xff\xff\xff\xff"
+    assert data[11:14] == b"hi\x00"
+    assert data[14:18] == b"\x00\x00\x00\x00"
+    assert data[18:20] == b"ab"
+
+
+def test_string_escapes():
+    image = assemble('.text\nmain:\n halt\n.data\ns: .asciiz "a\\nb\\t"\n')
+    assert image.data == b"a\nb\t\x00"
+
+
+def test_equ_constants():
+    image = assemble("""
+.equ SIZE 64
+.text
+main:
+    mov r0, SIZE
+    halt
+""")
+    insn = decode_bytes(image.text)
+    assert insn.op == Op.MOVRI
+    assert insn.operands == (0, 64)
+
+
+def test_char_literals():
+    image = assemble(".text\nmain:\n mov r0, 'A'\n cmp r0, ' '\n halt\n")
+    first = decode_bytes(image.text)
+    assert first.operands == (0, ord("A"))
+    second = decode_bytes(image.text, offset=first.length)
+    assert second.op == Op.CMPRI
+    assert second.operands == (0, 0x20)
+
+
+def test_negative_and_hex_immediates():
+    image = assemble(".text\nmain:\n mov r0, -4\n mov r1, 0xFF\n halt\n")
+    first = decode_bytes(image.text)
+    assert first.operands[1] == 0xFFFFFFFC
+    second = decode_bytes(image.text, offset=first.length)
+    assert second.operands[1] == 0xFF
+
+
+def test_memory_operands():
+    image = assemble("""
+.text
+main:
+    ld r0, [r1+8]
+    ld r2, [r3]
+    ldb r4, [r5-4]
+    st [r6+12], r7
+    stb [r1], r2
+    halt
+""")
+    insn = decode_bytes(image.text)
+    assert insn.op == Op.LDW and insn.operands == (0, 1, 8)
+    offset = insn.length
+    insn = decode_bytes(image.text, offset)
+    assert insn.op == Op.LDW and insn.operands == (2, 3, 0)
+    offset += insn.length
+    insn = decode_bytes(image.text, offset)
+    assert insn.op == Op.LDB
+    assert insn.operands == (4, 5, 0xFFFFFFFC)     # -4 wrapped
+    offset += insn.length
+    insn = decode_bytes(image.text, offset)
+    assert insn.op == Op.STW and insn.operands == (6, 12, 7)
+    offset += insn.length
+    insn = decode_bytes(image.text, offset)
+    assert insn.op == Op.STB and insn.operands == (1, 0, 2)
+
+
+def test_mnemonic_selection_rr_vs_ri():
+    image = assemble(".text\nmain:\n add r0, r1\n add r0, 5\n halt\n")
+    first = decode_bytes(image.text)
+    assert first.op == Op.ADDRR
+    second = decode_bytes(image.text, first.length)
+    assert second.op == Op.ADDRI
+
+
+def test_jump_and_call_forms():
+    image = assemble("""
+.text
+main:
+    jmp main
+    jmp r3
+    call main
+    call r2
+    je main
+    jne main
+    halt
+""")
+    ops = []
+    offset = 0
+    while offset < len(image.text):
+        insn = decode_bytes(image.text, offset)
+        ops.append(insn.op)
+        offset += insn.length
+    assert ops == [Op.JMPI, Op.JMPR, Op.CALLI, Op.CALLR, Op.JE, Op.JNE,
+                   Op.HALT]
+
+
+def test_label_relocations_recorded():
+    image = assemble("""
+.text
+main:
+    mov r0, value
+    call helper
+    halt
+helper:
+    ret
+.data
+value: .word 99
+""")
+    targets = {(r.target, r.value) for r in image.relocations}
+    helper_offset = image.symbols["helper"][1]
+    assert ("data", 0) in targets
+    assert ("text", helper_offset) in targets
+
+
+def test_native_imports_become_relocations():
+    image = assemble(".text\nmain:\n call @strlen\n halt\n")
+    reloc = image.relocations[0]
+    assert reloc.target == "native"
+    assert reloc.value == "strlen"
+
+
+def test_label_plus_offset():
+    image = assemble("""
+.text
+main:
+    mov r0, table+8
+    halt
+.data
+table: .word 1, 2, 3
+""")
+    reloc = image.relocations[0]
+    assert reloc.target == "data"
+    assert reloc.addend == 8
+
+
+def test_word_directive_with_label_reference():
+    image = assemble("""
+.text
+main:
+    halt
+.data
+ptr: .word main
+""")
+    reloc = image.relocations[0]
+    assert reloc.section == "data"
+    assert reloc.target == "text"
+    assert reloc.value == 0
+
+
+def test_sys_accepts_names_and_numbers():
+    by_name = assemble(".text\nmain:\n sys recv\n halt\n")
+    by_number = assemble(".text\nmain:\n sys 1\n halt\n")
+    assert by_name.text == by_number.text
+
+
+def test_sys_rejects_unknown_name():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nmain:\n sys frob\n halt\n")
+
+
+def test_instructions_rejected_in_data_section():
+    with pytest.raises(AssemblerError):
+        assemble(".text\nmain:\n halt\n.data\n mov r0, 1\n")
+
+
+def test_comments_and_blank_lines_ignored():
+    image = assemble("""
+; leading comment
+.text
+main:            ; trailing comment
+    # hash comment
+    halt         # another
+""")
+    assert image.text == bytes([int(Op.HALT)])
+
+
+def test_comment_chars_inside_strings_kept():
+    image = assemble('.text\nmain:\n halt\n.data\ns: .asciiz "a;b#c"\n')
+    assert image.data == b"a;b#c\x00"
+
+
+def test_label_on_same_line_as_instruction():
+    image = assemble(".text\nmain: halt\n")
+    assert image.symbols["main"] == ("text", 0)
+    assert image.text == bytes([int(Op.HALT)])
+
+
+def test_two_pass_forward_references():
+    image = assemble("""
+.text
+main:
+    jmp later
+    nop
+later:
+    halt
+""")
+    insn = decode_bytes(image.text)
+    assert insn.op == Op.JMPI
+    # target offset = jmp (5) + nop (1)
+    assert image.symbols["later"] == ("text", 6)
+    reloc = image.relocations[0]
+    assert reloc.value == 6
+
+
+def test_operand_arity_errors():
+    for bad in ("mov r0", "mov r0, r1, r2", "pop 5", "st r0, [r1]",
+                "ld [r0], r1", "cmp 1, 2"):
+        with pytest.raises(AssemblerError):
+            assemble(f".text\nmain:\n {bad}\n halt\n")

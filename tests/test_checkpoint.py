@@ -1,0 +1,116 @@
+"""Unit tests for the checkpoint manager."""
+
+from repro.machine.cpu import CPU_HZ
+from repro.machine.process import load_program
+from repro.runtime.checkpoint import CheckpointManager
+from tests.conftest import ECHO_SOURCE
+
+
+def make_process():
+    process = load_program(ECHO_SOURCE, seed=1)
+    process.run(max_steps=100_000)   # to first recv
+    return process
+
+
+def test_first_checkpoint_is_due_immediately():
+    manager = CheckpointManager()
+    assert manager.due(make_process())
+
+
+def test_interval_scheduling():
+    process = make_process()
+    manager = CheckpointManager(interval_ms=200.0)
+    manager.take(process)
+    assert not manager.due(process)
+    assert manager.cycles_until_due(process) == manager.interval_cycles
+    # Simulate 200 ms of execution.
+    process.cpu.cycles += manager.interval_cycles
+    assert manager.due(process)
+    assert manager.cycles_until_due(process) == 0
+
+
+def test_take_charges_virtual_cost():
+    process = make_process()
+    manager = CheckpointManager()
+    before = process.cpu.cycles
+    manager.take(process)
+    assert process.cpu.cycles > before
+    assert manager.total_cost_cycles == process.cpu.cycles - before
+
+
+def test_retention_cap_evicts_oldest():
+    process = make_process()
+    manager = CheckpointManager(max_checkpoints=3)
+    seqs = [manager.take(process).seq for _ in range(5)]
+    kept = [checkpoint.seq for checkpoint in manager.checkpoints]
+    assert kept == seqs[-3:]
+
+
+def test_before_message_selection():
+    process = make_process()
+    manager = CheckpointManager()
+    cp0 = manager.take(process)                 # msg_cursor == 0
+    process.feed(b"a")
+    process.run(max_steps=100_000)
+    cp1 = manager.take(process)                 # msg_cursor == 1
+    process.feed(b"b")
+    process.run(max_steps=100_000)
+    cp2 = manager.take(process)                 # msg_cursor == 2
+    assert manager.before_message(0).seq == cp0.seq
+    assert manager.before_message(1).seq == cp1.seq
+    assert manager.before_message(5).seq == cp2.seq
+
+
+def test_older_than_walks_backward():
+    process = make_process()
+    manager = CheckpointManager()
+    first = manager.take(process)
+    second = manager.take(process)
+    assert manager.older_than(second).seq == first.seq
+    assert manager.older_than(first) is None
+
+
+def test_discard_after_rollback():
+    process = make_process()
+    manager = CheckpointManager()
+    keep = manager.take(process)
+    manager.take(process)
+    manager.take(process)
+    manager.discard_after(keep)
+    assert [c.seq for c in manager.checkpoints] == [keep.seq]
+
+
+def test_after_rollback_rearms_interval():
+    process = make_process()
+    manager = CheckpointManager(interval_ms=50.0)
+    checkpoint = manager.take(process)
+    process.cpu.cycles += manager.interval_cycles * 2
+    process.restore_full(checkpoint.snapshot)
+    manager.after_rollback(process)
+    assert not manager.due(process)
+
+
+def test_shorter_interval_costs_more_per_second():
+    """The Figure 4 mechanism: checkpoint cost scales with frequency."""
+    results = {}
+    for interval_ms in (30.0, 200.0):
+        process = make_process()
+        manager = CheckpointManager(interval_ms=interval_ms)
+        budget = int(CPU_HZ * 1.0)      # one virtual second
+        spent = 0
+        while spent < budget:
+            process.cpu.cycles += manager.interval_cycles
+            spent += manager.interval_cycles
+            manager.take(process)
+        results[interval_ms] = manager.total_cost_cycles
+    assert results[30.0] > 4 * results[200.0]
+
+
+def test_snapshot_contains_message_cursor():
+    process = make_process()
+    process.feed(b"x")
+    process.run(max_steps=100_000)
+    manager = CheckpointManager()
+    checkpoint = manager.take(process)
+    assert checkpoint.msg_cursor == 1
+    assert checkpoint.taken_at_cycles == process.cpu.cycles

@@ -1,0 +1,191 @@
+"""Unit tests for static memory-state (core dump) analysis."""
+
+import pytest
+
+from repro.analysis.coredump import CoreDumpAnalyzer
+from repro.errors import VMFault
+from repro.isa.assembler import assemble
+from repro.machine.process import Process
+
+#: NULL dereference inside a leaf function.
+NULL_DEREF_SOURCE = """
+.text
+main:
+    call victim
+    halt
+victim:
+    push fp
+    mov fp, sp
+    mov r0, 0
+    ld r1, [r0]
+    mov sp, fp
+    pop fp
+    ret
+"""
+
+#: Stack smash: overwrite the return address in-frame, then return.
+STACK_SMASH_SOURCE = """
+.text
+main:
+    call victim
+    halt
+victim:
+    push fp
+    mov fp, sp
+    mov r0, fp
+    add r0, 4
+    mov r1, 0x66600000
+    st [r0], r1          ; clobber own return address
+    mov sp, fp
+    pop fp
+    ret                  ; wild return
+"""
+
+#: Heap corruption then free -> crash inside lib free.
+DOUBLE_FREE_SOURCE = """
+.text
+main:
+    call victim
+    halt
+victim:
+    push fp
+    mov fp, sp
+    mov r0, 16
+    call @malloc
+    mov r4, r0
+    call @free
+    mov r1, 0x70000000    ; plant a wild free-list link
+    mov r0, r4
+    st [r0], r1
+    call @free            ; double free -> SEGV in lib free
+    mov sp, fp
+    pop fp
+    ret
+"""
+
+#: strcat overflow running off the heap mapping -> crash in lib strcat.
+HEAP_OVERFLOW_SOURCE = """
+.text
+main:
+    call victim
+    halt
+victim:
+    push fp
+    mov fp, sp
+    mov r0, 8
+    call @malloc
+    mov r4, r0
+    mov r1, big
+    mov r0, r4
+    call @strcat
+    mov sp, fp
+    pop fp
+    ret
+.data
+""" + "big: .byte " + ", ".join(["46"] * 6000) + "\nterm: .byte 0\n"
+
+
+def crash(source: str, seed: int = 3):
+    process = Process(assemble(source), seed=seed)
+    with pytest.raises(VMFault) as excinfo:
+        process.run(max_steps=300_000)
+    return process, excinfo.value
+
+
+class TestNullDeref:
+    def test_classification_and_vsef(self):
+        process, fault = crash(NULL_DEREF_SOURCE)
+        report = CoreDumpAnalyzer(process).analyze(fault)
+        assert report.fault_kind == "NULL_DEREF"
+        assert report.classification == "NULL pointer dereference"
+        assert "victim" in report.crash_site
+        assert report.stack_consistent
+        assert report.heap_consistent
+        vsef = report.vsefs[0]
+        assert vsef.kind == "null_check"
+        assert vsef.params["reg"] == 0
+
+    def test_summary_format(self):
+        process, fault = crash(NULL_DEREF_SOURCE)
+        report = CoreDumpAnalyzer(process).analyze(fault)
+        assert report.summary().startswith("Crash at ")
+
+
+class TestStackSmash:
+    def test_wild_return_classified_and_guarded(self):
+        process, fault = crash(STACK_SMASH_SOURCE)
+        report = CoreDumpAnalyzer(process).analyze(fault)
+        assert report.classification == "stack smashing (wild return)"
+        assert "victim" in report.crash_site
+        vsef = report.vsefs[0]
+        assert vsef.kind == "ret_guard"
+        assert vsef.params["function"] == "victim"
+
+    def test_fault_carries_ret_source(self):
+        _process, fault = crash(STACK_SMASH_SOURCE)
+        assert fault.kind == "BAD_PC"
+        assert fault.pc == 0x66600000
+        assert fault.source_pc is not None
+
+
+class TestDoubleFree:
+    def test_crash_in_free_with_inconsistent_heap(self):
+        process, fault = crash(DOUBLE_FREE_SOURCE)
+        assert fault.pc == process.native_addresses["free"]
+        report = CoreDumpAnalyzer(process).analyze(fault)
+        assert "lib. free" in report.crash_site
+        vsef = report.vsefs[0]
+        assert vsef.kind == "double_free"
+
+
+class TestHeapOverflow:
+    def test_crash_in_strcat_yields_bounds_vsef(self):
+        process, fault = crash(HEAP_OVERFLOW_SOURCE)
+        assert fault.pc == process.native_addresses["strcat"]
+        report = CoreDumpAnalyzer(process).analyze(fault)
+        assert "lib. strcat" in report.crash_site
+        assert report.classification == "overflow in lib. strcat"
+        vsef = report.vsefs[0]
+        assert vsef.kind == "heap_bounds"
+        assert vsef.params["native"] == "strcat"
+        assert vsef.params["caller"] is not None
+
+    def test_caller_named_in_note(self):
+        process, fault = crash(HEAP_OVERFLOW_SOURCE)
+        report = CoreDumpAnalyzer(process).analyze(fault)
+        assert "victim" in report.vsefs[0].note
+
+
+class TestStackWalk:
+    def test_clean_stack_walks_fully(self):
+        process = Process(assemble(NULL_DEREF_SOURCE), seed=1)
+        with pytest.raises(VMFault):
+            process.run(max_steps=100_000)
+        walk = CoreDumpAnalyzer(process).walk_stack()
+        assert walk.consistent
+        assert walk.frames
+        assert walk.frames[0]["function"] == "main"
+
+    def test_smashed_frame_detected(self):
+        source = """
+.text
+main:
+    call victim
+    halt
+victim:
+    push fp
+    mov fp, sp
+    mov r0, fp
+    add r0, 4
+    mov r1, 0x41414141
+    st [r0], r1
+    mov r2, 0
+    ld r3, [r2]           ; crash while frame is smashed (pre-return)
+    ret
+"""
+        process = Process(assemble(source), seed=1)
+        with pytest.raises(VMFault):
+            process.run(max_steps=100_000)
+        walk = CoreDumpAnalyzer(process).walk_stack()
+        assert not walk.consistent
+        assert "not a call site" in walk.problem

@@ -1,0 +1,95 @@
+"""Unit tests for the disassembler."""
+
+from repro.isa.disasm import disassemble, format_insn, preceded_by_call
+from repro.isa.encoding import decode_bytes, encode
+from repro.isa.opcodes import Op
+
+
+def test_format_register_operands():
+    insn = decode_bytes(encode(Op.MOVRR, 0, 8))
+    assert format_insn(insn) == "movrr r0, sp"
+
+
+def test_format_immediates_hex():
+    insn = decode_bytes(encode(Op.MOVRI, 1, 0xBEEF))
+    assert format_insn(insn) == "movri r1, 0xbeef"
+
+
+def test_format_with_address_prefix():
+    insn = decode_bytes(encode(Op.RET))
+    assert format_insn(insn, addr=0x1000) == "0x00001000: ret"
+
+
+def test_format_symbolizes_targets():
+    insn = decode_bytes(encode(Op.CALLI, 0x8048100))
+    text = format_insn(insn, symbols={0x8048100: "handler"})
+    assert "<handler>" in text
+
+
+def test_disassemble_sequence():
+    blob = (encode(Op.MOVRI, 0, 5) + encode(Op.ADDRI, 0, 1)
+            + encode(Op.HALT))
+
+    def fetch(addr, n):
+        return blob[addr:addr + n]
+
+    lines = disassemble(fetch, 0, count=3)
+    assert len(lines) == 3
+    assert "movri" in lines[0]
+    assert "addri" in lines[1]
+    assert "halt" in lines[2]
+
+
+def test_disassemble_stops_at_bad_bytes():
+    blob = encode(Op.NOP) + b"\x00\x00"
+
+    def fetch(addr, n):
+        chunk = blob[addr:addr + n]
+        if len(chunk) != n:
+            raise IndexError(addr)
+        return chunk
+
+    lines = disassemble(fetch, 0, count=5)
+    assert lines[-1].endswith("(bad)")
+
+
+class TestPrecededByCall:
+    def test_true_after_calli(self):
+        blob = encode(Op.CALLI, 0x1234) + encode(Op.NOP)
+        ret_addr = len(encode(Op.CALLI, 0x1234))
+
+        def fetch(addr, n):
+            chunk = blob[addr:addr + n]
+            if len(chunk) != n:
+                raise IndexError(addr)
+            return chunk
+
+        assert preceded_by_call(fetch, ret_addr)
+
+    def test_true_after_callr(self):
+        blob = encode(Op.CALLR, 3) + encode(Op.NOP)
+
+        def fetch(addr, n):
+            chunk = blob[addr:addr + n]
+            if len(chunk) != n:
+                raise IndexError(addr)
+            return chunk
+
+        assert preceded_by_call(fetch, len(encode(Op.CALLR, 3)))
+
+    def test_false_for_non_call_site(self):
+        blob = encode(Op.MOVRI, 0, 7) + encode(Op.NOP)
+
+        def fetch(addr, n):
+            chunk = blob[addr:addr + n]
+            if len(chunk) != n:
+                raise IndexError(addr)
+            return chunk
+
+        assert not preceded_by_call(fetch, len(blob) - 1)
+
+    def test_false_at_address_zero(self):
+        def fetch(addr, n):
+            raise IndexError(addr)
+
+        assert not preceded_by_call(fetch, 0)

@@ -1,0 +1,139 @@
+"""Unit tests for antibody distribution and sandboxed verification."""
+
+from repro.antibody.distribution import AntibodyBundle, CommunityBus
+from repro.antibody.signatures import generate_exact
+from repro.antibody.verify import verify_antibody
+from repro.antibody.vsef import VSEF, CodeLoc
+from repro.apps.cvsd import build_cvsd
+from repro.apps.exploits import cvs_exploit
+from repro.apps.squidp import build_squidp
+from repro.apps.exploits import squid_exploit
+
+
+class TestCommunityBus:
+    def test_latency_gates_availability(self):
+        bus = CommunityBus(dissemination_latency=3.0)
+        bus.publish(AntibodyBundle(app="squid", produced_at=1.0))
+        assert bus.available(now=2.0) == []
+        assert len(bus.available(now=4.1)) == 1
+
+    def test_piecemeal_publication_ordering(self):
+        bus = CommunityBus(dissemination_latency=1.0)
+        bus.publish(AntibodyBundle(app="squid", stage="final",
+                                   produced_at=5.0))
+        bus.publish(AntibodyBundle(app="squid", stage="initial",
+                                   produced_at=0.1))
+        available = bus.available(now=1.5)
+        assert [bundle.stage for bundle in available] == ["initial"]
+
+    def test_response_time_is_gamma(self):
+        """γ = γ₁ (production) + γ₂ (dissemination)."""
+        bus = CommunityBus(dissemination_latency=3.0)
+        bus.publish(AntibodyBundle(app="squid", produced_at=0.06))
+        assert bus.response_time("squid") == 3.06
+
+    def test_per_app_filtering(self):
+        bus = CommunityBus(dissemination_latency=0.0)
+        bus.publish(AntibodyBundle(app="squid", produced_at=1.0))
+        bus.publish(AntibodyBundle(app="cvs", produced_at=2.0))
+        assert bus.first_available_time("cvs") == 2.0
+        assert bus.first_available_time() == 1.0
+        assert bus.first_available_time("httpd") is None
+
+    def test_bundle_serialization(self):
+        bundle = AntibodyBundle(
+            app="squid",
+            vsefs=[VSEF(kind="double_free", params={"caller": None})],
+            signatures=[generate_exact(b"evil")],
+            exploit_input=b"evil", produced_at=0.5, stage="final")
+        data = bundle.to_dict()
+        assert data["app"] == "squid"
+        assert data["exploit_input"] == b"evil".hex()
+        assert data["vsefs"][0]["kind"] == "double_free"
+
+
+class TestVerification:
+    def test_vsef_bundle_verifies_against_exploit(self):
+        bundle = AntibodyBundle(
+            app="cvs",
+            vsefs=[VSEF(kind="double_free", params={"caller": None})],
+            exploit_input=cvs_exploit())
+        result = verify_antibody(build_cvsd(), bundle, seed=17)
+        assert result.verified
+        assert result.detected_by == "vsef"
+
+    def test_bundle_without_vsefs_still_verifies_via_crash(self):
+        """An empty antibody is verifiable because the exploit still
+        trips the lightweight monitor in the sandbox."""
+        bundle = AntibodyBundle(app="squid", vsefs=[],
+                                exploit_input=squid_exploit())
+        result = verify_antibody(build_squidp(), bundle, seed=17)
+        assert result.verified
+        assert result.detected_by == "fault"
+
+    def test_bundle_without_input_cannot_verify_yet(self):
+        bundle = AntibodyBundle(app="cvs", vsefs=[], exploit_input=None)
+        result = verify_antibody(build_cvsd(), bundle)
+        assert not result.verified
+        assert "no exploit input" in result.detail
+
+    def test_benign_input_does_not_verify(self):
+        bundle = AntibodyBundle(app="cvs", vsefs=[],
+                                exploit_input=b"Entry main.c\n")
+        result = verify_antibody(build_cvsd(), bundle, seed=17)
+        assert not result.verified
+
+
+class TestWireFormat:
+    def test_bundle_full_json_round_trip(self):
+        """Bundles survive json.dumps/loads intact: the actual wire
+        format a community deployment would ship."""
+        import json
+
+        from repro.antibody.signatures import generate_token
+
+        original = AntibodyBundle(
+            app="squid",
+            vsefs=[VSEF(kind="heap_bounds",
+                        params={"native": "strcat",
+                                "caller": CodeLoc("code", 0x1E6)}),
+                   VSEF(kind="taint_subset",
+                        params={"pcs": [CodeLoc("lib", "memcpy")],
+                                "sinks": [CodeLoc("lib", "strcat")]})],
+            signatures=[generate_exact(b"\x00\xffGET evil"),
+                        generate_token([b"GET ftp://aaaa@x",
+                                        b"GET ftp://bbbb@x"])],
+            exploit_input=squid_exploit(),
+            produced_at=1.25, stage="final")
+        wire = json.dumps(original.to_dict())
+        revived = AntibodyBundle.from_dict(json.loads(wire))
+        assert revived.bundle_id == original.bundle_id
+        assert revived.app == original.app
+        assert revived.stage == "final"
+        assert revived.produced_at == 1.25
+        assert revived.exploit_input == original.exploit_input
+        assert [v.kind for v in revived.vsefs] == \
+            [v.kind for v in original.vsefs]
+        assert revived.vsefs[0].params["caller"] == CodeLoc("code", 0x1E6)
+        assert revived.vsefs[1].params["pcs"] == [CodeLoc("lib", "memcpy")]
+        assert revived.signatures[0].matches(b"\x00\xffGET evil")
+        assert revived.signatures[1].matches(b"GET ftp://cccc@x")
+
+    def test_revived_bundle_still_verifies(self):
+        """A bundle that crossed the wire still verifies in a sandbox."""
+        import json
+
+        original = AntibodyBundle(
+            app="cvs",
+            vsefs=[VSEF(kind="double_free", params={"caller": None})],
+            exploit_input=cvs_exploit())
+        revived = AntibodyBundle.from_dict(json.loads(
+            json.dumps(original.to_dict())))
+        result = verify_antibody(build_cvsd(), revived, seed=31)
+        assert result.verified
+
+    def test_bundle_without_input_round_trips(self):
+        original = AntibodyBundle(app="httpd", stage="initial")
+        revived = AntibodyBundle.from_dict(original.to_dict())
+        assert revived.exploit_input is None
+        assert revived.vsefs == []

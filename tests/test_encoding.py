@@ -1,0 +1,123 @@
+"""Unit tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode_bytes, encode, insn_length
+from repro.isa.opcodes import (ALU_OPS, NUM_REGS, OP_SIGNATURES, Op,
+                               to_signed, to_unsigned)
+
+
+def test_every_opcode_has_a_signature():
+    for op in Op:
+        assert op in OP_SIGNATURES
+
+
+def test_opcode_values_are_unique():
+    values = [int(op) for op in Op]
+    assert len(values) == len(set(values))
+
+
+def test_zero_is_not_a_valid_opcode():
+    """Zero-filled memory must not decode (no accidental NOP sleds)."""
+    with pytest.raises(EncodingError):
+        decode_bytes(b"\x00\x00\x00")
+
+
+def test_insn_length_matches_encoding():
+    assert insn_length(Op.NOP) == 1
+    assert insn_length(Op.MOVRR) == 3
+    assert insn_length(Op.MOVRI) == 6
+    assert insn_length(Op.LDW) == 7
+    assert insn_length(Op.STW) == 7
+    assert insn_length(Op.SYS) == 2
+    for op in Op:
+        operands = _sample_operands(op)
+        assert len(encode(op, *operands)) == insn_length(op)
+
+
+def _sample_operands(op: Op, reg: int = 1, imm: int = 0x1234) -> list[int]:
+    out = []
+    for kind in OP_SIGNATURES[op]:
+        if kind == "r":
+            out.append(reg)
+        elif kind == "i":
+            out.append(imm)
+        else:
+            out.append(7)
+    return out
+
+
+def test_roundtrip_all_opcodes():
+    for op in Op:
+        operands = _sample_operands(op)
+        insn = decode_bytes(encode(op, *operands))
+        assert insn.op == op
+        assert list(insn.operands) == operands
+
+
+def test_encode_rejects_bad_register():
+    with pytest.raises(EncodingError):
+        encode(Op.MOVRR, NUM_REGS, 0)
+    with pytest.raises(EncodingError):
+        encode(Op.MOVRR, -1, 0)
+
+
+def test_encode_rejects_wrong_arity():
+    with pytest.raises(EncodingError):
+        encode(Op.MOVRR, 1)
+    with pytest.raises(EncodingError):
+        encode(Op.RET, 1)
+
+
+def test_decode_rejects_bad_register_byte():
+    blob = bytes([int(Op.MOVRR), 0, NUM_REGS])
+    with pytest.raises(EncodingError):
+        decode_bytes(blob)
+
+
+def test_decode_truncated_raises():
+    blob = encode(Op.MOVRI, 1, 0xDEADBEEF)[:-1]
+    with pytest.raises(EncodingError):
+        decode_bytes(blob)
+
+
+def test_immediates_wrap_to_32_bits():
+    insn = decode_bytes(encode(Op.MOVRI, 0, -1))
+    assert insn.operands[1] == 0xFFFFFFFF
+
+
+def test_alu_table_covers_all_alu_opcodes():
+    names = set(ALU_OPS.values())
+    assert names == {"add", "sub", "mul", "div", "mod", "and", "or", "xor",
+                     "shl", "shr"}
+    for op, name in ALU_OPS.items():
+        assert OP_SIGNATURES[op] in ("rr", "ri")
+
+
+@given(st.sampled_from(list(Op)),
+       st.integers(0, NUM_REGS - 1),
+       st.integers(-(2 ** 31), 2 ** 32 - 1))
+def test_roundtrip_property(op, reg, imm):
+    operands = _sample_operands(op, reg=reg, imm=imm & 0xFFFFFFFF)
+    insn = decode_bytes(encode(op, *operands))
+    assert insn.op == op
+    assert list(insn.operands) == [v & 0xFFFFFFFF if k == "i" else v
+                                   for k, v in zip(OP_SIGNATURES[op],
+                                                   operands)]
+
+
+@given(st.integers(-(2 ** 40), 2 ** 40))
+def test_signed_unsigned_roundtrip(value):
+    wrapped = to_unsigned(value)
+    assert 0 <= wrapped < 2 ** 32
+    assert to_unsigned(to_signed(wrapped)) == wrapped
+    assert -(2 ** 31) <= to_signed(wrapped) < 2 ** 31
+
+
+def test_decode_offset_in_buffer():
+    blob = encode(Op.NOP) + encode(Op.MOVRI, 3, 42)
+    insn = decode_bytes(blob, offset=1)
+    assert insn.op == Op.MOVRI
+    assert insn.operands == (3, 42)

@@ -1,0 +1,203 @@
+"""Failure-injection and degraded-mode tests.
+
+Sweeper's value depends on what happens when things go wrong: the
+checkpoint containing the attack was evicted, the taint step is
+unavailable, recovery diverges, or multiple different vulnerabilities
+are exploited in sequence.
+"""
+
+import pytest
+
+from repro.apps.exploits import EXPLOITS, apache1_exploit, apache2_exploit
+from repro.apps.httpd import build_httpd
+from repro.apps.workload import benign_requests
+from repro.runtime.sweeper import Sweeper, SweeperConfig
+
+
+class TestIsolationFallback:
+    def test_taint_disabled_uses_one_at_a_time_replay(self):
+        """The paper measured input isolation by replaying suspicious
+        messages one at a time (their taint port was unintegrated);
+        the same fallback engages when taint is disabled."""
+        spec = EXPLOITS["Squid"]
+        config = SweeperConfig(seed=5, enable_taint=False,
+                               enable_slicing=False)
+        sweeper = Sweeper(spec.build_image(), app_name=spec.app,
+                          config=config)
+        for request in benign_requests(spec.app, 4):
+            sweeper.submit(request)
+        sweeper.submit(spec.payload())
+        outcome = sweeper.attacks[0].outcome
+        assert outcome.malicious_msg_ids == [4]
+        assert outcome.exploit_input == spec.payload()
+        assert sweeper.proxy.signatures.exact      # signature still built
+
+    def test_membug_disabled_still_produces_initial_vsef(self):
+        spec = EXPLOITS["CVS"]
+        config = SweeperConfig(seed=5, enable_membug=False,
+                               enable_taint=False, enable_slicing=False)
+        sweeper = Sweeper(spec.build_image(), app_name=spec.app,
+                          config=config)
+        for request in benign_requests(spec.app, 2):
+            sweeper.submit(request)
+        sweeper.submit(spec.payload())
+        record = sweeper.attacks[0]
+        assert record.vsefs_installed
+        assert record.vsefs_installed[0].provenance == "memory_state"
+        # The initial VSEF alone blocks the replayed exploit.
+        crashes = len(sweeper.attacks)
+        sweeper.submit(spec.payload())
+        assert len(sweeper.attacks) == crashes
+
+
+class TestCheckpointPressure:
+    def test_tiny_retention_still_recovers(self):
+        """With only 2 retained checkpoints the replay window may have
+        to widen to the oldest available checkpoint — or analysis
+        degrades gracefully to the static step."""
+        spec = EXPLOITS["Apache2"]
+        config = SweeperConfig(seed=5, max_checkpoints=2,
+                               checkpoint_interval_ms=5.0)
+        sweeper = Sweeper(spec.build_image(), app_name=spec.app,
+                          config=config)
+        for request in benign_requests(spec.app, 8):
+            sweeper.submit(request)
+        sweeper.submit(spec.payload())
+        record = sweeper.attacks[0]
+        assert record.vsefs_installed          # at least the initial VSEF
+        # Service survives either way (recovery or restart).
+        responses = sweeper.submit(b"GET / HTTP/1.0\n")
+        assert responses
+
+    def test_many_checkpoints_bounded(self):
+        config = SweeperConfig(seed=5, max_checkpoints=4,
+                               checkpoint_interval_ms=1.0)
+        sweeper = Sweeper(build_httpd(), app_name="httpd", config=config)
+        for request in benign_requests("httpd", 20):
+            sweeper.submit(request)
+            sweeper.advance_busy(5_000)
+        assert len(sweeper.checkpoints.checkpoints) <= 4
+
+
+class TestRestartFallback:
+    def test_restart_reinstalls_antibodies(self):
+        """After a forced restart, previously learned antibodies are
+        reinstalled into the fresh process."""
+        spec = EXPLOITS["Squid"]
+        sweeper = Sweeper(spec.build_image(), app_name=spec.app,
+                          config=SweeperConfig(seed=5))
+        for request in benign_requests(spec.app, 3):
+            sweeper.submit(request)
+        sweeper.submit(spec.payload())
+        antibodies_before = list(sweeper.antibodies)
+        assert antibodies_before
+        clock_before = sweeper.clock
+        sweeper._restart()
+        assert sweeper.clock >= clock_before + 5.0     # restart penalty
+        # The fresh process carries the VSEF check table.
+        assert sweeper.process.cpu.pre_checks or sweeper.process.hooks.tools
+        responses = sweeper.submit(b"GET http://example.com/x")
+        assert responses
+
+    def test_restart_process_is_fresh(self):
+        sweeper = Sweeper(build_httpd(), app_name="httpd",
+                          config=SweeperConfig(seed=5))
+        old_process = sweeper.process
+        sweeper._restart()
+        assert sweeper.process is not old_process
+        assert sweeper.process.layout.slide_pages != \
+            old_process.layout.slide_pages or True   # layouts independent
+
+
+class TestSequentialDistinctAttacks:
+    def test_two_different_vulnerabilities_both_healed(self):
+        """httpd carries two CVEs; exploit both in one session."""
+        sweeper = Sweeper(build_httpd(), app_name="httpd",
+                          config=SweeperConfig(seed=5))
+        for request in benign_requests("httpd", 3):
+            sweeper.submit(request)
+
+        sweeper.submit(apache1_exploit())
+        assert len(sweeper.attacks) == 1
+        first_kinds = {v.kind for v in sweeper.attacks[0].vsefs_installed}
+        assert "ret_guard" in first_kinds
+
+        for request in benign_requests("httpd", 2, seed=44):
+            assert sweeper.submit(request)
+
+        sweeper.submit(apache2_exploit())
+        assert len(sweeper.attacks) == 2
+        second_kinds = {v.kind for v in sweeper.attacks[1].vsefs_installed}
+        assert "null_check" in second_kinds
+
+        # Both re-attacks blocked, service alive.
+        crashes = len(sweeper.attacks)
+        sweeper.submit(apache1_exploit())
+        sweeper.submit(apache2_exploit())
+        assert len(sweeper.attacks) == crashes
+        assert sweeper.submit(b"GET / HTTP/1.0\n")
+
+    def test_vsefs_deduplicated_across_repeats(self):
+        """Re-analyzing an equivalent attack does not duplicate VSEFs."""
+        spec = EXPLOITS["Apache2"]
+        sweeper = Sweeper(spec.build_image(), app_name=spec.app,
+                          config=SweeperConfig(seed=5))
+        for request in benign_requests(spec.app, 2):
+            sweeper.submit(request)
+        sweeper.submit(spec.payload())
+        count_after_first = len(sweeper.antibodies)
+        # A variant slips past the exact signature but hits the same
+        # null_check VSEF; no new crash analysis, no duplicates.
+        sweeper.submit(apache2_exploit(scheme=b"http://"))
+        assert len(sweeper.antibodies) == count_after_first
+
+
+class TestStrictRecoveryMode:
+    def test_strict_divergence_forces_restart_but_service_survives(self):
+        """A stateful server whose outputs depend on dropped input
+        diverges under strict recovery; Sweeper falls back to restart
+        and keeps serving."""
+        counter_source = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 64
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r1, total
+    ld r2, [r1]
+    add r2, r0
+    st [r1], r2
+    mov r0, r2
+    mov r1, out
+    call @itoa
+    mov r0, out
+    call @strlen
+    mov r1, r0
+    mov r0, out
+    sys send
+    mov r1, buf
+    ldb r2, [r1]
+    cmp r2, '!'
+    jne loop
+    mov r3, 0
+    ld r4, [r3]            ; crash on '!' requests
+    jmp loop
+.data
+total: .word 0
+buf:   .space 72
+out:   .space 16
+"""
+        sweeper = Sweeper(counter_source, app_name="counter",
+                          config=SweeperConfig(seed=5,
+                                               strict_recovery=True,
+                                               enable_slicing=False))
+        sweeper.submit(b"aaaa")
+        sweeper.submit(b"bb")
+        sweeper.submit(b"!boom")       # crash; drop changes later totals
+        # Whether recovery succeeded or restarted, service continues.
+        responses = sweeper.submit(b"cc")
+        assert responses
+        assert len(sweeper.attacks) == 1

@@ -1,0 +1,166 @@
+"""Unit tests for the PIN-style instrumentation framework."""
+
+from repro.instrument.hooks import HookManager, Tool
+from repro.machine.process import load_program
+from tests.conftest import ECHO_SOURCE, HEAP_ECHO_SOURCE
+
+
+class RecordingTool(Tool):
+    """Records every event it sees."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.events = []
+
+    def on_ins(self, pc, insn, cpu):
+        self.events.append(("ins", insn.op.name))
+
+    def on_mem_read(self, pc, addr, size):
+        self.events.append(("read", addr, size))
+
+    def on_mem_write(self, pc, addr, size, data):
+        self.events.append(("write", addr, size))
+
+    def on_mem_copy(self, pc, dst, src, size):
+        self.events.append(("copy", dst, src))
+
+    def on_call(self, pc, target, return_addr):
+        self.events.append(("call", target))
+
+    def on_ret(self, pc, target, sp):
+        self.events.append(("ret", target))
+
+    def on_malloc(self, pc, payload, size):
+        self.events.append(("malloc", size))
+
+    def on_free(self, pc, payload):
+        self.events.append(("free", payload))
+
+    def on_native(self, pc, name, args):
+        self.events.append(("native", name))
+
+    def on_syscall(self, pc, number, args, result):
+        self.events.append(("syscall", number))
+
+    def kinds(self):
+        return {event[0] for event in self.events}
+
+
+class CallOnlyTool(Tool):
+    name = "call-only"
+
+    def __init__(self):
+        self.calls = 0
+
+    def on_call(self, pc, target, return_addr):
+        self.calls += 1
+
+
+def test_no_tools_means_inactive():
+    hooks = HookManager()
+    assert not hooks.active
+
+
+def test_attach_detach_toggles_active():
+    hooks = HookManager()
+    tool = CallOnlyTool()
+    hooks.attach(tool)
+    assert hooks.active
+    hooks.detach(tool)
+    assert not hooks.active
+
+
+def test_listener_lists_only_include_overridden_methods():
+    hooks = HookManager()
+    hooks.attach(CallOnlyTool())
+    assert hooks._listeners["call"]
+    assert not hooks._listeners["ins"]
+    assert not hooks._listeners["mem_read"]
+
+
+def test_overhead_factor_combines():
+    hooks = HookManager()
+
+    class Slow(Tool):
+        overhead_factor = 20.0
+
+    class Slower(Tool):
+        overhead_factor = 300.0
+
+    hooks.attach(Slow())
+    hooks.attach(Slower())
+    assert hooks.overhead_factor() == 6000.0
+
+
+def test_full_event_stream_from_heap_echo():
+    process = load_program(HEAP_ECHO_SOURCE, seed=2)
+    tool = RecordingTool()
+    process.hooks.attach(tool, process)
+    process.feed(b"payload")
+    process.run(max_steps=200_000)
+    kinds = tool.kinds()
+    assert {"ins", "read", "write", "copy", "call", "ret", "malloc",
+            "free", "native", "syscall"} <= kinds
+    mallocs = [event for event in tool.events if event[0] == "malloc"]
+    frees = [event for event in tool.events if event[0] == "free"]
+    assert len(mallocs) == len(frees) == 1
+    natives = [event[1] for event in tool.events if event[0] == "native"]
+    assert natives == ["malloc", "strcpy", "free"]
+
+
+def test_attach_mid_execution():
+    """The Sweeper premise: tools attach to an already-running process."""
+    process = load_program(ECHO_SOURCE, seed=2)
+    process.feed(b"before")
+    process.run(max_steps=100_000)
+    assert not process.hooks.active        # normal execution: fast path
+    tool = RecordingTool()
+    process.hooks.attach(tool, process)
+    process.feed(b"after")
+    process.run(max_steps=100_000)
+    assert tool.events                     # saw the second request only
+    payload_writes = [e for e in tool.events if e[0] == "write"]
+    assert payload_writes
+
+
+def test_detach_stops_event_delivery():
+    process = load_program(ECHO_SOURCE, seed=2)
+    tool = RecordingTool()
+    process.hooks.attach(tool, process)
+    process.feed(b"one")
+    process.run(max_steps=100_000)
+    seen = len(tool.events)
+    process.hooks.detach(tool, process)
+    process.feed(b"two")
+    process.run(max_steps=100_000)
+    assert len(tool.events) == seen
+
+
+def test_multiple_tools_both_receive_events():
+    process = load_program(ECHO_SOURCE, seed=2)
+    first, second = CallOnlyTool(), CallOnlyTool()
+    process.hooks.attach(first, process)
+    process.hooks.attach(second, process)
+    process.feed(b"x")
+    process.run(max_steps=100_000)
+    assert first.calls == second.calls
+
+
+def test_attach_detach_callbacks_fire():
+    class Lifecycle(Tool):
+        def __init__(self):
+            self.attached = self.detached = False
+
+        def on_attach(self, process):
+            self.attached = True
+
+        def on_detach(self, process):
+            self.detached = True
+
+    hooks = HookManager()
+    tool = Lifecycle()
+    hooks.attach(tool)
+    assert tool.attached
+    hooks.detach(tool)
+    assert tool.detached

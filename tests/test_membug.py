@@ -1,0 +1,313 @@
+"""Unit tests for the dynamic memory-bug detector."""
+
+import pytest
+
+from repro.analysis.membug import MemoryBugDetector
+from repro.errors import VMFault
+from repro.isa.assembler import assemble
+from repro.machine.process import Process
+
+
+def run_with_detector(source: str, seed: int = 3, feeds=(),
+                      expect_fault: bool = False):
+    process = Process(assemble(source), seed=seed)
+    detector = MemoryBugDetector()
+    process.hooks.attach(detector, process)
+    for payload in feeds:
+        process.feed(payload)
+    if expect_fault:
+        with pytest.raises(VMFault):
+            process.run(max_steps=400_000)
+    else:
+        process.run(max_steps=400_000)
+    return process, detector
+
+
+class TestStackSmash:
+    SOURCE = """
+.text
+main:
+    call victim
+    halt
+victim:
+    push fp
+    mov fp, sp
+    sub sp, 8
+    mov r0, fp
+    sub r0, 8            ; char buf[8]
+    mov r1, 0
+fill:                    ; write 16 bytes: past buf, over fp and ret
+    mov r2, 0x41
+    stb [r0], r2
+    add r0, 1
+    add r1, 1
+    cmp r1, 16
+    jne fill
+    mov sp, fp
+    pop fp
+    ret
+"""
+
+    def test_detects_and_blames_the_store(self):
+        process, detector = run_with_detector(self.SOURCE,
+                                              expect_fault=True)
+        kinds = [r.kind for r in detector.reports]
+        assert "stack_smash" in kinds
+        report = next(r for r in detector.reports
+                      if r.kind == "stack_smash")
+        assert process.function_at(report.pc) == "victim"
+        assert report.function == "victim"
+
+    def test_vsef_derivation_store_guard(self):
+        process, detector = run_with_detector(self.SOURCE,
+                                              expect_fault=True)
+        vsefs = detector.derive_vsefs(process)
+        assert any(v.kind == "store_guard" for v in vsefs)
+
+
+class TestHeapOverflow:
+    SOURCE = """
+.text
+main:
+    mov r0, 8
+    call @malloc
+    mov r4, r0
+    mov r0, 8
+    call @malloc          ; neighbour whose header gets clobbered
+    mov r0, r4
+    mov r1, 0
+fill:
+    mov r2, 0x42
+    stb [r0], r2
+    add r0, 1
+    add r1, 1
+    cmp r1, 24            ; 8 in-bounds + 16 into the next header
+    jne fill
+    halt
+"""
+
+    def test_detects_write_past_block(self):
+        process, detector = run_with_detector(self.SOURCE)
+        overflow = [r for r in detector.reports if r.kind == "heap_overflow"]
+        assert overflow
+        assert process.function_at(overflow[0].pc) is not None
+
+    def test_native_overflow_blamed_with_caller(self):
+        dots = ", ".join(["46"] * 64)
+        source = f"""
+.text
+main:
+    call holder
+    halt
+holder:
+    push fp
+    mov fp, sp
+    mov r0, 8
+    call @malloc
+    mov r1, big
+    call @strcat
+    mov sp, fp
+    pop fp
+    ret
+.data
+big: .byte {dots}
+term: .byte 0
+"""
+        process, detector = run_with_detector(source)
+        overflow = [r for r in detector.reports if r.kind == "heap_overflow"]
+        assert overflow
+        assert overflow[0].pc == process.native_addresses["strcat"]
+        assert overflow[0].caller_pc is not None
+        assert process.function_at(overflow[0].caller_pc) == "holder"
+        vsefs = detector.derive_vsefs(process)
+        bounds = [v for v in vsefs if v.kind == "heap_bounds"]
+        assert bounds and bounds[0].params["native"] == "strcat"
+
+
+class TestDoubleFree:
+    SOURCE = """
+.text
+main:
+    mov r0, 16
+    call @malloc
+    mov r4, r0
+    call @free
+    mov r0, r4
+    call @free
+    halt
+"""
+
+    def test_detects_double_free(self):
+        # The second free may or may not crash (the stale link is a valid
+        # heap address here); either way the detector reports it first.
+        process = Process(assemble(self.SOURCE), seed=3)
+        detector = MemoryBugDetector()
+        process.hooks.attach(detector, process)
+        try:
+            process.run(max_steps=100_000)
+        except VMFault:
+            pass
+        doubles = [r for r in detector.reports if r.kind == "double_free"]
+        assert doubles
+        assert doubles[0].pc == process.native_addresses["free"]
+        vsefs = detector.derive_vsefs(process)
+        assert any(v.kind == "double_free" for v in vsefs)
+
+
+class TestDangling:
+    def test_dangling_write_detected(self):
+        source = """
+.text
+main:
+    mov r0, 16
+    call @malloc
+    mov r4, r0
+    call @free
+    mov r0, r4
+    mov r1, 0x43
+    stb [r0+8], r1        ; write into the freed payload
+    halt
+"""
+        _process, detector = run_with_detector(source)
+        assert any(r.kind == "dangling_write" for r in detector.reports)
+
+    def test_dangling_read_detected(self):
+        source = """
+.text
+main:
+    mov r0, 16
+    call @malloc
+    mov r4, r0
+    call @free
+    ldb r1, [r4+8]
+    halt
+"""
+        _process, detector = run_with_detector(source)
+        assert any(r.kind == "dangling_read" for r in detector.reports)
+
+
+class TestMidExecutionAttach:
+    def test_blocks_allocated_before_attach_are_known(self):
+        """Red zones seed from the memory image (the paper's mid-
+        execution start)."""
+        source = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 64
+    sys recv
+    cmp r0, 0
+    je loop
+    cmp r0, 1
+    je allocate
+    ; phase 2: overflow the block allocated in phase 1
+    mov r1, ptr
+    ld r0, [r1]
+    mov r2, 0x44
+    stb [r0+12], r2       ; block is 8 bytes: out of bounds
+    jmp loop
+allocate:
+    mov r0, 8
+    call @malloc
+    mov r1, ptr
+    st [r1], r0
+    jmp loop
+.data
+ptr: .word 0
+buf: .space 72
+"""
+        process = Process(assemble(source), seed=3)
+        process.feed(b"A")            # phase 1: allocate, no tool attached
+        process.run(max_steps=100_000)
+        detector = MemoryBugDetector()
+        process.hooks.attach(detector, process)   # attach mid-execution
+        process.feed(b"BB")           # phase 2: overflow
+        process.run(max_steps=100_000)
+        assert any(r.kind == "heap_overflow" for r in detector.reports)
+
+    def test_preexisting_frames_protected(self):
+        """Return-address slots of frames created before attach are
+        inferred from the frame-pointer chain."""
+        source = """
+.text
+main:
+    call outer
+    halt
+outer:
+    push fp
+    mov fp, sp
+    call wait_then_smash
+    mov sp, fp
+    pop fp
+    ret
+wait_then_smash:
+    push fp
+    mov fp, sp
+loop:
+    mov r0, buf
+    mov r1, 64
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r0, fp
+    add r0, 4
+    mov r1, 0x55555555
+    st [r0], r1           ; smash own return address
+    mov sp, fp
+    pop fp
+    ret
+.data
+buf: .space 72
+"""
+        process = Process(assemble(source), seed=3)
+        process.run(max_steps=100_000)      # blocks at recv, frames live
+        detector = MemoryBugDetector()
+        process.hooks.attach(detector, process)
+        process.feed(b"go")
+        try:
+            process.run(max_steps=100_000)
+        except VMFault:
+            pass
+        smashes = [r for r in detector.reports if r.kind == "stack_smash"]
+        assert smashes
+        assert smashes[0].function == "wait_then_smash"
+
+
+class TestNoFalsePositives:
+    def test_clean_heap_workload_reports_nothing(self, heap_echo_process):
+        detector = MemoryBugDetector()
+        heap_echo_process.hooks.attach(detector, heap_echo_process)
+        for index in range(5):
+            heap_echo_process.feed(b"x" * (10 + index * 13))
+            heap_echo_process.run(max_steps=400_000)
+        assert detector.reports == []
+
+    def test_recursive_calls_report_nothing(self):
+        source = """
+.text
+main:
+    mov r0, 6
+    call fact
+    halt
+fact:
+    push fp
+    mov fp, sp
+    cmp r0, 1
+    jle base
+    push r0
+    sub r0, 1
+    call fact
+    pop r1
+    mul r0, r1
+    jmp done
+base:
+    mov r0, 1
+done:
+    mov sp, fp
+    pop fp
+    ret
+"""
+        process, detector = run_with_detector(source)
+        assert process.cpu.regs[0] == 720
+        assert detector.reports == []

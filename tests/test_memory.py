@@ -1,0 +1,227 @@
+"""Unit + property tests for paged memory and COW snapshots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError, VMFault
+from repro.machine.memory import PAGE_SIZE, PagedMemory
+
+BASE = 0x10000
+
+
+def make_memory(size: int = 4 * PAGE_SIZE) -> PagedMemory:
+    memory = PagedMemory()
+    memory.map_region("test", BASE, size)
+    return memory
+
+
+class TestMapping:
+    def test_map_rounds_to_pages(self):
+        memory = PagedMemory()
+        region = memory.map_region("r", BASE, 100)
+        assert region.end - region.start == PAGE_SIZE
+
+    def test_map_rejects_unaligned(self):
+        with pytest.raises(ReproError):
+            PagedMemory().map_region("r", BASE + 1, 10)
+
+    def test_map_rejects_null_guard(self):
+        with pytest.raises(ReproError):
+            PagedMemory().map_region("r", 0, 10)
+
+    def test_map_rejects_overlap(self):
+        memory = make_memory()
+        with pytest.raises(ReproError):
+            memory.map_region("other", BASE + PAGE_SIZE, PAGE_SIZE)
+
+    def test_extend_region(self):
+        memory = make_memory(PAGE_SIZE)
+        memory.extend_region("test", BASE + 3 * PAGE_SIZE)
+        memory.write(BASE + 2 * PAGE_SIZE, b"x")     # now mapped
+        assert memory.region_named("test").end == BASE + 3 * PAGE_SIZE
+
+    def test_extend_cannot_shrink(self):
+        memory = make_memory(2 * PAGE_SIZE)
+        with pytest.raises(ReproError):
+            memory.extend_region("test", BASE + PAGE_SIZE)
+
+    def test_extend_cannot_overlap(self):
+        memory = make_memory(PAGE_SIZE)
+        memory.map_region("wall", BASE + 2 * PAGE_SIZE, PAGE_SIZE)
+        with pytest.raises(ReproError):
+            memory.extend_region("test", BASE + 3 * PAGE_SIZE)
+
+    def test_region_lookup(self):
+        memory = make_memory()
+        assert memory.region_at(BASE).name == "test"
+        assert memory.region_at(BASE - 1) is None
+        assert memory.is_mapped(BASE + 10)
+        assert not memory.is_mapped(0x500000)
+
+    def test_mapped_page_count(self):
+        memory = make_memory(3 * PAGE_SIZE)
+        assert memory.mapped_page_count() == 3
+
+
+class TestAccess:
+    def test_read_write_roundtrip(self):
+        memory = make_memory()
+        memory.write(BASE + 5, b"hello")
+        assert memory.read(BASE + 5, 5) == b"hello"
+
+    def test_unwritten_memory_is_zero(self):
+        memory = make_memory()
+        assert memory.read(BASE, 8) == b"\x00" * 8
+
+    def test_cross_page_write(self):
+        memory = make_memory()
+        addr = BASE + PAGE_SIZE - 3
+        memory.write(addr, b"abcdef")
+        assert memory.read(addr, 6) == b"abcdef"
+
+    def test_word_helpers(self):
+        memory = make_memory()
+        memory.write_word(BASE, 0xDEADBEEF)
+        assert memory.read_word(BASE) == 0xDEADBEEF
+        memory.write_byte(BASE + 8, 0x7F)
+        assert memory.read_byte(BASE + 8) == 0x7F
+
+    def test_word_is_little_endian(self):
+        memory = make_memory()
+        memory.write_word(BASE, 0x11223344)
+        assert memory.read(BASE, 4) == b"\x44\x33\x22\x11"
+
+    def test_cstring(self):
+        memory = make_memory()
+        memory.write(BASE, b"hello\x00world")
+        assert memory.read_cstring(BASE) == b"hello"
+        assert memory.read_cstring(BASE + 6) == b"world"
+
+    def test_unmapped_read_faults_segv(self):
+        memory = make_memory()
+        with pytest.raises(VMFault) as excinfo:
+            memory.read(0x900000, 1)
+        assert excinfo.value.kind == "SEGV"
+        assert excinfo.value.addr == 0x900000
+
+    def test_read_past_region_end_faults(self):
+        memory = make_memory(PAGE_SIZE)
+        with pytest.raises(VMFault):
+            memory.read(BASE + PAGE_SIZE - 2, 4)
+
+    def test_null_guard_faults(self):
+        memory = make_memory()
+        with pytest.raises(VMFault) as excinfo:
+            memory.read(0x10, 1)
+        assert excinfo.value.kind == "NULL_DEREF"
+
+    def test_readonly_region_rejects_writes(self):
+        memory = PagedMemory()
+        memory.map_region("code", BASE, PAGE_SIZE, writable=False)
+        with pytest.raises(VMFault) as excinfo:
+            memory.write(BASE, b"x")
+        assert excinfo.value.kind == "PROT"
+        memory.write_unchecked(BASE, b"x")      # loader path still works
+        assert memory.read(BASE, 1) == b"x"
+
+    def test_zero_length_ops(self):
+        memory = make_memory()
+        assert memory.read(BASE, 0) == b""
+        memory.write(BASE, b"")     # no-op, no fault
+
+
+class TestSnapshots:
+    def test_snapshot_isolates_later_writes(self):
+        memory = make_memory()
+        memory.write(BASE, b"before")
+        snap = memory.snapshot()
+        memory.write(BASE, b"after!")
+        assert snap.pages  # page exists in snapshot
+        memory.restore(snap)
+        assert memory.read(BASE, 6) == b"before"
+
+    def test_cow_copies_counted(self):
+        memory = make_memory()
+        memory.write(BASE, b"x")
+        memory.snapshot()
+        before = memory.cow_copies
+        memory.write(BASE, b"y")               # touches a frozen page
+        assert memory.cow_copies == before + 1
+        memory.write(BASE + 1, b"z")           # same page, already copied
+        assert memory.cow_copies == before + 1
+
+    def test_restore_restores_regions(self):
+        memory = make_memory(PAGE_SIZE)
+        snap = memory.snapshot()
+        memory.extend_region("test", BASE + 4 * PAGE_SIZE)
+        memory.restore(snap)
+        assert memory.region_named("test").end == BASE + PAGE_SIZE
+        with pytest.raises(VMFault):
+            memory.read(BASE + 2 * PAGE_SIZE, 1)
+
+    def test_multiple_snapshots_independent(self):
+        memory = make_memory()
+        memory.write(BASE, b"v1")
+        snap1 = memory.snapshot()
+        memory.write(BASE, b"v2")
+        snap2 = memory.snapshot()
+        memory.write(BASE, b"v3")
+        memory.restore(snap1)
+        assert memory.read(BASE, 2) == b"v1"
+        memory.restore(snap2)
+        assert memory.read(BASE, 2) == b"v2"
+
+    def test_restore_then_write_does_not_corrupt_snapshot(self):
+        memory = make_memory()
+        memory.write(BASE, b"orig")
+        snap = memory.snapshot()
+        memory.restore(snap)
+        memory.write(BASE, b"mut!")
+        memory.restore(snap)
+        assert memory.read(BASE, 4) == b"orig"
+
+    def test_dirty_pages_since(self):
+        memory = make_memory(4 * PAGE_SIZE)
+        memory.write(BASE, b"a")
+        snap = memory.snapshot()
+        assert memory.dirty_pages_since(snap) == 0
+        memory.write(BASE, b"b")
+        memory.write(BASE + 2 * PAGE_SIZE, b"c")
+        assert memory.dirty_pages_since(snap) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 4 * PAGE_SIZE - 64),
+                          st.binary(min_size=1, max_size=64)),
+                min_size=1, max_size=20))
+def test_write_read_roundtrip_property(writes):
+    """The last write to each byte wins, exactly."""
+    memory = make_memory()
+    shadow = bytearray(4 * PAGE_SIZE)
+    for offset, data in writes:
+        memory.write(BASE + offset, data)
+        shadow[offset:offset + len(data)] = data
+    for offset, data in writes:
+        got = memory.read(BASE + offset, len(data))
+        assert got == bytes(shadow[offset:offset + len(data)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2 * PAGE_SIZE - 16),
+                          st.binary(min_size=1, max_size=16)),
+                min_size=1, max_size=10),
+       st.lists(st.tuples(st.integers(0, 2 * PAGE_SIZE - 16),
+                          st.binary(min_size=1, max_size=16)),
+                min_size=1, max_size=10))
+def test_snapshot_restore_property(before_writes, after_writes):
+    """restore() returns memory to the exact snapshot contents no matter
+    what happened in between."""
+    memory = make_memory()
+    for offset, data in before_writes:
+        memory.write(BASE + offset, data)
+    reference = memory.read(BASE, 2 * PAGE_SIZE)
+    snap = memory.snapshot()
+    for offset, data in after_writes:
+        memory.write(BASE + offset, data)
+    memory.restore(snap)
+    assert memory.read(BASE, 2 * PAGE_SIZE) == reference

@@ -1,0 +1,192 @@
+"""Unit tests for the native libc routines."""
+
+import pytest
+
+from repro.errors import VMFault
+from repro.machine.natives import NATIVE_OFFSETS, build_native_map
+from tests.conftest import run_fragment
+
+
+class TestStringRoutines:
+    def test_strlen(self):
+        process = run_fragment(" mov r0, s\n call @strlen\n",
+                               data='s: .asciiz "hello"')
+        assert process.cpu.regs[0] == 5
+
+    def test_strlen_empty(self):
+        process = run_fragment(" mov r0, s\n call @strlen\n",
+                               data='s: .asciiz ""')
+        assert process.cpu.regs[0] == 0
+
+    def test_strcpy_copies_terminator(self):
+        process = run_fragment(
+            " mov r0, dst\n mov r1, src\n call @strcpy\n"
+            " mov r0, dst\n call @strlen\n",
+            data='src: .asciiz "abc"\ndst: .space 16')
+        assert process.cpu.regs[0] == 3
+        dst = process.symbols["dst"]
+        assert process.memory.read(dst, 4) == b"abc\x00"
+
+    def test_strncpy_pads_with_nul(self):
+        process = run_fragment(
+            " mov r0, dst\n mov r1, src\n mov r2, 6\n call @strncpy\n",
+            data='src: .asciiz "ab"\ndst: .byte 0xFF,0xFF,0xFF,0xFF,0xFF,0xFF')
+        dst = process.symbols["dst"]
+        assert process.memory.read(dst, 6) == b"ab\x00\x00\x00\x00"
+
+    def test_strcat_appends(self):
+        process = run_fragment(
+            " mov r0, dst\n mov r1, a\n call @strcpy\n"
+            " mov r0, dst\n mov r1, b\n call @strcat\n",
+            data='a: .asciiz "foo"\nb: .asciiz "bar"\ndst: .space 16')
+        dst = process.symbols["dst"]
+        assert process.memory.read_cstring(dst) == b"foobar"
+
+    def test_strncat_respects_limit(self):
+        process = run_fragment(
+            " mov r0, dst\n mov r1, a\n call @strcpy\n"
+            " mov r0, dst\n mov r1, b\n mov r2, 2\n call @strncat\n",
+            data='a: .asciiz "x"\nb: .asciiz "yyyy"\ndst: .space 16')
+        dst = process.symbols["dst"]
+        assert process.memory.read_cstring(dst) == b"xyy"
+
+    def test_memcpy_and_memset(self):
+        process = run_fragment(
+            " mov r0, dst\n mov r1, src\n mov r2, 4\n call @memcpy\n"
+            " mov r0, dst+4\n mov r1, 'z'\n mov r2, 3\n call @memset\n",
+            data='src: .asciiz "wxyz"\ndst: .space 16')
+        dst = process.symbols["dst"]
+        assert process.memory.read(dst, 7) == b"wxyzzzz"
+
+    @pytest.mark.parametrize("a,b,expected", [
+        ("abc", "abc", 0), ("abd", "abc", 1), ("abb", "abc", 0xFFFFFFFF),
+        ("ab", "abc", 0xFFFFFFFF), ("abc", "ab", 1)])
+    def test_strcmp(self, a, b, expected):
+        process = run_fragment(
+            " mov r0, sa\n mov r1, sb\n call @strcmp\n",
+            data=f'sa: .asciiz "{a}"\nsb: .asciiz "{b}"')
+        assert process.cpu.regs[0] == expected
+
+    def test_strncmp_stops_at_limit(self):
+        process = run_fragment(
+            " mov r0, sa\n mov r1, sb\n mov r2, 3\n call @strncmp\n",
+            data='sa: .asciiz "abcX"\nsb: .asciiz "abcY"')
+        assert process.cpu.regs[0] == 0
+
+    def test_strchr_found_and_missing(self):
+        process = run_fragment(
+            " mov r0, s\n mov r1, 'l'\n call @strchr\n mov r4, r0\n"
+            " mov r0, s\n mov r1, 'q'\n call @strchr\n mov r5, r0\n",
+            data='s: .asciiz "hello"')
+        assert process.cpu.regs[4] == process.symbols["s"] + 2
+        assert process.cpu.regs[5] == 0
+
+    def test_strstr(self):
+        process = run_fragment(
+            " mov r0, hay\n mov r1, pin\n call @strstr\n mov r4, r0\n"
+            " mov r0, hay\n mov r1, missing\n call @strstr\n mov r5, r0\n",
+            data=('hay: .asciiz "Referer: ftp://x"\n'
+                  'pin: .asciiz "ftp://"\n'
+                  'missing: .asciiz "gopher"'))
+        assert process.cpu.regs[4] == process.symbols["hay"] + 9
+        assert process.cpu.regs[5] == 0
+
+    def test_strstr_empty_needle_returns_haystack(self):
+        process = run_fragment(
+            " mov r0, hay\n mov r1, empty\n call @strstr\n",
+            data='hay: .asciiz "abc"\nempty: .asciiz ""')
+        assert process.cpu.regs[0] == process.symbols["hay"]
+
+    @pytest.mark.parametrize("text,expected", [
+        ("123", 123), ("-45", (-45) & 0xFFFFFFFF), ("0", 0),
+        ("42abc", 42), ("abc", 0), ("", 0)])
+    def test_atoi(self, text, expected):
+        process = run_fragment(
+            " mov r0, s\n call @atoi\n", data=f's: .asciiz "{text}"')
+        assert process.cpu.regs[0] == expected
+
+    def test_itoa(self):
+        process = run_fragment(
+            " mov r0, 3041\n mov r1, buf\n call @itoa\n",
+            data="buf: .space 16")
+        buf = process.symbols["buf"]
+        assert process.memory.read_cstring(buf) == b"3041"
+
+
+class TestHeapRoutines:
+    def test_malloc_free_roundtrip(self):
+        process = run_fragment(
+            " mov r0, 64\n call @malloc\n mov r4, r0\n call @free\n"
+            " mov r0, 64\n call @malloc\n mov r5, r0\n")
+        assert process.cpu.regs[4] == process.cpu.regs[5]   # reuse
+
+    def test_calloc_zeroes(self):
+        process = run_fragment(
+            " mov r0, 8\n mov r1, 1\n call @calloc\n ld r4, [r0]\n"
+            " ld r5, [r0+4]\n")
+        assert process.cpu.regs[4] == 0
+        assert process.cpu.regs[5] == 0
+
+    def test_realloc_preserves_prefix(self):
+        process = run_fragment("""
+    mov r0, 8
+    call @malloc
+    mov r4, r0
+    mov r1, 0x31323334
+    st [r4], r1
+    mov r0, r4
+    mov r1, 64
+    call @realloc
+    ld r5, [r0]
+""")
+        assert process.cpu.regs[5] == 0x31323334
+
+    def test_realloc_null_acts_like_malloc(self):
+        process = run_fragment(
+            " mov r0, 0\n mov r1, 16\n call @realloc\n")
+        assert process.cpu.regs[0] != 0
+
+
+class TestFaultAttribution:
+    def _run_faulting(self, body: str, data: str = ""):
+        from repro.machine.process import Process
+        from repro.isa.assembler import assemble
+
+        source = f".text\nmain:\n{body}\n halt\n"
+        if data:
+            source += f".data\n{data}\n"
+        process = Process(assemble(source), seed=3)
+        with pytest.raises(VMFault) as excinfo:
+            process.run(max_steps=200_000)
+        return process, excinfo.value
+
+    def test_native_fault_reports_library_pc_and_caller(self):
+        process, fault = self._run_faulting(
+            " mov r0, 0x800000\n call @strlen\n")
+        assert fault.kind == "SEGV"
+        # pc is the native's own library address...
+        assert fault.pc == process.native_addresses["strlen"]
+        # ...and the application caller is carried along.
+        assert fault.source_pc is not None
+        code = process.memory.region_named("code")
+        assert code.start <= fault.source_pc < code.end
+
+    def test_strcat_runs_off_heap_mapping(self):
+        dots = ", ".join(["46"] * 5000)
+        process, fault = self._run_faulting(
+            " mov r0, 64\n call @malloc\n mov r4, r0\n"
+            " mov r1, big\n call @strcat\n",
+            data=f"big: .byte {dots}\nterm: .byte 0")
+        assert fault.kind == "SEGV"
+        assert fault.pc == process.native_addresses["strcat"]
+
+
+def test_native_map_is_complete():
+    table = build_native_map(0x4F000000)
+    assert table[0x4F000000 + NATIVE_OFFSETS["strcat"]] == "strcat"
+    assert len(table) == len(NATIVE_OFFSETS)
+
+
+def test_paper_addresses_preserved_at_reference_layout():
+    assert 0x4F000000 + NATIVE_OFFSETS["strcat"] == 0x4F0F0907
+    assert 0x4F000000 + NATIVE_OFFSETS["free"] == 0x4F0EAAA0

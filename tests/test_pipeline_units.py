@@ -1,0 +1,140 @@
+"""Unit-level tests for the analysis pipeline and monitor helpers
+(integration coverage lives in test_sweeper_e2e)."""
+
+import pytest
+
+from repro.analysis.pipeline import AnalysisOutcome, StepResult
+from repro.analysis.slicing import BackwardSlicer
+from repro.antibody.vsef import VSEF
+from repro.errors import (FAULT_BADPC, FAULT_DIVZERO, FAULT_ILLEGAL,
+                          FAULT_NULL, FAULT_SEGV, VMFault)
+from repro.isa.assembler import assemble
+from repro.machine.process import Process
+from repro.runtime.monitor import (classify_fault, detection_from_fault,
+                                   detection_from_vsef)
+
+
+def _fault(kind):
+    return VMFault(kind, pc=0x1000)
+
+
+class TestMonitorClassification:
+    def test_null(self):
+        assert "NULL" in classify_fault(_fault(FAULT_NULL))
+
+    def test_wild_control(self):
+        for kind in (FAULT_BADPC, FAULT_ILLEGAL):
+            assert "randomization" in classify_fault(_fault(kind))
+
+    def test_arithmetic(self):
+        assert "arithmetic" in classify_fault(_fault(FAULT_DIVZERO))
+
+    def test_segv(self):
+        assert "overflow" in classify_fault(_fault(FAULT_SEGV))
+
+    def test_detection_records(self):
+        crash = detection_from_fault(_fault(FAULT_SEGV), 1.5, msg_id=7)
+        assert crash.kind == "crash"
+        assert crash.msg_id == 7
+        assert "monitor tripped" in crash.describe()
+
+        from repro.errors import AttackDetected
+
+        blocked = detection_from_vsef(
+            AttackDetected("vsef-9", 0x2000, "double free blocked"),
+            2.0, msg_id=8)
+        assert blocked.kind == "vsef"
+        assert blocked.vsef_id == "vsef-9"
+        assert "vsef-9" in blocked.describe()
+
+
+class TestOutcomeAccessors:
+    def _step(self, name, cumulative, vsefs=()):
+        return StepResult(name=name, wall_seconds=0.0,
+                          virtual_seconds=0.01,
+                          cumulative_virtual=cumulative, summary="",
+                          vsefs=list(vsefs))
+
+    def test_time_accessors(self):
+        outcome = AnalysisOutcome(detection_fault=_fault(FAULT_SEGV))
+        vsef = VSEF(kind="double_free", params={"caller": None})
+        outcome.steps = [
+            self._step("memory_state", 0.04, vsefs=[vsef]),
+            self._step("reproduce", 0.05),
+            self._step("memory_bug", 0.20, vsefs=[vsef]),
+            self._step("input_taint", 0.40),
+            self._step("slicing", 1.0),
+        ]
+        assert outcome.time_to_first_vsef == 0.04
+        assert outcome.time_to_best_vsef == 0.20
+        assert outcome.initial_analysis_time == 0.40
+        assert outcome.total_analysis_time == 1.0
+        assert len(outcome.all_vsefs) == 2
+        assert outcome.step("reproduce") is not None
+        assert outcome.step("nonexistent") is None
+
+    def test_no_vsefs_means_no_first_time(self):
+        outcome = AnalysisOutcome(detection_fault=_fault(FAULT_SEGV))
+        outcome.steps = [self._step("memory_state", 0.04)]
+        assert outcome.time_to_first_vsef is None
+        assert outcome.time_to_best_vsef is None
+        assert outcome.initial_analysis_time is None
+
+    def test_empty_outcome_total_is_zero(self):
+        outcome = AnalysisOutcome(detection_fault=_fault(FAULT_SEGV))
+        assert outcome.total_analysis_time == 0.0
+
+
+class TestForwardSliceFromInput:
+    SOURCE = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 128
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r1, buf
+inf:
+    ldb r2, [r1]           ; influenced by input
+    mov r3, sink
+    stb [r3], r2
+unrelated:
+    mov r4, 777            ; influenced by nothing
+    jmp loop
+.data
+buf: .space 132
+sink: .byte 0
+"""
+
+    def test_forward_slice_covers_input_influence_only(self):
+        process = Process(assemble(self.SOURCE), seed=1)
+        slicer = BackwardSlicer(control_deps=False)
+        process.hooks.attach(slicer, process)
+        process.feed(b"x")
+        process.run(max_steps=100_000)
+        report = slicer.forward_slice_from_input(0)
+        assert report.contains_pc(process.symbols["inf"])
+        sink = process.symbols["sink"]
+        assert any(slicer.nodes[i].pc for i in report.node_indices)
+        assert not report.contains_pc(process.symbols["unrelated"])
+        assert report.input_labels == {(0, 0)}
+
+    def test_forward_slice_distinguishes_messages(self):
+        process = Process(assemble(self.SOURCE), seed=1)
+        slicer = BackwardSlicer(control_deps=False)
+        process.hooks.attach(slicer, process)
+        process.feed(b"a")
+        process.feed(b"b")
+        process.run(max_steps=100_000)
+        first = slicer.forward_slice_from_input(0)
+        second = slicer.forward_slice_from_input(1)
+        assert first.input_labels == {(0, 0)}
+        assert second.input_labels == {(1, 0)}
+
+    def test_forward_slice_unknown_message_is_empty(self):
+        slicer = BackwardSlicer()
+        report = slicer.forward_slice_from_input(99)
+        assert report.node_indices == set()
+        assert report.pcs == set()

@@ -1,0 +1,260 @@
+"""Unit tests for the process: loader, syscalls, snapshots, symbols."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.machine.layout import (ReferenceLayout, randomized_layout,
+                                  REF_CODE_BASE, REF_LIB_BASE)
+from repro.machine.process import Process, load_program
+from tests.conftest import ECHO_SOURCE, HEAP_ECHO_SOURCE
+
+
+class TestLoader:
+    def test_regions_mapped(self, echo_process):
+        names = {region.name for region in echo_process.memory.regions}
+        assert names == {"code", "data", "heap", "stack"}
+
+    def test_code_is_read_only(self, echo_process):
+        code = echo_process.memory.region_named("code")
+        assert not code.writable
+
+    def test_entry_and_stack_setup(self, echo_process):
+        assert echo_process.cpu.pc == echo_process.symbols["main"]
+        sp = echo_process.cpu.regs[8]
+        assert sp == echo_process.layout.stack_top - 16
+
+    def test_data_relocations_resolved(self):
+        process = load_program(ECHO_SOURCE, layout=ReferenceLayout())
+        # 'mov r0, buf' must carry the absolute data address.
+        buf = process.symbols["buf"]
+        assert buf == process.layout.data_base + \
+            process.image.symbols["buf"][1]
+
+    def test_native_relocations_resolved(self):
+        process = load_program(HEAP_ECHO_SOURCE, layout=ReferenceLayout())
+        assert process.native_addresses["malloc"] == 0x4F0EA100
+        assert process.native_addresses["strcat"] == 0x4F0F0907
+
+    def test_allocator_initialized(self, heap_echo_process):
+        assert heap_echo_process.allocator.initialized
+
+
+class TestLayoutRandomization:
+    def test_reference_layout_is_stable(self):
+        layout = ReferenceLayout()
+        assert layout.code_base == REF_CODE_BASE
+        assert layout.lib_base == REF_LIB_BASE
+        assert not layout.randomized
+
+    def test_randomized_layouts_differ(self):
+        import random
+
+        a = randomized_layout(random.Random(1))
+        b = randomized_layout(random.Random(2))
+        assert (a.code_base, a.heap_base, a.stack_top) != \
+            (b.code_base, b.heap_base, b.stack_top)
+
+    def test_slides_are_page_multiples(self):
+        import random
+
+        layout = randomized_layout(random.Random(3))
+        for base in (layout.code_base, layout.data_base, layout.heap_base,
+                     layout.lib_base, layout.stack_top):
+            assert base % 4096 == 0
+
+    def test_same_program_runs_under_any_layout(self):
+        import random
+
+        for seed in range(4):
+            process = load_program(
+                ECHO_SOURCE, layout=randomized_layout(random.Random(seed)))
+            process.feed(b"probe")
+            process.run(max_steps=100_000)
+            assert process.sent[-1].data == b"probe"
+
+    def test_guess_probability(self):
+        from repro.machine.layout import guess_probability
+
+        assert guess_probability(12) == pytest.approx(2 ** -12)
+
+
+class TestSyscalls:
+    def test_recv_send_echo(self, echo_process):
+        echo_process.feed(b"hello")
+        result = echo_process.run(max_steps=100_000)
+        assert result.reason == "idle"
+        assert echo_process.sent[-1].data == b"hello"
+
+    def test_recv_blocks_until_fed(self, echo_process):
+        result = echo_process.run(max_steps=100_000)
+        assert result.reason == "idle"
+        # Resuming without input stays idle and makes no progress.
+        result = echo_process.run(max_steps=100)
+        assert result.reason == "idle"
+
+    def test_recv_truncates_to_max_len(self, echo_process):
+        echo_process.feed(b"x" * 1000)
+        echo_process.run(max_steps=100_000)
+        assert len(echo_process.sent[-1].data) == 512
+
+    def test_messages_processed_in_order(self, echo_process):
+        echo_process.feed(b"one")
+        echo_process.feed(b"two")
+        echo_process.run(max_steps=100_000)
+        assert [s.data for s in echo_process.sent] == [b"one", b"two"]
+
+    def test_sent_messages_attributed_to_request(self, echo_process):
+        first = echo_process.feed(b"a")
+        second = echo_process.feed(b"b")
+        echo_process.run(max_steps=100_000)
+        assert echo_process.sent[0].msg_id == first
+        assert echo_process.sent[1].msg_id == second
+
+    def test_exit_syscall(self):
+        process = load_program(".text\nmain:\n mov r0, 3\n sys exit\n")
+        result = process.run()
+        assert result.reason == "exit"
+        assert result.exit_status == 3
+
+    def test_time_is_monotonic_virtual_ms(self):
+        process = load_program("""
+.text
+main:
+    sys time
+    mov r4, r0
+loop:
+    add r5, 1
+    cmp r5, 2000
+    jne loop
+    sys time
+    mov r5, r0
+    halt
+""")
+        process.run()
+        assert process.cpu.regs[5] >= process.cpu.regs[4]
+
+    def test_rand_is_seed_deterministic(self):
+        source = ".text\nmain:\n sys rand\n mov r4, r0\n sys rand\n" \
+                 " mov r5, r0\n halt\n"
+        a = load_program(source, seed=5)
+        b = load_program(source, seed=5)
+        c = load_program(source, seed=6)
+        for process in (a, b, c):
+            process.run()
+        assert a.cpu.regs[4] == b.cpu.regs[4]
+        assert a.cpu.regs[5] == b.cpu.regs[5]
+        assert (a.cpu.regs[4], a.cpu.regs[5]) != \
+            (c.cpu.regs[4], c.cpu.regs[5])
+
+    def test_log_syscall_captures_debug_output(self):
+        process = load_program(
+            ".text\nmain:\n mov r0, msg\n mov r1, 5\n sys log\n halt\n"
+            '.data\nmsg: .asciiz "debug"')
+        process.run()
+        assert process.debug_log == [b"debug"]
+
+    def test_getpid(self):
+        process = load_program(".text\nmain:\n sys getpid\n halt\n", seed=9)
+        process.run()
+        assert process.cpu.regs[0] == process.pid
+
+
+class TestSnapshotRestore:
+    def test_rollback_restores_registers_memory_and_messages(
+            self, echo_process):
+        echo_process.feed(b"first")
+        echo_process.run(max_steps=100_000)
+        snap = echo_process.snapshot_full()
+        echo_process.feed(b"second")
+        echo_process.run(max_steps=100_000)
+        assert len(echo_process.sent) == 2
+        echo_process.restore_full(snap)
+        assert echo_process.msg_cursor == 1
+        echo_process.feed(b"replayed")
+        echo_process.run(max_steps=100_000)
+        assert echo_process.sent[-1].data == b"replayed"
+
+    def test_heap_state_rolls_back_with_memory(self, heap_echo_process):
+        process = heap_echo_process
+        process.feed(b"warmup")
+        process.run(max_steps=200_000)
+        snap = process.snapshot_full()
+        brk_before = process.allocator.brk
+        for index in range(5):
+            process.feed(b"x" * (50 + index * 17))
+            process.run(max_steps=200_000)
+        process.restore_full(snap)
+        assert process.allocator.brk == brk_before
+        assert process.allocator.check_consistency() == []
+
+    def test_deterministic_replay_of_rand(self):
+        source = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 64
+    sys recv
+    cmp r0, 0
+    je loop
+    sys rand
+    mov r1, buf
+    st [r1], r0
+    mov r0, buf
+    mov r1, 4
+    sys send
+    jmp loop
+.data
+buf: .space 64
+"""
+        process = load_program(source, seed=4)
+        process.run(max_steps=100_000)
+        snap = process.snapshot_full()
+        process.feed(b"roll")
+        process.run(max_steps=100_000)
+        live_value = process.sent[-1].data
+        # Roll back and replay: the logged rand value must be replayed.
+        process.restore_full(snap, keep_log=True)
+        process.replay_mode = True
+        process.feed(b"roll")
+        process.run(max_steps=100_000)
+        assert process.sent[-1].data == live_value
+        process.replay_mode = False
+
+    def test_restore_without_log_generates_fresh_rand(self):
+        source = ".text\nmain:\n sys rand\n mov r4, r0\n halt\n"
+        process = load_program(source, seed=4)
+        snap = process.snapshot_full()
+        process.run()
+        first = process.cpu.regs[4]
+        process.restore_full(snap, keep_log=False)
+        process.run()
+        # Same RNG state restored -> same value even without the log.
+        assert process.cpu.regs[4] == first
+
+
+class TestSymbols:
+    def test_function_at_prefers_call_targets(self):
+        source = """
+.text
+main:
+    call fn
+    halt
+fn:
+    mov r0, 1
+local_label:
+    mov r1, 2
+    ret
+"""
+        process = load_program(source)
+        process.run()
+        inside = process.symbols["local_label"] + 1
+        assert process.function_at(inside) == "fn"
+
+    def test_describe_address_styles(self):
+        process = load_program(ECHO_SOURCE, layout=ReferenceLayout())
+        text = process.describe_address(
+            process.native_addresses["strcat"])
+        assert text == "0x4f0f0907 (lib. strcat)"
+        main_text = process.describe_address(process.symbols["main"])
+        assert "(main)" in main_text

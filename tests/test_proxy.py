@@ -1,0 +1,79 @@
+"""Unit tests for the network proxy (log, filter, replay, output commit)."""
+
+from repro.antibody.signatures import generate_exact, generate_token
+from repro.machine.process import load_program
+from repro.runtime.proxy import NetworkProxy
+from tests.conftest import ECHO_SOURCE
+
+
+def test_submit_assigns_sequential_ids():
+    proxy = NetworkProxy()
+    first = proxy.submit(b"a")
+    second = proxy.submit(b"b")
+    assert (first.msg_id, second.msg_id) == (0, 1)
+    assert [m.data for m in proxy.log] == [b"a", b"b"]
+
+
+def test_signature_filtering_blocks_before_delivery():
+    proxy = NetworkProxy()
+    proxy.signatures.add(generate_exact(b"EVIL"))
+    process = load_program(ECHO_SOURCE)
+    message = proxy.submit(b"EVIL")
+    assert message.filtered_by is not None
+    assert proxy.filtered_count == 1
+    assert not proxy.deliver(message, process)
+    assert not process.input_queue
+
+
+def test_token_signatures_also_filter():
+    proxy = NetworkProxy()
+    proxy.signatures.add(generate_token([b"GET /aaaEVILbbb", b"GET /xxEVILyy"]))
+    assert proxy.submit(b"GET /zzzEVILqqq").filtered_by is not None
+    assert proxy.submit(b"GET /benign").filtered_by is None
+
+
+def test_delivery_order_recorded():
+    proxy = NetworkProxy()
+    process = load_program(ECHO_SOURCE)
+    for payload in (b"one", b"two", b"three"):
+        proxy.deliver(proxy.submit(payload), process)
+    assert proxy.delivered == [0, 1, 2]
+
+
+def test_delivered_since_with_exclusions():
+    proxy = NetworkProxy()
+    process = load_program(ECHO_SOURCE)
+    for payload in (b"a", b"b", b"c", b"d"):
+        proxy.deliver(proxy.submit(payload), process)
+    replay = proxy.delivered_since(1, exclude={2})
+    assert [m.data for m in replay] == [b"b", b"d"]
+
+
+def test_rewind_delivery():
+    proxy = NetworkProxy()
+    process = load_program(ECHO_SOURCE)
+    for payload in (b"a", b"b", b"c"):
+        proxy.deliver(proxy.submit(payload), process)
+    proxy.rewind_delivery(1)
+    assert proxy.delivered == [0]
+    # The log itself is never rewound: replay needs it.
+    assert len(proxy.log) == 3
+
+
+def test_mark_malicious():
+    proxy = NetworkProxy()
+    proxy.submit(b"benign")
+    proxy.submit(b"evil")
+    proxy.mark_malicious([1])
+    assert not proxy.log[0].malicious
+    assert proxy.log[1].malicious
+
+
+def test_output_commit_reconcile():
+    proxy = NetworkProxy()
+    proxy.commit(0, b"response-0")
+    assert proxy.reconcile(0, b"response-0") == "duplicate"
+    assert proxy.reconcile(0, b"different") == "divergent"
+    assert proxy.reconcile(1, b"anything") == "new"
+    assert proxy.committed_for(0) == [b"response-0"]
+    assert proxy.committed_for(9) == []

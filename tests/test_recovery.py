@@ -1,0 +1,150 @@
+"""Unit tests for rollback + re-execution recovery."""
+
+import pytest
+
+from repro.errors import RecoveryFailed
+from repro.machine.process import load_program
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.proxy import NetworkProxy
+from repro.runtime.recovery import RecoveryManager
+from tests.conftest import ECHO_SOURCE
+
+#: A stateful server: keeps a running sum of request bytes, echoes the
+#: current total with every response.  Makes corruption/divergence and
+#: replay effects visible in the outputs.
+COUNTER_SOURCE = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 64
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r1, total
+    ld r2, [r1]
+    add r2, r0
+    st [r1], r2
+    mov r0, r2
+    mov r1, out
+    call @itoa
+    mov r0, out
+    call @strlen
+    mov r1, r0
+    mov r0, out
+    sys send
+    jmp loop
+.data
+total: .word 0
+buf:   .space 72
+out:   .space 16
+"""
+
+
+def _serve(process, proxy, payload: bytes):
+    message = proxy.submit(payload)
+    sent_before = len(process.sent)
+    proxy.deliver(message, process)
+    process.run(max_steps=200_000)
+    for sent in process.sent[sent_before:]:
+        proxy.commit(sent.msg_id, sent.data)
+    return [sent.data for sent in process.sent[sent_before:]]
+
+
+def setup_counter():
+    process = load_program(COUNTER_SOURCE, seed=1)
+    process.run(max_steps=100_000)
+    proxy = NetworkProxy()
+    checkpoints = CheckpointManager()
+    return process, proxy, checkpoints
+
+
+def test_recovery_drops_malicious_and_replays_benign():
+    process, proxy, checkpoints = setup_counter()
+    checkpoint = checkpoints.take(process)
+    assert _serve(process, proxy, b"aaaa") == [b"4"]       # total 4
+    assert _serve(process, proxy, b"evil-blob") == [b"13"]  # total 13
+    assert _serve(process, proxy, b"bb") == [b"15"]        # total 15
+
+    result = RecoveryManager().recover(process, proxy, checkpoints,
+                                       checkpoint, drop_msg_ids={1})
+    assert result.ok
+    assert result.dropped_messages == 1
+    assert result.replayed_messages == 2
+    # State excludes the attack: total is 4 + 2 = 6 now.
+    assert _serve(process, proxy, b"z") == [b"7"]
+
+
+def test_recovery_suppresses_committed_duplicates():
+    process, proxy, checkpoints = setup_counter()
+    checkpoint = checkpoints.take(process)
+    _serve(process, proxy, b"one")
+    _serve(process, proxy, b"two!")
+    result = RecoveryManager().recover(process, proxy, checkpoints,
+                                       checkpoint, drop_msg_ids=set())
+    # Both responses were already committed byte-identically.
+    assert result.duplicates_suppressed == 2
+    assert result.new_outputs == []
+    assert result.divergences == 0
+
+
+def test_recovery_detects_divergence():
+    """Dropping an earlier message changes later totals: those responses
+    diverge from what was already committed (§4.1)."""
+    process, proxy, checkpoints = setup_counter()
+    checkpoint = checkpoints.take(process)
+    _serve(process, proxy, b"aaaa")      # -> "4"
+    _serve(process, proxy, b"bb")        # -> "6"
+    result = RecoveryManager().recover(process, proxy, checkpoints,
+                                       checkpoint, drop_msg_ids={0})
+    assert result.divergences == 1       # "bb" now answers "2", not "6"
+
+
+def test_strict_recovery_aborts_on_divergence():
+    process, proxy, checkpoints = setup_counter()
+    checkpoint = checkpoints.take(process)
+    _serve(process, proxy, b"aaaa")
+    _serve(process, proxy, b"bb")
+    with pytest.raises(RecoveryFailed):
+        RecoveryManager(strict=True).recover(process, proxy, checkpoints,
+                                             checkpoint, drop_msg_ids={0})
+
+
+def test_recovery_virtual_time_accounted():
+    process, proxy, checkpoints = setup_counter()
+    checkpoint = checkpoints.take(process)
+    for payload in (b"a", b"b", b"c"):
+        _serve(process, proxy, payload)
+    result = RecoveryManager().recover(process, proxy, checkpoints,
+                                       checkpoint, drop_msg_ids=set())
+    assert result.virtual_seconds > 0
+
+
+def test_recovery_rewinds_delivery_and_checkpoints():
+    process, proxy, checkpoints = setup_counter()
+    keep = checkpoints.take(process)
+    _serve(process, proxy, b"aaaa")
+    checkpoints.take(process)
+    _serve(process, proxy, b"bb")
+    RecoveryManager().recover(process, proxy, checkpoints, keep,
+                              drop_msg_ids={0, 1})
+    assert [c.seq for c in checkpoints.checkpoints] == [keep.seq]
+    assert proxy.delivered == []
+    # Service continues cleanly from zero state.
+    assert _serve(process, proxy, b"xyz") == [b"3"]
+
+
+def test_recovery_with_echo_has_no_divergence():
+    """A stateless echo server replays byte-identically no matter what
+    is dropped."""
+    process = load_program(ECHO_SOURCE, seed=1)
+    process.run(max_steps=100_000)
+    proxy = NetworkProxy()
+    checkpoints = CheckpointManager()
+    checkpoint = checkpoints.take(process)
+    for payload in (b"one", b"evil", b"two"):
+        _serve(process, proxy, payload)
+    result = RecoveryManager(strict=True).recover(
+        process, proxy, checkpoints, checkpoint, drop_msg_ids={1})
+    assert result.divergences == 0
+    assert result.duplicates_suppressed == 2

@@ -1,0 +1,142 @@
+"""Tests for §4.2 sampled heavyweight monitoring.
+
+The headline scenario: on an *unrandomized* host the Apache1 hijack
+succeeds silently — ASLR-based detection never fires.  With sampling
+enabled, the sampled request runs under taint analysis and the tainted
+return address trips the sink *before* the hijacked transfer executes,
+so even the ρ-success case is caught.
+"""
+
+import pytest
+
+from repro.apps.exploits import apache1_exploit
+from repro.apps.httpd import build_httpd
+from repro.apps.workload import benign_requests
+from repro.errors import VMFault
+from repro.machine.layout import ReferenceLayout
+from repro.machine.process import Process
+from repro.runtime.sampling import RequestSampler
+from repro.runtime.sweeper import Sweeper, SweeperConfig
+
+
+class TestRequestSampler:
+    def test_disabled_by_default(self):
+        sampler = RequestSampler(every=0)
+        assert not any(sampler.should_sample() for _ in range(10))
+        assert sampler.sample_rate == 0.0
+
+    def test_every_nth_request(self):
+        sampler = RequestSampler(every=3)
+        pattern = [sampler.should_sample() for _ in range(9)]
+        assert pattern == [True, False, False] * 3
+        assert sampler.requests_sampled == 3
+        assert sampler.sample_rate == pytest.approx(1 / 3)
+
+    def test_every_one_samples_all(self):
+        sampler = RequestSampler(every=1)
+        assert all(sampler.should_sample() for _ in range(5))
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSampler(every=-1)
+
+
+def _reference_sweeper(sample_every: int) -> Sweeper:
+    """A Sweeper whose guest runs at the reference (unrandomized)
+    layout — the worst case for ASLR-based detection."""
+    config = SweeperConfig(seed=0, sample_every=sample_every)
+    sweeper = Sweeper(build_httpd(), app_name="httpd", config=config)
+    # Swap in an unrandomized process (the deployment choice of a host
+    # without ASLR support).
+    sweeper.process = Process(build_httpd(), layout=ReferenceLayout(),
+                              seed=0, name="httpd")
+    sweeper.pipeline.process = sweeper.process
+    sweeper.checkpoints.checkpoints.clear()
+    sweeper._last_cycles = sweeper.process.cpu.cycles
+    sweeper.process.run(max_steps=2_000_000)
+    sweeper.checkpoints.take(sweeper.process)
+    return sweeper
+
+
+class TestSampledDetection:
+    def test_hijack_succeeds_without_sampling(self):
+        """Baseline: on the reference layout the worm wins silently."""
+        process = Process(build_httpd(), layout=ReferenceLayout(), seed=0)
+        process.run(max_steps=2_000_000)
+        process.feed(apache1_exploit())
+        result = process.run(max_steps=2_000_000)
+        assert result.reason == "exit"                 # backdoor ran
+        assert process.sent[-1].data.startswith(b"OWNED!")
+
+    def test_sampled_taint_catches_the_rho_case(self):
+        """With every-request sampling, the same attack is caught at the
+        taint sink before the hijacked return executes."""
+        sweeper = _reference_sweeper(sample_every=1)
+        sweeper.submit(b"GET / HTTP/1.0\n")
+        sweeper.submit(apache1_exploit())
+        sampled = [d for d in sweeper.detections if d.kind == "sampled"]
+        assert sampled, "expected a sampled-taint detection"
+        assert not sweeper.process.exited              # no takeover
+        assert not any(s.data.startswith(b"OWNED!")
+                       for s in sweeper.process.sent)
+        assert sweeper.sampler.detections
+        report = sweeper.sampler.detections[0].report
+        assert report.violation is not None
+        assert report.violation.kind == "tainted return address"
+
+    def test_sampled_detection_yields_antibodies(self):
+        sweeper = _reference_sweeper(sample_every=1)
+        sweeper.submit(apache1_exploit())
+        kinds = {v.kind for v in sweeper.antibodies}
+        assert "taint_subset" in kinds
+        assert sweeper.proxy.signatures.exact          # exact filter too
+
+    def test_service_continues_after_sampled_block(self):
+        sweeper = _reference_sweeper(sample_every=1)
+        sweeper.submit(b"GET / HTTP/1.0\n")
+        sweeper.submit(apache1_exploit())
+        responses = sweeper.submit(b"GET /index.html HTTP/1.0\n")
+        assert responses and responses[0].startswith(b"HTTP/1.0 200")
+
+    def test_replayed_attack_filtered_after_sampling(self):
+        sweeper = _reference_sweeper(sample_every=1)
+        sweeper.submit(apache1_exploit())
+        filtered_before = sweeper.proxy.filtered_count
+        sweeper.submit(apache1_exploit())
+        assert sweeper.proxy.filtered_count == filtered_before + 1
+
+    def test_unsampled_requests_miss_the_attack(self):
+        """Sampling every 1000th request: the attack (request #2) is not
+        sampled and the hijack lands — quantifying the coverage trade."""
+        sweeper = _reference_sweeper(sample_every=1000)
+        sweeper.submit(b"GET / HTTP/1.0\n")     # request 0: sampled
+        sweeper.submit(b"GET /a HTTP/1.0\n")
+        sweeper.submit(apache1_exploit())       # not sampled -> owned
+        assert sweeper.process.exited
+        assert not [d for d in sweeper.detections if d.kind == "sampled"]
+
+    def test_sampling_charges_virtual_overhead(self):
+        """A sampled benign request costs ~20x in virtual time."""
+        config = SweeperConfig(seed=0, sample_every=1)
+        sampled = Sweeper(build_httpd(), app_name="h", config=config)
+        plain = Sweeper(build_httpd(), app_name="h",
+                        config=SweeperConfig(seed=0))
+        request = b"GET / HTTP/1.0\n"
+        start = sampled.clock
+        sampled.submit(request)
+        sampled_cost = sampled.clock - start
+        start = plain.clock
+        plain.submit(request)
+        plain_cost = plain.clock - start
+        assert sampled_cost > 5 * plain_cost
+
+    def test_randomized_hosts_still_crash_detect_unsampled(self):
+        """Sampling is additive: under ASLR the unsampled attack is
+        still caught by the crash monitor."""
+        config = SweeperConfig(seed=5, sample_every=0)
+        sweeper = Sweeper(build_httpd(), app_name="httpd", config=config)
+        for request in benign_requests("httpd", 2):
+            sweeper.submit(request)
+        sweeper.submit(apache1_exploit())
+        assert sweeper.attacks
+        assert sweeper.attacks[0].detection.kind == "crash"

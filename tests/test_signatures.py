@@ -1,0 +1,110 @@
+"""Unit tests for input signatures (exact + token-conjunction)."""
+
+from repro.antibody.signatures import (ExactSignature, SignatureSet,
+                                       TokenSignature, generate_exact,
+                                       generate_token)
+from repro.apps.exploits import polymorphic_variants, squid_exploit
+
+
+class TestExact:
+    def test_matches_only_identical_bytes(self):
+        signature = generate_exact(b"GET /evil")
+        assert signature.matches(b"GET /evil")
+        assert not signature.matches(b"GET /evil ")
+        assert not signature.matches(b"GET /evi")
+
+    def test_zero_false_positives_on_benign_corpus(self):
+        from repro.apps.workload import benign_requests
+
+        signature = generate_exact(squid_exploit())
+        for request in benign_requests("squidp", 50):
+            assert not signature.matches(request)
+
+    def test_dict_roundtrip(self):
+        signature = generate_exact(b"\x00\xff payload")
+        revived = ExactSignature.from_dict(signature.to_dict())
+        assert revived.payload == signature.payload
+        assert revived.sig_id == signature.sig_id
+
+    def test_misses_polymorphic_variant(self):
+        """The documented weakness exact matching accepts (VSEFs are the
+        safety net, §3.3)."""
+        signature = generate_exact(squid_exploit(fill=b"\\"))
+        assert not signature.matches(squid_exploit(fill=b"~"))
+
+
+class TestToken:
+    def test_single_sample_degenerates_to_whole_payload(self):
+        signature = generate_token([b"GET /abc"])
+        assert signature.tokens == [b"GET /abc"]
+
+    def test_invariants_extracted_across_variants(self):
+        samples = [b"GET ftp://" + fill * 40 + b"@ftp.site"
+                   for fill in (b"\\", b"~", b"^")]
+        signature = generate_token(samples)
+        joined = b"|".join(signature.tokens)
+        assert b"GET ftp://" in joined
+        assert b"@ftp.site" in joined
+
+    def test_catches_unseen_variant(self):
+        variants = polymorphic_variants("Squid", count=4)
+        signature = generate_token(variants[:3])
+        assert signature.matches(variants[3])
+
+    def test_tokens_must_appear_in_order(self):
+        signature = TokenSignature(tokens=[b"AAA", b"BBB"])
+        assert signature.matches(b"xxAAAyyBBBzz")
+        assert not signature.matches(b"xxBBByyAAAzz")
+
+    def test_no_match_when_token_missing(self):
+        signature = TokenSignature(tokens=[b"AAA", b"BBB"])
+        assert not signature.matches(b"xxAAAyy")
+
+    def test_dict_roundtrip(self):
+        signature = generate_token([b"abcdefgh", b"abcdXfgh"])
+        revived = TokenSignature.from_dict(signature.to_dict())
+        assert revived.tokens == signature.tokens
+
+    def test_min_token_length_respected(self):
+        signature = generate_token([b"aaaaXbbbb", b"aaaaYbbbb"],
+                                   min_token=4)
+        assert all(len(token) >= 4 for token in signature.tokens)
+
+    def test_empty_sample_list_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            generate_token([])
+
+
+class TestSignatureSet:
+    def test_exact_checked_before_token(self):
+        signatures = SignatureSet()
+        exact = generate_exact(b"PAYLOAD-123")
+        token = TokenSignature(tokens=[b"PAYLOAD"])
+        signatures.add(token)
+        signatures.add(exact)
+        assert signatures.match(b"PAYLOAD-123") is exact
+        assert signatures.match(b"PAYLOAD-999") is token
+        assert signatures.match(b"benign") is None
+
+    def test_len_counts_both_kinds(self):
+        signatures = SignatureSet()
+        signatures.add(generate_exact(b"a"))
+        signatures.add(TokenSignature(tokens=[b"bbbb"]))
+        assert len(signatures) == 2
+
+    def test_add_rejects_non_signatures(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            SignatureSet().add("not a signature")
+
+    def test_benign_corpus_passes_token_signature(self):
+        from repro.apps.workload import benign_requests
+
+        signatures = SignatureSet()
+        signatures.add(generate_token(polymorphic_variants("Squid", 3)))
+        hits = [request for request in benign_requests("squidp", 60)
+                if signatures.match(request)]
+        assert hits == []

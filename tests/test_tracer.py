@@ -1,0 +1,78 @@
+"""Tests for the execution tracer debugging tool."""
+
+from repro.instrument.tracer import ExecutionTracer
+from repro.machine.process import load_program
+from tests.conftest import HEAP_ECHO_SOURCE
+
+
+def traced_process(limit=10_000, trace_memory=False):
+    process = load_program(HEAP_ECHO_SOURCE, seed=2)
+    tracer = ExecutionTracer(limit=limit, trace_memory=trace_memory)
+    process.hooks.attach(tracer, process)
+    return process, tracer
+
+
+def test_records_instructions_and_calls():
+    process, tracer = traced_process()
+    process.feed(b"hi")
+    process.run(max_steps=100_000)
+    text = tracer.render()
+    assert "NATIVE malloc" in text
+    assert "NATIVE strcpy" in text
+    assert "NATIVE free" in text
+    assert "CALL" in text and "RET" in text
+    assert "SYS" in text
+    assert tracer.instruction_count > 0
+
+
+def test_symbolizes_known_addresses():
+    process, tracer = traced_process()
+    process.feed(b"x")
+    process.run(max_steps=100_000)
+    text = tracer.render()
+    assert "<@malloc>" in text or "@malloc" in text
+
+
+def test_bounded_event_ring():
+    process, tracer = traced_process(limit=50)
+    for index in range(6):
+        process.feed(b"request payload %d" % index)
+    process.run(max_steps=100_000)
+    assert len(tracer.events) <= 50
+    assert tracer.instruction_count > 50   # more happened than retained
+
+
+def test_render_last_n():
+    process, tracer = traced_process()
+    process.feed(b"x")
+    process.run(max_steps=100_000)
+    lines = tracer.render(last=5).splitlines()
+    assert len(lines) == 6       # header + 5 events
+
+
+def test_memory_tracing_optional():
+    process, tracer = traced_process(trace_memory=True)
+    process.feed(b"abc")
+    process.run(max_steps=100_000)
+    assert any(event.strip().startswith(("WRITE", "READ"))
+               for event in tracer.events)
+
+
+def test_clear_resets():
+    process, tracer = traced_process()
+    process.feed(b"x")
+    process.run(max_steps=100_000)
+    tracer.clear()
+    assert not tracer.events
+    assert tracer.instruction_count == 0
+
+
+def test_detach_stops_tracing():
+    process, tracer = traced_process()
+    process.feed(b"x")
+    process.run(max_steps=100_000)
+    process.hooks.detach(tracer, process)
+    seen = len(tracer.events)
+    process.feed(b"y")
+    process.run(max_steps=100_000)
+    assert len(tracer.events) == seen

@@ -1,0 +1,313 @@
+"""Unit tests for VSEF antibodies: enforcement, shareability, round-trips."""
+
+import random
+
+import pytest
+
+from repro.antibody.vsef import (VSEF, CodeLoc, install_vsef,
+                                 loc_for_address, resolve_loc)
+from repro.errors import AttackDetected, VMFault
+from repro.isa.assembler import assemble
+from repro.machine.layout import randomized_layout
+from repro.machine.process import Process
+
+NULL_VICTIM = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 64
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r2, buf
+    ldb r3, [r2]
+    cmp r3, '!'
+    jne loop
+    mov r2, 0
+deref:
+    ld r4, [r2]           ; NULL deref when message starts with '!'
+    jmp loop
+.data
+buf: .space 72
+"""
+
+
+def make_process(source: str, seed: int = 3) -> Process:
+    process = Process(assemble(source), seed=seed)
+    process.run(max_steps=100_000)
+    return process
+
+
+class TestCodeLoc:
+    def test_roundtrip(self):
+        loc = CodeLoc("code", 0x123)
+        assert CodeLoc.from_dict(loc.to_dict()) == loc
+        lib = CodeLoc("lib", "strcat")
+        assert CodeLoc.from_dict(lib.to_dict()) == lib
+
+    def test_loc_for_address_and_back(self):
+        process = make_process(NULL_VICTIM)
+        deref = process.symbols["deref"]
+        loc = loc_for_address(process, deref)
+        assert loc.space == "code"
+        assert resolve_loc(loc, process) == deref
+        strcat = process.native_addresses["strcat"]
+        lib_loc = loc_for_address(process, strcat)
+        assert lib_loc == CodeLoc("lib", "strcat")
+        assert resolve_loc(lib_loc, process) == strcat
+
+    def test_unmappable_address_is_none(self):
+        process = make_process(NULL_VICTIM)
+        assert loc_for_address(process, 0x123) is None
+
+
+class TestSerialization:
+    def test_vsef_dict_roundtrip_with_locs(self):
+        vsef = VSEF(kind="heap_bounds",
+                    params={"native": "strcat",
+                            "caller": CodeLoc("code", 0x1E6)},
+                    provenance="memory_state", app="squid")
+        revived = VSEF.from_dict(vsef.to_dict())
+        assert revived.kind == vsef.kind
+        assert revived.params["caller"] == CodeLoc("code", 0x1E6)
+        assert revived.vsef_id == vsef.vsef_id
+
+    def test_loc_lists_survive(self):
+        vsef = VSEF(kind="taint_subset",
+                    params={"pcs": [CodeLoc("lib", "memcpy")],
+                            "sinks": [CodeLoc("code", 8)]})
+        revived = VSEF.from_dict(vsef.to_dict())
+        assert revived.params["pcs"] == [CodeLoc("lib", "memcpy")]
+
+    def test_unknown_kind_rejected_at_install(self):
+        process = make_process(NULL_VICTIM)
+        with pytest.raises(Exception):
+            install_vsef(VSEF(kind="nonsense", params={}), process)
+
+
+class TestNullCheck:
+    def _vsef(self, process):
+        return VSEF(kind="null_check",
+                    params={"pc": loc_for_address(
+                        process, process.symbols["deref"]), "reg": 2})
+
+    def test_blocks_null_cleanly(self):
+        process = make_process(NULL_VICTIM)
+        install_vsef(self._vsef(process), process)
+        process.feed(b"!go")
+        with pytest.raises(AttackDetected):
+            process.run(max_steps=100_000)
+
+    def test_benign_traffic_unaffected(self):
+        process = make_process(NULL_VICTIM)
+        install_vsef(self._vsef(process), process)
+        process.feed(b"benign")
+        result = process.run(max_steps=100_000)
+        assert result.reason == "idle"
+
+    def test_uninstall_restores_vulnerability(self):
+        process = make_process(NULL_VICTIM)
+        installed = install_vsef(self._vsef(process), process)
+        installed.uninstall()
+        process.feed(b"!go")
+        with pytest.raises(VMFault):
+            process.run(max_steps=100_000)
+
+    def test_shareable_across_randomized_layouts(self):
+        """The distribution property: one VSEF, many layouts."""
+        donor = make_process(NULL_VICTIM, seed=1)
+        vsef = self._vsef(donor)
+        for seed in (10, 20, 30):
+            layout = randomized_layout(random.Random(seed))
+            consumer = Process(assemble(NULL_VICTIM), layout=layout)
+            consumer.run(max_steps=100_000)
+            install_vsef(vsef, consumer)
+            consumer.feed(b"!go")
+            with pytest.raises(AttackDetected):
+                consumer.run(max_steps=100_000)
+
+
+HEAP_VICTIM = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 8192
+    sys recv
+    cmp r0, 0
+    je loop
+    call worker
+    jmp loop
+worker:
+    push fp
+    mov fp, sp
+    mov r0, 32
+    call @malloc
+    mov r4, r0
+    mov r1, buf
+    call @strcat          ; overflows the 32-byte block on long input
+    mov r0, r4
+    call @free
+    mov sp, fp
+    pop fp
+    ret
+.data
+buf: .space 8200
+"""
+
+
+class TestHeapBounds:
+    def _vsef(self, process):
+        caller = loc_for_address(process, process.symbols["worker"])
+        return VSEF(kind="heap_bounds",
+                    params={"native": "strcat", "caller": caller})
+
+    def test_blocks_overflowing_strcat(self):
+        process = make_process(HEAP_VICTIM)
+        install_vsef(self._vsef(process), process)
+        process.feed(b"B" * 200)
+        with pytest.raises(AttackDetected) as excinfo:
+            process.run(max_steps=400_000)
+        assert "overflow" in excinfo.value.reason
+
+    def test_fitting_strcat_allowed(self):
+        process = make_process(HEAP_VICTIM)
+        install_vsef(self._vsef(process), process)
+        process.feed(b"ok")
+        assert process.run(max_steps=400_000).reason == "idle"
+
+    def test_wrong_caller_not_checked(self):
+        process = make_process(HEAP_VICTIM)
+        vsef = VSEF(kind="heap_bounds",
+                    params={"native": "strcat",
+                            "caller": loc_for_address(
+                                process, process.symbols["main"])})
+        install_vsef(vsef, process)
+        process.feed(b"B" * 200)
+        # Caller does not match -> the check stands aside; the raw
+        # overflow proceeds (and may crash into the neighbour header on
+        # a later request, but 200 bytes stay within the mapped heap).
+        assert process.run(max_steps=400_000).reason in ("idle", "exit")
+
+
+DOUBLE_FREE_VICTIM = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 64
+    sys recv
+    cmp r0, 0
+    je loop
+    mov r0, 16
+    call @malloc
+    mov r4, r0
+    call @free
+    mov r1, buf
+    ldb r2, [r1]
+    cmp r2, '!'
+    jne loop
+    mov r0, r4
+    call @free            ; double free on '!' messages
+    jmp loop
+.data
+buf: .space 72
+"""
+
+
+class TestDoubleFreeCheck:
+    def test_blocks_double_free(self):
+        process = make_process(DOUBLE_FREE_VICTIM)
+        install_vsef(VSEF(kind="double_free", params={"caller": None}),
+                     process)
+        process.feed(b"!x")
+        with pytest.raises(AttackDetected):
+            process.run(max_steps=100_000)
+
+    def test_single_free_allowed(self):
+        process = make_process(DOUBLE_FREE_VICTIM)
+        install_vsef(VSEF(kind="double_free", params={"caller": None}),
+                     process)
+        process.feed(b"fine")
+        assert process.run(max_steps=100_000).reason == "idle"
+
+
+STACK_VICTIM = """
+.text
+main:
+loop:
+    mov r0, buf
+    mov r1, 256
+    sys recv
+    cmp r0, 0
+    je loop
+    call victim
+    jmp loop
+victim:
+    push fp
+    mov fp, sp
+    sub sp, 8
+    mov r1, buf
+    mov r2, fp
+    sub r2, 8
+copy:
+    ldb r3, [r1]
+    cmp r3, 0
+    je done
+store:
+    stb [r2], r3
+    add r1, 1
+    add r2, 1
+    jmp copy
+done:
+    mov sp, fp
+    pop fp
+    ret
+.data
+buf: .space 260
+"""
+
+
+class TestStoreGuardAndRetGuard:
+    def test_store_guard_blocks_frame_overwrite(self):
+        process = make_process(STACK_VICTIM)
+        vsef = VSEF(kind="store_guard",
+                    params={"pc": loc_for_address(
+                        process, process.symbols["store"])})
+        install_vsef(vsef, process)
+        process.feed(b"C" * 32)
+        with pytest.raises(AttackDetected):
+            process.run(max_steps=100_000)
+
+    def test_store_guard_allows_in_bounds_writes(self):
+        process = make_process(STACK_VICTIM)
+        vsef = VSEF(kind="store_guard",
+                    params={"pc": loc_for_address(
+                        process, process.symbols["store"])})
+        install_vsef(vsef, process)
+        process.feed(b"C" * 4)
+        assert process.run(max_steps=100_000).reason == "idle"
+
+    def test_ret_guard_blocks_hijacked_return(self):
+        process = make_process(STACK_VICTIM)
+        entry = loc_for_address(process, process.symbols["victim"])
+        vsef = VSEF(kind="ret_guard",
+                    params={"entry": entry, "function": "victim"})
+        install_vsef(vsef, process)
+        process.feed(b"D" * 32)
+        with pytest.raises(AttackDetected) as excinfo:
+            process.run(max_steps=100_000)
+        assert "victim" in excinfo.value.reason
+
+    def test_ret_guard_transparent_for_clean_calls(self):
+        process = make_process(STACK_VICTIM)
+        entry = loc_for_address(process, process.symbols["victim"])
+        installed = install_vsef(
+            VSEF(kind="ret_guard",
+                 params={"entry": entry, "function": "victim"}), process)
+        for payload in (b"a", b"bb", b"ccc"):
+            process.feed(payload)
+            assert process.run(max_steps=100_000).reason == "idle"
+        installed.uninstall()
+        assert not process.hooks.active

@@ -1,0 +1,187 @@
+"""Unit tests for the Section 6 worm-epidemic model and simulator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.worm.community import (HITLIST_1K, HITLIST_4K, SLAMMER,
+                                  containment_summary, end_to_end_gamma,
+                                  figure6_data, infection_ratio_grid)
+from repro.worm.si_model import (WormParams, infection_ratio,
+                                 solve_outbreak, time_to_first_contact)
+from repro.worm.simulation import simulate_outbreak
+
+N = 100_000
+RHO = 2.0 ** -12
+
+
+class TestModelSanity:
+    def test_ratio_bounded(self):
+        ratio = infection_ratio(0.1, N, 0.001, 10)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_monotonic_in_gamma(self):
+        """Slower response -> more infection, always."""
+        ratios = [infection_ratio(0.1, N, 0.001, gamma)
+                  for gamma in (5, 20, 50, 100)]
+        assert ratios == sorted(ratios)
+
+    def test_monotonic_in_alpha(self):
+        """More producers -> earlier T0 -> less infection."""
+        ratios = [infection_ratio(0.1, N, alpha, 20)
+                  for alpha in (0.0001, 0.001, 0.01, 0.1)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_rho_slows_the_worm(self):
+        fast = infection_ratio(1000, N, 0.0001, 10, rho=1.0)
+        slowed = infection_ratio(1000, N, 0.0001, 10, rho=RHO)
+        assert slowed < fast
+
+    def test_t0_decreases_with_alpha(self):
+        t_small = time_to_first_contact(
+            WormParams(beta=0.1, population=N, producer_ratio=0.0001,
+                       gamma=0))
+        t_large = time_to_first_contact(
+            WormParams(beta=0.1, population=N, producer_ratio=0.01,
+                       gamma=0))
+        assert t_large < t_small
+
+    def test_no_producers_means_saturation(self):
+        result = solve_outbreak(WormParams(beta=0.1, population=N,
+                                           producer_ratio=0.0, gamma=5))
+        assert not result.contained
+        assert result.infection_ratio == pytest.approx(1.0)
+
+    def test_producers_never_counted_infected(self):
+        result = solve_outbreak(WormParams(beta=0.1, population=N,
+                                           producer_ratio=0.5, gamma=1000))
+        assert result.infection_ratio <= 0.5 + 1e-6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WormParams(beta=-1, population=N, producer_ratio=0.1, gamma=5)
+        with pytest.raises(ValueError):
+            WormParams(beta=1, population=N, producer_ratio=1.5, gamma=5)
+        with pytest.raises(ValueError):
+            WormParams(beta=1, population=N, producer_ratio=0.1, gamma=5,
+                       rho=0)
+        with pytest.raises(ValueError):
+            WormParams(beta=1, population=N, producer_ratio=0.1, gamma=-1)
+
+
+class TestPaperNumbers:
+    """§6.2-6.3's quoted operating points (shape, generous tolerance)."""
+
+    def test_slammer_low_deployment(self):
+        # "alpha = 0.0001 and gamma = 5 -> infection ratio only 15%"
+        assert infection_ratio(0.1, N, 0.0001, 5) == \
+            pytest.approx(0.15, abs=0.05)
+
+    def test_slammer_modest_deployment(self):
+        # "alpha = 0.001 protects all but ~5% even at gamma = 20"
+        assert infection_ratio(0.1, N, 0.001, 20) < 0.10
+
+    def test_hitlist_gamma5_negligible(self):
+        # "for alpha=0.0001, gamma=5: negligible (<1%) for both cases"
+        assert infection_ratio(1000, N, 0.0001, 5, RHO) < 0.01
+        assert infection_ratio(4000, N, 0.0001, 5, RHO) < 0.01
+
+    def test_hitlist_4000_gamma10(self):
+        # "40% for beta = 4000" at alpha=0.0001, gamma=10
+        assert infection_ratio(4000, N, 0.0001, 10, RHO) == \
+            pytest.approx(0.40, abs=0.10)
+
+    def test_figure7_knee_at_gamma50(self):
+        # "gamma = 50 is much worse than gamma = 30" (Fig. 7 caption)
+        at_30 = infection_ratio(1000, N, 0.0001, 30, RHO)
+        at_50 = infection_ratio(1000, N, 0.0001, 50, RHO)
+        assert at_50 > 5 * at_30
+
+    def test_figure8_knee_at_gamma20(self):
+        # "gamma = 20 is much worse than gamma = 10" (Fig. 8 caption)
+        at_10 = infection_ratio(4000, N, 0.0001, 10, RHO)
+        at_20 = infection_ratio(4000, N, 0.0001, 20, RHO)
+        assert at_20 > 2 * at_10
+
+    def test_unprotected_hitlist_saturates_in_under_a_second(self):
+        """'100% of vulnerable hosts in mere hundredths of a second.'"""
+        params = WormParams(beta=1000, population=N, producer_ratio=0.0,
+                            gamma=0, rho=1.0)
+        from repro.worm.si_model import _derivatives
+        from scipy.integrate import solve_ivp
+        import numpy as np
+
+        solution = solve_ivp(_derivatives(params), (0, 0.1),
+                             (1.0, 0.0), t_eval=np.array([0.05, 0.1]),
+                             rtol=1e-8, atol=1e-10)
+        assert solution.y[0][-1] / N > 0.99
+
+    def test_abstract_containment_claim(self):
+        """Abstract: hit-list worm contained under 5% infection."""
+        gamma = end_to_end_gamma(analysis_seconds=2.0,
+                                 dissemination_seconds=3.0)
+        assert gamma == 5.0
+        assert containment_summary(gamma) < 0.05
+
+
+class TestGrids:
+    def test_figure6_grid_shape(self):
+        grid = figure6_data()
+        assert set(grid) == set(SLAMMER.gammas)
+        for gamma, row in grid.items():
+            assert set(row) == set(SLAMMER.alphas)
+            for ratio in row.values():
+                assert 0.0 <= ratio <= 1.0
+
+    def test_rows_monotone_within_grid(self):
+        grid = infection_ratio_grid(HITLIST_1K)
+        for gamma, row in grid.items():
+            ordered = [row[alpha] for alpha in sorted(HITLIST_1K.alphas)]
+            assert ordered == sorted(ordered, reverse=True)
+
+    def test_scenarios_differ_in_severity(self):
+        mild = infection_ratio_grid(HITLIST_1K)[30][0.0001]
+        harsh = infection_ratio_grid(HITLIST_4K)[30][0.0001]
+        assert harsh >= mild
+
+
+class TestSimulation:
+    def test_simulation_contains_with_producers(self):
+        result = simulate_outbreak(0.1, 10_000, 0.01, 5, seed=1)
+        assert result.contained
+        assert result.infection_ratio < 0.2
+
+    def test_simulation_saturates_without_producers(self):
+        result = simulate_outbreak(5.0, 2_000, 0.0, 5, seed=1,
+                                   max_events=200_000)
+        assert not result.contained
+        assert result.infection_ratio > 0.9
+
+    def test_simulation_mean_tracks_ode(self):
+        """Cross-validation: the stochastic mean lands within a factor
+        of a few of the ODE (early branching noise is large)."""
+        ode = infection_ratio(0.1, 10_000, 0.001, 10)
+        runs = [simulate_outbreak(0.1, 10_000, 0.001, 10, seed=seed)
+                .infection_ratio for seed in range(12)]
+        mean = sum(runs) / len(runs)
+        assert ode / 6 < mean < ode * 6
+
+    def test_rho_reduces_simulated_spread(self):
+        fast = simulate_outbreak(1000, 10_000, 0.001, 0.05, rho=1.0,
+                                 seed=3)
+        slowed = simulate_outbreak(1000, 10_000, 0.001, 0.05, rho=RHO,
+                                   seed=3)
+        assert slowed.final_infected <= fast.final_infected
+
+    def test_t0_reported(self):
+        result = simulate_outbreak(0.5, 10_000, 0.01, 1, seed=4)
+        assert math.isfinite(result.t0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(0.01, 10.0), st.sampled_from([0.0001, 0.001, 0.01, 0.1]),
+       st.floats(0.0, 100.0))
+def test_infection_ratio_always_valid(beta, alpha, gamma):
+    ratio = infection_ratio(beta, N, alpha, gamma)
+    assert 0.0 <= ratio <= 1.0 + 1e-9

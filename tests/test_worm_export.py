@@ -1,0 +1,44 @@
+"""Tests for the worm-model exporters."""
+
+import csv
+import io
+
+import pytest
+
+from repro.worm.community import SLAMMER, infection_ratio_grid
+from repro.worm.export import grid_to_csv, series_for_gamma
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return infection_ratio_grid(SLAMMER)
+
+
+def test_csv_round_trips(grid):
+    text = grid_to_csv(SLAMMER, grid)
+    rows = list(csv.reader(io.StringIO(text)))
+    header, data = rows[0], rows[1:]
+    assert header[0] == "gamma"
+    assert len(header) == 1 + len(SLAMMER.alphas)
+    assert len(data) == len(SLAMMER.gammas)
+    for row, gamma in zip(data, SLAMMER.gammas):
+        assert float(row[0]) == gamma
+        for value, alpha in zip(row[1:], SLAMMER.alphas):
+            assert float(value) == pytest.approx(grid[gamma][alpha],
+                                                 abs=1e-6)
+
+
+def test_csv_computes_grid_when_not_given():
+    text = grid_to_csv(SLAMMER)
+    assert text.startswith("gamma,")
+
+
+def test_series_for_gamma(grid):
+    series = series_for_gamma(SLAMMER, 5, grid)
+    assert [alpha for alpha, _ in series] == list(SLAMMER.alphas)
+    assert all(0.0 <= ratio <= 1.0 for _, ratio in series)
+
+
+def test_series_unknown_gamma_rejected(grid):
+    with pytest.raises(KeyError):
+        series_for_gamma(SLAMMER, 12345, grid)
