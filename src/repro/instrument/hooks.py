@@ -83,17 +83,75 @@ _EVENTS = ("ins", "mem_read", "mem_write", "mem_copy", "call", "ret",
            "branch", "reg_write", "malloc", "free", "native", "syscall")
 
 
+class NullSink:
+    """The do-nothing event bus: every dispatcher is a no-op.
+
+    The machine layer never tests ``hooks.active`` on its emit paths any
+    more; it calls ``hooks.sink.<event>(...)`` unconditionally, and while
+    no tool is attached that sink is this shared singleton.  The batched
+    execution loop goes one step further and selects a *plain* inner loop
+    (whose handlers contain no hook calls at all) once per run, so the
+    uninstrumented per-instruction cost of the event bus is zero.
+    """
+
+    active = False
+
+    def ins(self, pc, insn, cpu):
+        pass
+
+    def mem_read(self, pc, addr, size):
+        pass
+
+    def mem_write(self, pc, addr, size, data):
+        pass
+
+    def mem_copy(self, pc, dst, src, size):
+        pass
+
+    def call(self, pc, target, return_addr):
+        pass
+
+    def ret(self, pc, target, sp):
+        pass
+
+    def branch(self, pc, target, taken):
+        pass
+
+    def reg_write(self, pc, reg, value):
+        pass
+
+    def malloc(self, pc, payload, size):
+        pass
+
+    def free(self, pc, payload):
+        pass
+
+    def native(self, pc, name, args):
+        pass
+
+    def syscall(self, pc, number, args, result):
+        pass
+
+
+NULL_SINK = NullSink()
+
+
 class HookManager:
     """Dispatches CPU events to attached tools.
 
-    Keeps one pre-computed callback list per event so the common case
-    (no tools, or a tool that only hooks a few events) stays cheap.
+    Keeps one pre-computed callback list per event so an attached tool
+    that only hooks a few events stays cheap, and exposes ``sink`` — the
+    manager itself while any listener is live, the shared
+    :data:`NULL_SINK` otherwise — so emitters need no ``active`` branch.
     """
 
     def __init__(self):
         self.tools: list[Tool] = []
         self._listeners: dict[str, list] = {name: [] for name in _EVENTS}
         self.active = False
+        #: Where the machine layer sends events: ``self`` when any tool
+        #: listens, the shared null object when none does.
+        self.sink: "HookManager | NullSink" = NULL_SINK
 
     def attach(self, tool: Tool, process=None):
         """Attach ``tool``; may happen mid-execution (PIN attach)."""
@@ -118,6 +176,7 @@ class HookManager:
                 getattr(tool, method) for tool in self.tools
                 if getattr(type(tool), method) is not getattr(base, method)]
         self.active = any(self._listeners[event] for event in _EVENTS)
+        self.sink = self if self.active else NULL_SINK
 
     def overhead_factor(self) -> float:
         """Combined virtual-time slowdown of the attached tools."""

@@ -3,6 +3,9 @@
 Not part of the paper's system, but indispensable when writing guest
 programs: attach an :class:`ExecutionTracer` to a process and get a
 symbolized instruction/call/syscall trace, bounded to the last N events.
+While detached the tracer costs nothing: the hook manager swaps in the
+null event sink and the batched CPU loop runs predecoded cells with no
+instrumentation calls at all.
 
 Example::
 
@@ -31,6 +34,9 @@ class ExecutionTracer(Tool):
         self.trace_memory = trace_memory
         self.events: deque[str] = deque(maxlen=limit)
         self.instruction_count = 0
+        #: Per-event-kind tallies (calls, rets, natives, syscalls, ...);
+        #: cheap run-shape observability even when the ring overflowed.
+        self.counts: dict[str, int] = {}
         self._symbols: dict[int, str] = {}
         self.process = None
 
@@ -53,23 +59,30 @@ class ExecutionTracer(Tool):
                 return f"{addr:#010x} <{function}+?>"
         return f"{addr:#010x}"
 
+    def _count(self, kind: str):
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
     def on_ins(self, pc, insn, cpu):
         self.instruction_count += 1
         self.events.append(
             f"  {format_insn(insn, addr=pc, symbols=self._symbols)}")
 
     def on_call(self, pc, target, return_addr):
+        self._count("call")
         self.events.append(f"CALL {self._where(target)} "
                            f"(from {pc:#010x})")
 
     def on_ret(self, pc, target, sp):
+        self._count("ret")
         self.events.append(f"RET  -> {self._where(target)}")
 
     def on_native(self, pc, name, args):
+        self._count("native")
         rendered = ", ".join(f"{arg:#x}" for arg in args)
         self.events.append(f"NATIVE {name}({rendered})")
 
     def on_syscall(self, pc, number, args, result):
+        self._count("syscall")
         self.events.append(f"SYS  #{number} args={args[:2]}")
 
     def on_mem_write(self, pc, addr, size, data):
@@ -89,6 +102,11 @@ class ExecutionTracer(Tool):
                   f"showing {len(events)} events ---")
         return "\n".join([header] + events)
 
+    def summary(self) -> dict:
+        """Instruction count plus per-kind event tallies."""
+        return {"instructions": self.instruction_count, **self.counts}
+
     def clear(self):
         self.events.clear()
         self.instruction_count = 0
+        self.counts.clear()

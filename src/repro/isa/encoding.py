@@ -37,9 +37,16 @@ class Insn:
         return OP_SIGNATURES[self.op]
 
 
+#: Precomputed encoded length per opcode (1 opcode byte + operand bytes).
+OP_LENGTHS: dict[Op, int] = {
+    op: 1 + sum(_OPERAND_WIDTH[kind] for kind in signature)
+    for op, signature in OP_SIGNATURES.items()
+}
+
+
 def insn_length(op: Op) -> int:
     """Encoded length in bytes of an instruction with opcode ``op``."""
-    return 1 + sum(_OPERAND_WIDTH[kind] for kind in OP_SIGNATURES[op])
+    return OP_LENGTHS[op]
 
 
 def encode(op: Op, *operands: int) -> bytes:
@@ -98,6 +105,31 @@ def decode(fetch, addr: int) -> Insn:
             operands.append(value)
         offset += width
     return Insn(op=op, operands=tuple(operands), length=offset)
+
+
+def decode_range(fetch, start: int, end: int) -> dict[int, Insn]:
+    """Linear-sweep decode of ``[start, end)`` into an instruction stream.
+
+    Returns a mapping from instruction address to decoded :class:`Insn`
+    for every instruction reachable by falling through from ``start``.
+    The sweep stops quietly at the first undecodable byte or failed fetch
+    (section padding, embedded data, the zero-fill tail of the final code
+    page): those addresses simply stay un-predecoded, and an execution
+    that actually reaches one faults through the normal decode path with
+    full blame attribution.
+    """
+    stream: dict[int, Insn] = {}
+    addr = start
+    while addr < end:
+        try:
+            insn = decode(fetch, addr)
+        except Exception:
+            break
+        if addr + insn.length > end:
+            break
+        stream[addr] = insn
+        addr += insn.length
+    return stream
 
 
 def decode_bytes(blob: bytes, offset: int = 0) -> Insn:

@@ -158,6 +158,40 @@ BRANCH_PREDICATES: dict[Op, str] = {
     Op.JAE: "not cf",
 }
 
+#: The same predicates as callables over ``(zf, sf, cf)``; the execution
+#: core binds these into its dispatch tables instead of re-deriving the
+#: condition with an if/elif ladder per branch.
+PREDICATE_FUNCS: dict[Op, "object"] = {
+    Op.JE: lambda zf, sf, cf: zf,
+    Op.JNE: lambda zf, sf, cf: not zf,
+    Op.JL: lambda zf, sf, cf: sf,
+    Op.JLE: lambda zf, sf, cf: sf or zf,
+    Op.JG: lambda zf, sf, cf: not (sf or zf),
+    Op.JGE: lambda zf, sf, cf: not sf,
+    Op.JB: lambda zf, sf, cf: cf,
+    Op.JAE: lambda zf, sf, cf: not cf,
+}
+
+COND_BRANCHES = frozenset(BRANCH_PREDICATES)
+
+#: ALU semantics as callables over unsigned 32-bit operands.  Results may
+#: exceed 32 bits (callers mask) and division by zero raises Python's
+#: ``ZeroDivisionError`` (callers map it to a DIV_ZERO fault); keeping the
+#: raw operations branch-free is what lets the predecoded fast path bind
+#: one function per opcode.
+ALU_FUNCS: dict[str, "object"] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a // b,
+    "mod": lambda a, b: a % b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 31),
+    "shr": lambda a, b: a >> (b & 31),
+}
+
 # ---------------------------------------------------------------------------
 # Registers
 # ---------------------------------------------------------------------------

@@ -14,6 +14,15 @@ Design notes tied to the paper:
   (or indirect jump) that launched it.  Its cost is a deque append on
   control transfers only, consistent with "lightweight".
 
+- **Two-speed execution** — the paper's whole bargain is that the common
+  case (no deployed analysis) is nearly free while full analysis may be
+  20-1000x.  The CPU therefore has a batched :meth:`run` that selects an
+  inner loop *once* per batch: a **plain** loop over predecoded
+  executable cells (no hook calls, no pre-check probes, no per-step
+  decode), a **checked** loop that adds only the per-PC VSEF probe, or
+  the fully instrumented :meth:`step` loop when any tool is attached.
+  All three produce bit-identical guest-visible state and cycle counts.
+
 - **VSEF fast path** — deployed vulnerability-specific execution filters
   register per-PC pre-execution checks in ``pre_checks``.  The common
   case is a single dict lookup per instruction, and zero per-instruction
@@ -33,8 +42,11 @@ from typing import Callable
 
 from repro.errors import (FAULT_BADPC, FAULT_DIVZERO, FAULT_ILLEGAL,
                           EncodingError, ProcessExited, VMFault)
-from repro.isa.encoding import Insn, decode
-from repro.isa.opcodes import (ALU_OPS, FP, SP, Op, to_signed, to_unsigned)
+from repro.isa.encoding import OP_LENGTHS, Insn, decode, decode_range
+from repro.isa.opcodes import (ALU_FUNCS, ALU_OPS, FP, OP_SIGNATURES,
+                               PREDICATE_FUNCS, SP, Op, to_signed,
+                               to_unsigned)
+from repro.machine.execcore import compile_cell
 from repro.machine.memory import PagedMemory
 
 #: Virtual CPU frequency: cycles per virtual second.  2 MHz is chosen so
@@ -45,6 +57,11 @@ from repro.machine.memory import PagedMemory
 CPU_HZ = 2_000_000
 
 CONTROL_RING_SIZE = 64
+
+#: Widest encodable instruction (opcode + operand bytes); invalidation
+#: uses it to catch instructions whose operand bytes straddle a changed
+#: code range.
+MAX_INSN_LENGTH = max(OP_LENGTHS.values())
 
 
 @dataclass(frozen=True)
@@ -58,6 +75,10 @@ class ControlEvent:
 
 class CPU:
     """A single-threaded 32-bit CPU bound to one guest memory."""
+
+    #: Execution cells reach the event class through the instance to
+    #: avoid a circular import with the execcore module.
+    CONTROL_EVENT = ControlEvent
 
     def __init__(self, memory: PagedMemory, hooks):
         self.memory = memory
@@ -82,7 +103,13 @@ class CPU:
         #: because those pages cannot change after load; instructions
         #: fetched from writable memory (injected shellcode) are decoded
         #: fresh every time.
-        self._decode_cache: dict[int, "Insn"] = {}
+        self._decode_cache: dict[int, Insn] = {}
+        #: Executable-form cells for the same addresses: pc -> closure.
+        self._cells: dict[int, Callable] = {}
+        #: Bound-method dispatch table for the general execute path.
+        self._dispatch: dict[Op, Callable] = {
+            op: getattr(self, name) for op, name in _DISPATCH_NAMES.items()}
+        memory.add_code_listener(self.invalidate_code)
 
     # -- helpers ------------------------------------------------------------
 
@@ -108,14 +135,68 @@ class CPU:
                 "control_ring": list(self.control_ring)}
 
     def restore_state(self, state: dict):
-        self.regs = list(state["regs"])
+        # In place: execution cells capture the register file and the
+        # control ring by identity, so those objects must survive a
+        # rollback (only their contents rewind).
+        self.regs[:] = state["regs"]
         self.pc = state["pc"]
         self.zf = state["zf"]
         self.sf = state["sf"]
         self.cf = state["cf"]
         self.cycles = state["cycles"]
-        self.control_ring = deque(state["control_ring"],
-                                  maxlen=CONTROL_RING_SIZE)
+        self.control_ring.clear()
+        self.control_ring.extend(state["control_ring"])
+
+    # -- predecode ----------------------------------------------------------
+
+    @property
+    def predecoded_count(self) -> int:
+        """How many instructions currently have executable cells."""
+        return len(self._cells)
+
+    def predecode(self, start: int, end: int):
+        """Predecode the read-only range ``[start, end)`` into executable
+        cells (linear sweep; stops quietly at undecodable padding)."""
+        region = self.memory.region_at(start)
+        if region is None or region.writable:
+            return
+        for pc, insn in decode_range(self.fetch, start, end).items():
+            self._decode_cache[pc] = insn
+            cell = compile_cell(self, pc, insn)
+            if cell is not None:
+                self._cells[pc] = cell
+
+    def invalidate_code(self, start: int | None = None,
+                        end: int | None = None):
+        """Forget predecoded instructions overlapping ``[start, end)``
+        (everything when no range is given).  Called when a code region
+        is unmapped/remapped or patched, so stale decodings can never
+        execute."""
+        if start is None or end is None:
+            self._decode_cache.clear()
+            self._cells.clear()
+            return
+        low = start - MAX_INSN_LENGTH
+        stale = [pc for pc in self._decode_cache if low < pc < end]
+        for pc in stale:
+            self._decode_cache.pop(pc, None)
+            self._cells.pop(pc, None)
+
+    def _decode_at(self, pc: int) -> Insn:
+        """Decode at ``pc``; cache (and compile) read-only instructions."""
+        try:
+            insn = decode(self.fetch, pc)
+        except EncodingError as err:
+            source = self.control_ring[-1].pc if self.control_ring else None
+            raise VMFault(FAULT_ILLEGAL, pc=pc, source_pc=source,
+                          detail=str(err)) from None
+        region = self.memory.region_at(pc)
+        if region is not None and not region.writable:
+            self._decode_cache[pc] = insn
+            cell = compile_cell(self, pc, insn)
+            if cell is not None:
+                self._cells[pc] = cell
+        return insn
 
     # -- stack -----------------------------------------------------------------
 
@@ -125,9 +206,8 @@ class CPU:
             self.memory.write_word(self.regs[SP], value)
         except VMFault as fault:
             raise self._data_fault(fault, pc)
-        if self.hooks.active:
-            self.hooks.mem_write(pc, self.regs[SP], 4,
-                                 (value & 0xFFFFFFFF).to_bytes(4, "little"))
+        self.hooks.sink.mem_write(pc, self.regs[SP], 4,
+                                  (value & 0xFFFFFFFF).to_bytes(4, "little"))
 
     def pop(self, pc: int) -> int:
         addr = self.regs[SP]
@@ -135,15 +215,21 @@ class CPU:
             value = self.memory.read_word(addr)
         except VMFault as fault:
             raise self._data_fault(fault, pc)
-        if self.hooks.active:
-            self.hooks.mem_read(pc, addr, 4)
+        self.hooks.sink.mem_read(pc, addr, 4)
         self.regs[SP] = to_unsigned(addr + 4)
         return value
 
     # -- execution ---------------------------------------------------------------
 
     def step(self):
-        """Execute one instruction (or one native call at a native entry)."""
+        """Execute one instruction (or one native call at a native entry).
+
+        This is the general path: it probes the VSEF table, emits every
+        instrumentation event through the hook sink, and dispatches
+        through the bound-method table.  The batched :meth:`run` only
+        falls back here for natives, syscalls, HALT, writable-memory
+        code, or while a tool is attached.
+        """
         pc = self.pc
         native = self.native_entries.get(pc)
         if native is not None:
@@ -151,178 +237,310 @@ class CPU:
             return
         insn = self._decode_cache.get(pc)
         if insn is None:
-            try:
-                insn = decode(self.fetch, pc)
-            except EncodingError as err:
-                source = self.control_ring[-1].pc if self.control_ring \
-                    else None
-                raise VMFault(FAULT_ILLEGAL, pc=pc, source_pc=source,
-                              detail=str(err))
-            region = self.memory.region_at(pc)
-            if region is not None and not region.writable:
-                self._decode_cache[pc] = insn
+            insn = self._decode_at(pc)
         if self.pre_checks:
             checks = self.pre_checks.get(pc)
             if checks:
                 for check in checks:
                     check(self, insn)
-        if self.hooks.active:
-            self.hooks.ins(pc, insn, self)
+        hk = self.hooks.sink
+        hk.ins(pc, insn, self)
         self.cycles += 1
-        self._execute(pc, insn)
+        self._dispatch[insn.op](pc, insn, hk)
 
-    def _set_reg(self, pc: int, reg: int, value: int):
-        value = to_unsigned(value)
-        self.regs[reg] = value
-        if self.hooks.active:
-            self.hooks.reg_write(pc, reg, value)
+    def run(self, max_steps: int | None = None,
+            max_cycles: int | None = None) -> str:
+        """Batched execution until a budget is exhausted.
 
-    def _alu(self, name: str, a: int, b: int, pc: int) -> int:
-        if name == "add":
-            return a + b
-        if name == "sub":
-            return a - b
-        if name == "mul":
-            return a * b
-        if name in ("div", "mod"):
-            if b == 0:
-                raise VMFault(FAULT_DIVZERO, pc=pc)
-            return a // b if name == "div" else a % b
-        if name == "and":
-            return a & b
-        if name == "or":
-            return a | b
-        if name == "xor":
-            return a ^ b
-        if name == "shl":
-            return a << (b & 31)
-        if name == "shr":
-            return a >> (b & 31)
-        raise AssertionError(name)
+        Selects the cheapest inner loop the current deployment allows —
+        plain cells, cells + VSEF probes, or instrumented step() — and
+        re-selects whenever a fallback step changes the deployment.
+        Returns ``"steps"`` or ``"cycles"`` (which budget tripped);
+        faults, syscall blocking and process exit propagate as
+        exceptions.  With no budgets it runs until one of those.
+        """
+        steps_left = max_steps
+        cycle_cap = self.cycles + max_cycles if max_cycles is not None \
+            else None
+        while True:
+            if self.hooks.active:
+                return self._run_instrumented(steps_left, cycle_cap)
+            done, reason = self._run_fast(steps_left, cycle_cap,
+                                          bool(self.pre_checks))
+            if reason is not None:
+                return reason
+            if steps_left is not None:
+                steps_left -= done
 
-    def _execute(self, pc: int, insn: Insn):
-        op = insn.op
-        ops = insn.operands
+    def _run_instrumented(self, steps_left: int | None,
+                          cycle_cap: int | None) -> str:
+        """One step() per instruction: every event reaches the tools."""
+        step = self.step
+        done = 0
+        while True:
+            if cycle_cap is not None and self.cycles >= cycle_cap:
+                return "cycles"
+            if steps_left is not None and done >= steps_left:
+                return "steps"
+            step()
+            done += 1
+
+    def _run_fast(self, steps_left: int | None, cycle_cap: int | None,
+                  checked: bool) -> tuple[int, str | None]:
+        """The batched hot loop over executable cells.
+
+        Invariant hoisting: no hook dispatch (no tool is attached), and
+        when ``checked`` is false no VSEF probe either.  Cells cost
+        exactly one cycle each, so the cycle budget converts into a pure
+        instruction count per chunk; anything that charges irregular
+        cycles (natives, syscalls, VSEF checks) flushes the chunk and
+        re-derives it.  Returns ``(steps_executed, reason)`` where a
+        ``None`` reason means the caller must re-select loops because a
+        fallback changed the deployment (e.g. a syscall attached a tool).
+        """
+        cells_get = self._cells.get
+        prechecks = self.pre_checks
+        decode_cache = self._decode_cache
+        hooks = self.hooks
+        pc = self.pc
+        done = 0
+        n = 0          # cells executed since the last flush: == cycles owed
+        try:
+            while True:
+                # Derive the largest chunk of 1-cycle cells both budgets
+                # allow; outside the chunk, budgets are exact.
+                chunk = _BIG if steps_left is None else steps_left - done
+                if cycle_cap is not None:
+                    room = cycle_cap - self.cycles
+                    if room < chunk:
+                        chunk = room
+                        if chunk <= 0:
+                            return done, "cycles"
+                if chunk <= 0:
+                    return done, "steps"
+                n = 0
+                while n < chunk:
+                    cell = cells_get(pc)
+                    if cell is None:
+                        break
+                    if checked:
+                        checks = prechecks.get(pc)
+                        if checks:
+                            self.pc = pc
+                            self.cycles += n
+                            done += n
+                            n = 0
+                            insn = decode_cache.get(pc)
+                            for check in checks:
+                                check(self, insn)
+                            if hooks.active:
+                                # A check attached a tool mid-run (PIN
+                                # attach): finish this instruction on
+                                # the instrumented path — the checks
+                                # already ran — then re-select loops.
+                                hk = hooks.sink
+                                hk.ins(pc, insn, self)
+                                self.cycles += 1
+                                self._dispatch[insn.op](pc, insn, hk)
+                                pc = self.pc
+                                done += 1
+                                return done, None
+                            # Checks charge cycles; re-derive the chunk.
+                            chunk = 0
+                            # fall through to execute this cell below
+                    n += 1
+                    pc = cell(self)
+                else:
+                    # Chunk exhausted without a miss: flush and re-derive.
+                    self.cycles += n
+                    done += n
+                    n = 0
+                    continue
+                # Cell miss: native entry, SYS/HALT, writable-memory or
+                # unmapped code.  Flush and take the general path.
+                self.pc = pc
+                self.cycles += n
+                done += n
+                n = 0
+                self.step()
+                pc = self.pc
+                done += 1
+                if hooks.active or bool(prechecks) != checked:
+                    return done, None
+        finally:
+            self.pc = pc
+            self.cycles += n
+
+    # -- general-path opcode handlers (bound-method dispatch) ----------------
+
+    def _op_alu_rr(self, pc: int, insn: Insn, hk):
+        rd, rs = insn.operands
+        regs = self.regs
+        try:
+            value = _ALU_BY_OP[insn.op](regs[rd], regs[rs]) & 0xFFFFFFFF
+        except ZeroDivisionError:
+            raise VMFault(FAULT_DIVZERO, pc=pc) from None
+        regs[rd] = value
+        hk.reg_write(pc, rd, value)
+        self.pc = pc + insn.length
+
+    def _op_alu_ri(self, pc: int, insn: Insn, hk):
+        rd, imm = insn.operands
+        regs = self.regs
+        try:
+            value = _ALU_BY_OP[insn.op](regs[rd], imm) & 0xFFFFFFFF
+        except ZeroDivisionError:
+            raise VMFault(FAULT_DIVZERO, pc=pc) from None
+        regs[rd] = value
+        hk.reg_write(pc, rd, value)
+        self.pc = pc + insn.length
+
+    def _op_movrr(self, pc: int, insn: Insn, hk):
+        rd, rs = insn.operands
+        value = self.regs[rs]
+        self.regs[rd] = value
+        hk.reg_write(pc, rd, value)
+        self.pc = pc + insn.length
+
+    def _op_movri(self, pc: int, insn: Insn, hk):
+        rd, imm = insn.operands
+        self.regs[rd] = imm
+        hk.reg_write(pc, rd, imm)
+        self.pc = pc + insn.length
+
+    def _op_load(self, pc: int, insn: Insn, hk):
+        rd, base, disp = insn.operands
+        addr = to_unsigned(self.regs[base] + to_signed(disp))
+        size = 4 if insn.op == Op.LDW else 1
+        try:
+            raw = self.memory.read(addr, size)
+        except VMFault as fault:
+            raise self._data_fault(fault, pc)
+        hk.mem_read(pc, addr, size)
+        value = int.from_bytes(raw, "little")
+        self.regs[rd] = value
+        hk.reg_write(pc, rd, value)
+        self.pc = pc + insn.length
+
+    def _op_store(self, pc: int, insn: Insn, hk):
+        base, disp, rs = insn.operands
+        addr = to_unsigned(self.regs[base] + to_signed(disp))
+        size = 4 if insn.op == Op.STW else 1
+        data = (self.regs[rs] & (0xFFFFFFFF if size == 4 else 0xFF)
+                ).to_bytes(size, "little")
+        try:
+            self.memory.write(addr, data)
+        except VMFault as fault:
+            raise self._data_fault(fault, pc)
+        hk.mem_write(pc, addr, size, data)
+        self.pc = pc + insn.length
+
+    def _op_cmp(self, pc: int, insn: Insn, hk):
+        a = self.regs[insn.operands[0]]
+        b = self.regs[insn.operands[1]] if insn.op == Op.CMPRR \
+            else insn.operands[1]
+        self.zf = a == b
+        self.sf = to_signed(a) < to_signed(b)
+        self.cf = a < b
+        self.pc = pc + insn.length
+
+    def _op_jmp(self, pc: int, insn: Insn, hk):
+        target = insn.operands[0] if insn.op == Op.JMPI \
+            else self.regs[insn.operands[0]]
+        self.control_ring.append(ControlEvent("branch", pc, target))
+        hk.branch(pc, target, True)
+        self.pc = target
+
+    def _op_cond_branch(self, pc: int, insn: Insn, hk):
+        taken = PREDICATE_FUNCS[insn.op](self.zf, self.sf, self.cf)
+        target = insn.operands[0]
+        hk.branch(pc, target, taken)
+        if taken:
+            self.control_ring.append(ControlEvent("branch", pc, target))
+            self.pc = target
+        else:
+            self.pc = pc + insn.length
+
+    def _op_call(self, pc: int, insn: Insn, hk):
         next_pc = pc + insn.length
-        hooks = self.hooks if self.hooks.active else None
+        target = insn.operands[0] if insn.op == Op.CALLI \
+            else self.regs[insn.operands[0]]
+        self.push(next_pc, pc)
+        self.known_call_targets.add(target)
+        self.control_ring.append(ControlEvent("call", pc, target))
+        hk.call(pc, target, next_pc)
+        self.pc = target
 
-        if op in ALU_OPS:
-            rd = ops[0]
-            rhs = self.regs[ops[1]] if insn.signature == "rr" else ops[1]
-            result = self._alu(ALU_OPS[op], self.regs[rd], rhs, pc)
-            self._set_reg(pc, rd, result)
-        elif op == Op.MOVRR:
-            self._set_reg(pc, ops[0], self.regs[ops[1]])
-        elif op == Op.MOVRI:
-            self._set_reg(pc, ops[0], ops[1])
-        elif op in (Op.LDW, Op.LDB):
-            rd, base, disp = ops
-            addr = to_unsigned(self.regs[base] + to_signed(disp))
-            size = 4 if op == Op.LDW else 1
-            try:
-                raw = self.memory.read(addr, size)
-            except VMFault as fault:
-                raise self._data_fault(fault, pc)
-            if hooks:
-                hooks.mem_read(pc, addr, size)
-            self._set_reg(pc, rd, int.from_bytes(raw, "little"))
-        elif op in (Op.STW, Op.STB):
-            base, disp, rs = ops
-            addr = to_unsigned(self.regs[base] + to_signed(disp))
-            size = 4 if op == Op.STW else 1
-            data = (self.regs[rs] & (0xFFFFFFFF if size == 4 else 0xFF)
-                    ).to_bytes(size, "little")
-            try:
-                self.memory.write(addr, data)
-            except VMFault as fault:
-                raise self._data_fault(fault, pc)
-            if hooks:
-                hooks.mem_write(pc, addr, size, data)
-        elif op in (Op.CMPRR, Op.CMPRI):
-            a = self.regs[ops[0]]
-            b = self.regs[ops[1]] if op == Op.CMPRR else ops[1]
-            self.zf = a == b
-            self.sf = to_signed(a) < to_signed(b)
-            self.cf = a < b
-        elif op == Op.JMPI:
-            target = ops[0]
-            self.control_ring.append(ControlEvent("branch", pc, target))
-            if hooks:
-                hooks.branch(pc, target, True)
-            self.pc = target
-            return
-        elif op == Op.JMPR:
-            target = self.regs[ops[0]]
-            self.control_ring.append(ControlEvent("branch", pc, target))
-            if hooks:
-                hooks.branch(pc, target, True)
-            self.pc = target
-            return
-        elif op in (Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE, Op.JB,
-                    Op.JAE):
-            taken = self._predicate(op)
-            target = ops[0]
-            if hooks:
-                hooks.branch(pc, target, taken)
-            if taken:
-                self.control_ring.append(ControlEvent("branch", pc, target))
-                self.pc = target
-                return
-        elif op == Op.CALLI or op == Op.CALLR:
-            target = ops[0] if op == Op.CALLI else self.regs[ops[0]]
-            self.push(next_pc, pc)
-            self.known_call_targets.add(target)
-            self.control_ring.append(ControlEvent("call", pc, target))
-            if hooks:
-                hooks.call(pc, target, next_pc)
-            self.pc = target
-            return
-        elif op == Op.RET:
-            sp_before = self.regs[SP]
-            target = self.pop(pc)
-            self.control_ring.append(ControlEvent("ret", pc, target))
-            if hooks:
-                hooks.ret(pc, target, sp_before)
-            self.pc = target
-            return
-        elif op == Op.PUSHR:
-            self.push(self.regs[ops[0]], pc)
-        elif op == Op.PUSHI:
-            self.push(ops[0], pc)
-        elif op == Op.POPR:
-            self._set_reg(pc, ops[0], self.pop(pc))
-        elif op == Op.SYS:
-            if self.syscall_handler is None:
-                raise VMFault(FAULT_ILLEGAL, pc=pc, detail="no syscall handler")
-            # The handler may raise _WouldBlock; the Process rewinds pc to
-            # re-execute the SYS on resume, so update pc first.
-            self.pc = next_pc
-            self.syscall_handler(ops[0], pc)
-            return
-        elif op == Op.NOP:
-            pass
-        elif op == Op.HALT:
-            raise ProcessExited(self.regs[0])
-        else:  # pragma: no cover - the decoder rejects unknown opcodes
-            raise VMFault(FAULT_ILLEGAL, pc=pc, detail=f"unhandled {op!r}")
-        self.pc = next_pc
+    def _op_ret(self, pc: int, insn: Insn, hk):
+        sp_before = self.regs[SP]
+        target = self.pop(pc)
+        self.control_ring.append(ControlEvent("ret", pc, target))
+        hk.ret(pc, target, sp_before)
+        self.pc = target
 
-    def _predicate(self, op: Op) -> bool:
-        if op == Op.JE:
-            return self.zf
-        if op == Op.JNE:
-            return not self.zf
-        if op == Op.JL:
-            return self.sf
-        if op == Op.JLE:
-            return self.sf or self.zf
-        if op == Op.JG:
-            return not (self.sf or self.zf)
-        if op == Op.JGE:
-            return not self.sf
-        if op == Op.JB:
-            return self.cf
-        return not self.cf  # JAE
+    def _op_push(self, pc: int, insn: Insn, hk):
+        value = self.regs[insn.operands[0]] if insn.op == Op.PUSHR \
+            else insn.operands[0]
+        self.push(value, pc)
+        self.pc = pc + insn.length
+
+    def _op_pop(self, pc: int, insn: Insn, hk):
+        value = self.pop(pc)
+        rd = insn.operands[0]
+        self.regs[rd] = value
+        hk.reg_write(pc, rd, value)
+        self.pc = pc + insn.length
+
+    def _op_sys(self, pc: int, insn: Insn, hk):
+        if self.syscall_handler is None:
+            raise VMFault(FAULT_ILLEGAL, pc=pc, detail="no syscall handler")
+        # The handler may raise _WouldBlock; the Process rewinds pc to
+        # re-execute the SYS on resume, so update pc first.
+        self.pc = pc + insn.length
+        self.syscall_handler(insn.operands[0], pc)
+
+    def _op_nop(self, pc: int, insn: Insn, hk):
+        self.pc = pc + insn.length
+
+    def _op_halt(self, pc: int, insn: Insn, hk):
+        raise ProcessExited(self.regs[0])
+
+
+#: ALU opcode -> semantic callable (shared with the execution cells).
+_ALU_BY_OP = {op: ALU_FUNCS[name] for op, name in ALU_OPS.items()}
+
+_BIG = 1 << 62
+
+#: Opcode -> general-path handler method name; instances bind these into
+#: their dispatch table.  Replaces the monolithic if/elif execute ladder.
+_DISPATCH_NAMES: dict[Op, str] = {}
+for _op in ALU_OPS:
+    _DISPATCH_NAMES[_op] = ("_op_alu_rr" if OP_SIGNATURES[_op] == "rr"
+                            else "_op_alu_ri")
+for _op in PREDICATE_FUNCS:
+    _DISPATCH_NAMES[_op] = "_op_cond_branch"
+_DISPATCH_NAMES.update({
+    Op.MOVRR: "_op_movrr",
+    Op.MOVRI: "_op_movri",
+    Op.LDW: "_op_load",
+    Op.LDB: "_op_load",
+    Op.STW: "_op_store",
+    Op.STB: "_op_store",
+    Op.CMPRR: "_op_cmp",
+    Op.CMPRI: "_op_cmp",
+    Op.JMPI: "_op_jmp",
+    Op.JMPR: "_op_jmp",
+    Op.CALLI: "_op_call",
+    Op.CALLR: "_op_call",
+    Op.RET: "_op_ret",
+    Op.PUSHR: "_op_push",
+    Op.PUSHI: "_op_push",
+    Op.POPR: "_op_pop",
+    Op.SYS: "_op_sys",
+    Op.NOP: "_op_nop",
+    Op.HALT: "_op_halt",
+})
+assert set(_DISPATCH_NAMES) == set(OP_SIGNATURES), "dispatch table incomplete"
 
 
 # Re-export register aliases for convenience of callers.

@@ -1,0 +1,490 @@
+"""Executable-form instruction cells: the predecoded fast path.
+
+The batched CPU loop executes read-only code through *cells*: one
+closure per instruction address, compiled once when the instruction is
+first decoded.  A cell has its operands unpacked, its ALU/predicate
+function bound, its signed displacement pre-converted and its fall-through
+address precomputed, so executing it is a single call that returns the
+next program counter.  Cells contain **no** instrumentation calls, no
+pre-check probes and no cycle bookkeeping — the batched loop accounts one
+cycle per cell call and only runs cells while no tool or VSEF needs the
+slow path.  This is how the common case ("no deployed analysis") gets
+paper-grade (~0%) instrumentation cost without losing any of it when a
+tool attaches.
+
+Semantics are bit-for-bit those of :meth:`repro.machine.cpu.CPU.step`:
+identical register/flag/memory updates, identical fault kinds and fault
+PCs, identical control-ring events and identical cycle counts.  The
+differential tests in ``tests/test_fastpath_differential.py`` hold the
+two paths to that contract.
+
+``SYS`` and ``HALT`` are deliberately *not* compiled: they re-enter the
+runtime (syscall dispatch, process exit) and fall back to the general
+``step()`` path, as does any address that is not read-only code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import FAULT_DIVZERO, VMFault
+from repro.isa.encoding import Insn
+from repro.isa.opcodes import (ALU_FUNCS, ALU_OPS, OP_SIGNATURES,
+                               PREDICATE_FUNCS, SP, Op, to_signed)
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE
+
+WORD_MASK = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+
+#: ``fn(cpu) -> next_pc``; raises the same exceptions ``step()`` would.
+Cell = Callable[["object"], int]
+
+_FACTORIES: dict[Op, Callable] = {}
+
+
+def _factory(*ops: Op):
+    def register(fn):
+        for op in ops:
+            _FACTORIES[op] = fn
+        return fn
+    return register
+
+
+def compile_cell(cpu, pc: int, insn: Insn) -> Cell | None:
+    """Compile ``insn`` at ``pc`` into an executable cell for ``cpu``.
+
+    Returns ``None`` for opcodes that must take the general path.  The
+    closure captures stable per-process objects (the register file, the
+    bound memory accessors, the control ring), which is why
+    ``CPU.restore_state`` mutates those objects in place rather than
+    replacing them.
+    """
+    factory = _FACTORIES.get(insn.op)
+    if factory is None:
+        return None
+    return factory(cpu, pc, insn)
+
+
+# ---------------------------------------------------------------------------
+# Data movement and ALU
+# ---------------------------------------------------------------------------
+
+def _alu_factory(cpu, pc: int, insn: Insn):
+    fn = ALU_FUNCS[ALU_OPS[insn.op]]
+    regs = cpu.regs
+    next_pc = pc + insn.length
+    rd = insn.operands[0]
+    if OP_SIGNATURES[insn.op] == "rr":
+        rs = insn.operands[1]
+
+        def run(cpu):
+            try:
+                regs[rd] = fn(regs[rd], regs[rs]) & WORD_MASK
+            except ZeroDivisionError:
+                raise VMFault(FAULT_DIVZERO, pc=pc) from None
+            return next_pc
+    else:
+        imm = insn.operands[1]
+
+        def run(cpu):
+            try:
+                regs[rd] = fn(regs[rd], imm) & WORD_MASK
+            except ZeroDivisionError:
+                raise VMFault(FAULT_DIVZERO, pc=pc) from None
+            return next_pc
+    return run
+
+
+for _op in ALU_OPS:
+    _FACTORIES[_op] = _alu_factory
+
+
+@_factory(Op.MOVRR)
+def _movrr(cpu, pc, insn):
+    regs = cpu.regs
+    rd, rs = insn.operands
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        regs[rd] = regs[rs]
+        return next_pc
+    return run
+
+
+@_factory(Op.MOVRI)
+def _movri(cpu, pc, insn):
+    regs = cpu.regs
+    rd, imm = insn.operands
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        regs[rd] = imm
+        return next_pc
+    return run
+
+
+@_factory(Op.NOP)
+def _nop(cpu, pc, insn):
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        return next_pc
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Memory access
+#
+# Loads/stores (and the stack traffic of CALL/RET/PUSH/POP below) inline
+# the single-page access path: one shift/mask for the page index, one
+# dict probe for the owning region, one dirty-bitmap probe for writes.
+# Anything irregular — page-straddling access, unmapped/NULL/read-only
+# target, first write to a frozen page — drops to the PagedMemory slow
+# path, which re-runs full checking and raises the canonical faults.
+# The captured containers (page table, page-region index, dirty bitmap)
+# are mutated in place by snapshot/restore, never replaced.
+# ---------------------------------------------------------------------------
+
+_PAGE_SHIFT = PAGE_SHIFT
+_PAGE_MASK = PAGE_SIZE - 1
+_WORD_FIT = PAGE_SIZE - 4
+
+
+def _reraise_data_fault(fault: VMFault, pc: int):
+    raise VMFault(fault.kind, pc=pc, addr=fault.addr,
+                  detail=fault.detail) from None
+
+
+@_factory(Op.LDW)
+def _ldw(cpu, pc, insn):
+    regs = cpu.regs
+    memory = cpu.memory
+    pages = memory._pages
+    page_region = memory._page_region
+    read_word = memory.read_word
+    rd, base, disp = insn.operands
+    disp = to_signed(disp)
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        addr = (regs[base] + disp) & WORD_MASK
+        offset = addr & _PAGE_MASK
+        index = addr >> _PAGE_SHIFT
+        if offset <= _WORD_FIT and index in page_region:
+            page = pages.get(index)
+            regs[rd] = 0 if page is None else \
+                int.from_bytes(page[offset:offset + 4], "little")
+            return next_pc
+        try:
+            regs[rd] = read_word(addr)
+        except VMFault as fault:
+            _reraise_data_fault(fault, pc)
+        return next_pc
+    return run
+
+
+@_factory(Op.LDB)
+def _ldb(cpu, pc, insn):
+    regs = cpu.regs
+    memory = cpu.memory
+    pages = memory._pages
+    page_region = memory._page_region
+    read = memory.read
+    rd, base, disp = insn.operands
+    disp = to_signed(disp)
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        addr = (regs[base] + disp) & WORD_MASK
+        index = addr >> _PAGE_SHIFT
+        if index in page_region:
+            page = pages.get(index)
+            regs[rd] = 0 if page is None else page[addr & _PAGE_MASK]
+            return next_pc
+        try:
+            regs[rd] = read(addr, 1)[0]
+        except VMFault as fault:
+            _reraise_data_fault(fault, pc)
+        return next_pc
+    return run
+
+
+@_factory(Op.STW)
+def _stw(cpu, pc, insn):
+    regs = cpu.regs
+    memory = cpu.memory
+    pages = memory._pages
+    page_region = memory._page_region
+    dirty = memory._dirty
+    page_for_write = memory._page_for_write
+    write_word = memory.write_word
+    base, disp, rs = insn.operands
+    disp = to_signed(disp)
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        addr = (regs[base] + disp) & WORD_MASK
+        offset = addr & _PAGE_MASK
+        index = addr >> _PAGE_SHIFT
+        if offset <= _WORD_FIT:
+            region = page_region.get(index)
+            if region is not None and region.writable:
+                page = pages[index] if index in dirty else \
+                    page_for_write(index)
+                page[offset:offset + 4] = \
+                    (regs[rs] & WORD_MASK).to_bytes(4, "little")
+                return next_pc
+        try:
+            write_word(addr, regs[rs])
+        except VMFault as fault:
+            _reraise_data_fault(fault, pc)
+        return next_pc
+    return run
+
+
+@_factory(Op.STB)
+def _stb(cpu, pc, insn):
+    regs = cpu.regs
+    memory = cpu.memory
+    pages = memory._pages
+    page_region = memory._page_region
+    dirty = memory._dirty
+    page_for_write = memory._page_for_write
+    write = memory.write
+    base, disp, rs = insn.operands
+    disp = to_signed(disp)
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        addr = (regs[base] + disp) & WORD_MASK
+        index = addr >> _PAGE_SHIFT
+        region = page_region.get(index)
+        if region is not None and region.writable:
+            page = pages[index] if index in dirty else page_for_write(index)
+            page[addr & _PAGE_MASK] = regs[rs] & 0xFF
+            return next_pc
+        try:
+            write(addr, bytes([regs[rs] & 0xFF]))
+        except VMFault as fault:
+            _reraise_data_fault(fault, pc)
+        return next_pc
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Flags and control transfer
+# ---------------------------------------------------------------------------
+
+@_factory(Op.CMPRR)
+def _cmprr(cpu, pc, insn):
+    regs = cpu.regs
+    r1, r2 = insn.operands
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        a = regs[r1]
+        b = regs[r2]
+        cpu.zf = a == b
+        # Biased compare == signed compare for 32-bit two's complement.
+        cpu.sf = (a ^ _SIGN_BIT) < (b ^ _SIGN_BIT)
+        cpu.cf = a < b
+        return next_pc
+    return run
+
+
+@_factory(Op.CMPRI)
+def _cmpri(cpu, pc, insn):
+    regs = cpu.regs
+    r1, imm = insn.operands
+    biased_imm = imm ^ _SIGN_BIT
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        a = regs[r1]
+        cpu.zf = a == imm
+        cpu.sf = (a ^ _SIGN_BIT) < biased_imm
+        cpu.cf = a < imm
+        return next_pc
+    return run
+
+
+@_factory(Op.JMPI)
+def _jmpi(cpu, pc, insn):
+    ring = cpu.control_ring
+    event_cls = type(cpu).CONTROL_EVENT
+    target = insn.operands[0]
+
+    def run(cpu):
+        ring.append(event_cls("branch", pc, target))
+        return target
+    return run
+
+
+@_factory(Op.JMPR)
+def _jmpr(cpu, pc, insn):
+    regs = cpu.regs
+    ring = cpu.control_ring
+    event_cls = type(cpu).CONTROL_EVENT
+    rs = insn.operands[0]
+
+    def run(cpu):
+        target = regs[rs]
+        ring.append(event_cls("branch", pc, target))
+        return target
+    return run
+
+
+def _cond_factory(cpu, pc: int, insn: Insn):
+    pred = PREDICATE_FUNCS[insn.op]
+    ring = cpu.control_ring
+    event_cls = type(cpu).CONTROL_EVENT
+    target = insn.operands[0]
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        if pred(cpu.zf, cpu.sf, cpu.cf):
+            ring.append(event_cls("branch", pc, target))
+            return target
+        return next_pc
+    return run
+
+
+for _op in PREDICATE_FUNCS:
+    _FACTORIES[_op] = _cond_factory
+
+
+def _call_factory(cpu, pc: int, insn: Insn):
+    regs = cpu.regs
+    memory = cpu.memory
+    pages = memory._pages
+    page_region = memory._page_region
+    dirty = memory._dirty
+    page_for_write = memory._page_for_write
+    write_word = memory.write_word
+    ring = cpu.control_ring
+    event_cls = type(cpu).CONTROL_EVENT
+    known = cpu.known_call_targets
+    indirect = insn.op == Op.CALLR
+    operand = insn.operands[0]
+    next_pc = pc + insn.length
+    return_bytes = next_pc.to_bytes(4, "little")
+
+    def run(cpu):
+        target = regs[operand] if indirect else operand
+        sp = (regs[SP] - 4) & WORD_MASK
+        regs[SP] = sp
+        offset = sp & _PAGE_MASK
+        index = sp >> _PAGE_SHIFT
+        region = page_region.get(index)
+        if offset <= _WORD_FIT and region is not None and region.writable:
+            page = pages[index] if index in dirty else page_for_write(index)
+            page[offset:offset + 4] = return_bytes
+        else:
+            try:
+                write_word(sp, next_pc)
+            except VMFault as fault:
+                _reraise_data_fault(fault, pc)
+        known.add(target)
+        ring.append(event_cls("call", pc, target))
+        return target
+    return run
+
+
+_FACTORIES[Op.CALLI] = _call_factory
+_FACTORIES[Op.CALLR] = _call_factory
+
+
+@_factory(Op.RET)
+def _ret(cpu, pc, insn):
+    regs = cpu.regs
+    memory = cpu.memory
+    pages = memory._pages
+    page_region = memory._page_region
+    read_word = memory.read_word
+    ring = cpu.control_ring
+    event_cls = type(cpu).CONTROL_EVENT
+
+    def run(cpu):
+        sp = regs[SP]
+        offset = sp & _PAGE_MASK
+        index = sp >> _PAGE_SHIFT
+        if offset <= _WORD_FIT and index in page_region:
+            page = pages.get(index)
+            target = 0 if page is None else \
+                int.from_bytes(page[offset:offset + 4], "little")
+        else:
+            try:
+                target = read_word(sp)
+            except VMFault as fault:
+                _reraise_data_fault(fault, pc)
+        regs[SP] = (sp + 4) & WORD_MASK
+        ring.append(event_cls("ret", pc, target))
+        return target
+    return run
+
+
+@_factory(Op.PUSHR, Op.PUSHI)
+def _push(cpu, pc, insn):
+    regs = cpu.regs
+    memory = cpu.memory
+    pages = memory._pages
+    page_region = memory._page_region
+    dirty = memory._dirty
+    page_for_write = memory._page_for_write
+    write_word = memory.write_word
+    from_reg = insn.op == Op.PUSHR
+    operand = insn.operands[0]
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        value = regs[operand] if from_reg else operand
+        sp = (regs[SP] - 4) & WORD_MASK
+        regs[SP] = sp
+        offset = sp & _PAGE_MASK
+        index = sp >> _PAGE_SHIFT
+        region = page_region.get(index)
+        if offset <= _WORD_FIT and region is not None and region.writable:
+            page = pages[index] if index in dirty else page_for_write(index)
+            page[offset:offset + 4] = (value & WORD_MASK).to_bytes(4, "little")
+        else:
+            try:
+                write_word(sp, value)
+            except VMFault as fault:
+                _reraise_data_fault(fault, pc)
+        return next_pc
+    return run
+
+
+@_factory(Op.POPR)
+def _popr(cpu, pc, insn):
+    regs = cpu.regs
+    memory = cpu.memory
+    pages = memory._pages
+    page_region = memory._page_region
+    read_word = memory.read_word
+    rd = insn.operands[0]
+    next_pc = pc + insn.length
+
+    def run(cpu):
+        sp = regs[SP]
+        offset = sp & _PAGE_MASK
+        index = sp >> _PAGE_SHIFT
+        if offset <= _WORD_FIT and index in page_region:
+            page = pages.get(index)
+            value = 0 if page is None else \
+                int.from_bytes(page[offset:offset + 4], "little")
+        else:
+            try:
+                value = read_word(sp)
+            except VMFault as fault:
+                _reraise_data_fault(fault, pc)
+        # Order matters when rd is SP itself: the increment happens
+        # first, then the popped value lands, exactly as step() does.
+        regs[SP] = (sp + 4) & WORD_MASK
+        regs[rd] = value
+        return next_pc
+    return run
+
+
+#: Opcodes that compile to cells (everything except SYS/HALT).
+COMPILABLE_OPS = frozenset(_FACTORIES)

@@ -17,6 +17,7 @@ The memory model is the foundation of two Sweeper mechanisms:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import (FAULT_NULL, FAULT_PROT, FAULT_SEGV, ReproError,
@@ -43,11 +44,13 @@ class MemorySnapshot:
 
     Holds shared references to the page objects that existed when the
     snapshot was taken; :class:`PagedMemory` copies any such page before
-    modifying it.
+    modifying it.  ``code_epoch`` records the memory's code-change epoch
+    so a rollback knows whether instruction bytes have changed since.
     """
 
     pages: dict[int, bytearray]
     regions: list[Region]
+    code_epoch: int = 0
     page_count: int = field(init=False)
 
     def __post_init__(self):
@@ -55,16 +58,46 @@ class MemorySnapshot:
 
 
 class PagedMemory:
-    """Sparse paged memory for one guest process."""
+    """Sparse paged memory for one guest process.
+
+    Write tracking is a dirty-page bitmap (``_dirty``): the set of page
+    indices whose page object differs from the one shared with the last
+    snapshot — pages COW-copied or newly materialized since then.  The
+    hot write path is therefore a single set-membership test (already
+    dirty → write straight through); the frozen-page check only runs on
+    a page's *first* write per checkpoint interval.  ``cow_copies`` is
+    derived from the bitmap transitions (it counts frozen pages entering
+    the dirty set), and the checkpoint cost model charges COW work from
+    it instead of intercepting every write.
+    """
 
     def __init__(self):
         self._pages: dict[int, bytearray] = {}
         self._frozen: set[int] = set()
+        self._dirty: set[int] = set()
         self._regions: list[Region] = []
-        self._region_hot: Region | None = None   # last-hit cache
-        #: Cumulative count of pages copied by COW faults; the timing
-        #: model charges checkpoint cost from this.
+        #: Page index -> owning region.  Regions are page-aligned so a
+        #: page belongs to at most one region; this turns every mapping
+        #: check into a single dict probe instead of a list walk (which
+        #: thrashed when accesses alternate between stack and data).
+        self._page_region: dict[int, Region] = {}
+        #: Cumulative count of pages copied by COW faults (dirty-bitmap
+        #: transitions of frozen pages); the timing model charges
+        #: checkpoint cost from this.
         self.cow_copies = 0
+        #: Callbacks ``fn(start, end)`` fired when code bytes in a range
+        #: may have changed meaning: region unmapped/remapped, or a
+        #: loader patch into read-only memory.  The CPU registers one to
+        #: invalidate its predecoded instruction stream.
+        self._code_listeners: list = []
+        #: Monotone code-change epoch.  Every event that can alter
+        #: instruction bytes (unmap, patch to read-only memory) takes a
+        #: fresh value; snapshots record the value at freeze time, so a
+        #: rollback across *any* such event — however many checkpoints
+        #: ago — is detectable.  The counter itself never rewinds, which
+        #: keeps epochs unique across rollback/re-patch timelines.
+        self._code_epoch = 0
+        self._epoch_counter = itertools.count(1)
 
     # -- mapping -----------------------------------------------------------
 
@@ -79,14 +112,12 @@ class PagedMemory:
         raise ReproError(f"no region named {name!r}")
 
     def region_at(self, addr: int) -> Region | None:
-        hot = self._region_hot
-        if hot is not None and hot.start <= addr < hot.end:
-            return hot
-        for region in self._regions:
-            if region.start <= addr < region.end:
-                self._region_hot = region
-                return region
-        return None
+        return self._page_region.get(addr >> PAGE_SHIFT)
+
+    def _index_region(self, region: Region):
+        for index in range(region.start >> PAGE_SHIFT,
+                           region.end >> PAGE_SHIFT):
+            self._page_region[index] = region
 
     def map_region(self, name: str, start: int, size: int,
                    writable: bool = True) -> Region:
@@ -102,7 +133,7 @@ class PagedMemory:
                     f"region {name!r} overlaps {existing.name!r}")
         region = Region(name=name, start=start, end=end, writable=writable)
         self._regions.append(region)
-        self._region_hot = None
+        self._index_region(region)
         return region
 
     def extend_region(self, name: str, new_end: int) -> Region:
@@ -119,8 +150,35 @@ class PagedMemory:
         grown = Region(name=region.name, start=region.start, end=new_end,
                        writable=region.writable)
         self._regions[self._regions.index(region)] = grown
-        self._region_hot = None
+        self._index_region(grown)
         return grown
+
+    def unmap_region(self, name: str) -> Region:
+        """Unmap a region, dropping its pages.
+
+        The address range may later be remapped with different contents,
+        so code listeners (the CPU's predecoded-instruction cache) are
+        told to forget everything they derived from it.
+        """
+        region = self.region_named(name)
+        self._regions.remove(region)
+        for index in range(region.start >> PAGE_SHIFT,
+                           (region.end + PAGE_SIZE - 1) >> PAGE_SHIFT):
+            self._pages.pop(index, None)
+            self._frozen.discard(index)
+            self._dirty.discard(index)
+            self._page_region.pop(index, None)
+        self._code_epoch = next(self._epoch_counter)
+        self._notify_code_changed(region.start, region.end)
+        return region
+
+    def add_code_listener(self, fn):
+        """Register ``fn(start, end)`` to hear about code-range changes."""
+        self._code_listeners.append(fn)
+
+    def _notify_code_changed(self, start: int, end: int):
+        for fn in self._code_listeners:
+            fn(start, end)
 
     def is_mapped(self, addr: int) -> bool:
         return self.region_at(addr) is not None
@@ -136,9 +194,16 @@ class PagedMemory:
         if addr < NULL_GUARD_END:
             raise VMFault(FAULT_NULL, pc=-1, addr=addr)
         end = addr + size
+        # Fast path: the whole access falls inside the region owning the
+        # first page (one dict probe).
+        region = self._page_region.get(addr >> PAGE_SHIFT)
+        if region is not None and end <= region.end:
+            if write and not region.writable:
+                raise VMFault(FAULT_PROT, pc=-1, addr=addr)
+            return
         cursor = addr
         while cursor < end:
-            region = self.region_at(cursor)
+            region = self._page_region.get(cursor >> PAGE_SHIFT)
             if region is None:
                 raise VMFault(FAULT_SEGV, pc=-1, addr=cursor)
             if write and not region.writable:
@@ -149,6 +214,10 @@ class PagedMemory:
         return self._pages.get(index, b"\x00" * PAGE_SIZE)
 
     def _page_for_write(self, index: int) -> bytearray:
+        # Dirty fast path: a page written since the last snapshot is
+        # private by construction, so one set probe suffices.
+        if index in self._dirty:
+            return self._pages[index]
         page = self._pages.get(index)
         if page is None:
             page = bytearray(PAGE_SIZE)
@@ -158,6 +227,7 @@ class PagedMemory:
             self._pages[index] = page
             self._frozen.discard(index)
             self.cow_copies += 1
+        self._dirty.add(index)
         return page
 
     def read(self, addr: int, size: int) -> bytes:
@@ -165,6 +235,13 @@ class PagedMemory:
         if size == 0:
             return b""
         self._check(addr, size, write=False)
+        index, offset = divmod(addr, PAGE_SIZE)
+        end = offset + size
+        if end <= PAGE_SIZE:                     # common case: one page
+            page = self._pages.get(index)
+            if page is None:
+                return bytes(size)
+            return bytes(page[offset:end])
         out = bytearray()
         cursor = addr
         remaining = size
@@ -181,6 +258,14 @@ class PagedMemory:
         if not data:
             return
         self._check(addr, len(data), write=True)
+        self._write_pages(addr, data)
+
+    def _write_pages(self, addr: int, data: bytes):
+        index, offset = divmod(addr, PAGE_SIZE)
+        end = offset + len(data)
+        if end <= PAGE_SIZE:                     # common case: one page
+            self._page_for_write(index)[offset:end] = data
+            return
         cursor = addr
         view = memoryview(data)
         while view:
@@ -191,15 +276,16 @@ class PagedMemory:
             view = view[chunk:]
 
     def write_unchecked(self, addr: int, data: bytes):
-        """Write ignoring protections (loader patching read-only code)."""
-        cursor = addr
-        view = memoryview(data)
-        while view:
-            index, offset = divmod(cursor, PAGE_SIZE)
-            chunk = min(len(view), PAGE_SIZE - offset)
-            self._page_for_write(index)[offset:offset + chunk] = view[:chunk]
-            cursor += chunk
-            view = view[chunk:]
+        """Write ignoring protections (loader patching read-only code).
+
+        Patching non-writable memory can change instruction bytes, so
+        code listeners are notified for the affected range.
+        """
+        self._write_pages(addr, data)
+        region = self.region_at(addr)
+        if region is not None and not region.writable:
+            self._code_epoch = next(self._epoch_counter)
+            self._notify_code_changed(addr, addr + len(data))
 
     def read_byte(self, addr: int) -> int:
         return self.read(addr, 1)[0]
@@ -208,10 +294,25 @@ class PagedMemory:
         self.write(addr, bytes([value & 0xFF]))
 
     def read_word(self, addr: int) -> int:
+        """Read one little-endian 32-bit word (the stack/load fast path)."""
+        self._check(addr, 4, write=False)
+        index, offset = divmod(addr, PAGE_SIZE)
+        if offset <= PAGE_SIZE - 4:
+            page = self._pages.get(index)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset:offset + 4], "little")
         return int.from_bytes(self.read(addr, 4), "little")
 
     def write_word(self, addr: int, value: int):
-        self.write(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+        """Write one little-endian 32-bit word (the stack/store fast path)."""
+        self._check(addr, 4, write=True)
+        index, offset = divmod(addr, PAGE_SIZE)
+        if offset <= PAGE_SIZE - 4:
+            self._page_for_write(index)[offset:offset + 4] = \
+                (value & 0xFFFFFFFF).to_bytes(4, "little")
+            return
+        self._write_pages(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
 
     def read_cstring(self, addr: int, limit: int = 1 << 20) -> bytes:
         """Read a NUL-terminated string (faults if it runs off the map)."""
@@ -230,19 +331,50 @@ class PagedMemory:
     def snapshot(self) -> MemorySnapshot:
         """Take a copy-on-write snapshot (the Rx shadow process)."""
         self._frozen = set(self._pages)
+        self._dirty.clear()
         return MemorySnapshot(pages=dict(self._pages),
-                              regions=list(self._regions))
+                              regions=list(self._regions),
+                              code_epoch=self._code_epoch)
 
     def restore(self, snap: MemorySnapshot):
-        """Roll memory back to ``snap`` (near-instant, like a context switch)."""
-        self._pages = dict(snap.pages)
+        """Roll memory back to ``snap`` (near-instant, like a context switch).
+
+        Container objects (page table, page-region index, dirty bitmap)
+        are mutated in place: execution cells capture them by identity.
+        Rolling back across a code-epoch change — any unmap or
+        read-only patch between the snapshot and now, however many
+        checkpoints back the snapshot is — flushes predecoded state so
+        stale decodings cannot survive the rollback.
+        """
+        if snap.code_epoch != self._code_epoch:
+            self._code_epoch = snap.code_epoch
+            self._notify_code_changed(0, 1 << 32)
+        self._pages.clear()
+        self._pages.update(snap.pages)
         self._regions = list(snap.regions)
-        self._region_hot = None
+        self._page_region.clear()
+        for region in self._regions:
+            self._index_region(region)
         # Restored pages are shared with the snapshot again.
         self._frozen = set(self._pages)
+        self._dirty.clear()
+
+    def dirty_page_count(self) -> int:
+        """Pages written (COW-copied or created) since the last snapshot
+        or restore — a straight read of the dirty bitmap."""
+        return len(self._dirty)
+
+    def dirty_page_indices(self) -> set[int]:
+        """The dirty bitmap itself, as a copy."""
+        return set(self._dirty)
 
     def dirty_pages_since(self, snap: MemorySnapshot) -> int:
-        """How many pages differ from ``snap`` by identity (COW accounting)."""
+        """How many pages differ from ``snap`` by identity (COW accounting).
+
+        For the most recent snapshot this equals ``dirty_page_count()``;
+        the identity walk remains for older snapshots still retained by
+        the checkpoint manager.
+        """
         dirty = 0
         for index, page in self._pages.items():
             if snap.pages.get(index) is not page:

@@ -80,22 +80,20 @@ class NativeContext:
 
     def read(self, addr: int, size: int) -> bytes:
         data = self.memory.read(addr, size)
-        if self.hooks.active:
-            self.hooks.mem_read(self.pc, addr, size)
+        self.hooks.sink.mem_read(self.pc, addr, size)
         return data
 
     def write(self, addr: int, data: bytes):
         """A write of constant / computed bytes (not a byte-copy)."""
         self.memory.write(addr, data)
-        if self.hooks.active:
-            self.hooks.mem_write(self.pc, addr, len(data), data)
+        self.hooks.sink.mem_write(self.pc, addr, len(data), data)
 
     def copy_byte(self, dst: int, src: int):
         """Copy one byte preserving provenance (taint flows through it)."""
         value = self.memory.read(src, 1)
-        if self.hooks.active:
-            self.hooks.mem_read(self.pc, src, 1)
-            self.hooks.mem_copy(self.pc, dst, src, 1)
+        sink = self.hooks.sink
+        sink.mem_read(self.pc, src, 1)
+        sink.mem_copy(self.pc, dst, src, 1)
         self.memory.write(dst, value)
 
     def cstrlen(self, addr: int) -> int:
@@ -103,8 +101,7 @@ class NativeContext:
         length = 0
         while length < _MAX_CSTR:
             byte = self.memory.read(addr + length, 1)[0]
-            if self.hooks.active:
-                self.hooks.mem_read(self.pc, addr + length, 1)
+            self.hooks.sink.mem_read(self.pc, addr + length, 1)
             if byte == 0:
                 return length
             length += 1
@@ -321,8 +318,7 @@ def _malloc(ctx: NativeContext) -> int:
     size = ctx.arg(0)
     payload = ctx.allocator.malloc(size)
     ctx.cycles(16)
-    if ctx.hooks.active:
-        ctx.hooks.malloc(ctx.pc, payload, size)
+    ctx.hooks.sink.malloc(ctx.pc, payload, size)
     return payload
 
 
@@ -331,10 +327,9 @@ def _calloc(ctx: NativeContext) -> int:
     count, unit = ctx.arg(0), ctx.arg(1)
     size = (count * unit) & 0xFFFFFFFF
     payload = ctx.allocator.malloc(size)
-    if ctx.hooks.active:
-        # Announce the allocation before zeroing so red-zone tools know
-        # the block is live when they see the writes.
-        ctx.hooks.malloc(ctx.pc, payload, size)
+    # Announce the allocation before zeroing so red-zone tools know the
+    # block is live when they see the writes.
+    ctx.hooks.sink.malloc(ctx.pc, payload, size)
     if payload and size:
         ctx.write(payload, b"\x00" * size)
     ctx.cycles(size + 16)
@@ -349,12 +344,10 @@ def _realloc(ctx: NativeContext) -> int:
         return _malloc(ctx)
     block = ctx.allocator.read_block(old - 12)
     new = ctx.allocator.malloc(size)
-    if ctx.hooks.active:
-        ctx.hooks.malloc(ctx.pc, new, size)
+    ctx.hooks.sink.malloc(ctx.pc, new, size)
     for offset in range(min(block.size, size)):
         ctx.copy_byte(new + offset, old + offset)
-    if ctx.hooks.active:
-        ctx.hooks.free(ctx.pc, old)
+    ctx.hooks.sink.free(ctx.pc, old)
     ctx.allocator.free(old)
     ctx.cycles(size + 32)
     return new
@@ -363,8 +356,7 @@ def _realloc(ctx: NativeContext) -> int:
 @native("free")
 def _free(ctx: NativeContext) -> int:
     payload = ctx.arg(0)
-    if ctx.hooks.active:
-        ctx.hooks.free(ctx.pc, payload)
+    ctx.hooks.sink.free(ctx.pc, payload)
     ctx.allocator.free(payload)
     ctx.cycles(16)
     return 0

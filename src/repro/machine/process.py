@@ -126,6 +126,9 @@ class Process:
         memory.write_unchecked(layout.code_base, image.text)
         memory.write_unchecked(layout.data_base, image.data)
         self._apply_relocations()
+        # Relocations are patched; compile the (immutable) text section
+        # into the executable-form stream the batched loop runs.
+        self.cpu.predecode(layout.code_base, layout.code_base + len(image.text))
         self.allocator.initialize()
 
         for name, (section, offset) in image.symbols.items():
@@ -208,8 +211,8 @@ class Process:
                 if checks:
                     for check in checks:
                         check(cpu, None)
-            if self.hooks.active:
-                self.hooks.native(pc, name, tuple(cpu.regs[:4]))
+            hk = self.hooks.sink
+            hk.native(pc, name, tuple(cpu.regs[:4]))
             ctx = NativeContext(self, pc, name)
             try:
                 result = fn(ctx)
@@ -220,13 +223,11 @@ class Process:
                                   detail=fault.detail or f"in {name}")
                 raise
             cpu.regs[0] = result & 0xFFFFFFFF
-            if self.hooks.active:
-                self.hooks.reg_write(pc, 0, cpu.regs[0])
+            hk.reg_write(pc, 0, cpu.regs[0])
             sp_before = cpu.regs[SP]
             target = cpu.pop(pc)
             cpu.control_ring.append(ControlEvent("ret", pc, target))
-            if self.hooks.active:
-                self.hooks.ret(pc, target, sp_before)
+            hk.ret(pc, target, sp_before)
             cpu.cycles += 4
             cpu.pc = target
 
@@ -268,9 +269,9 @@ class Process:
             raise VMFault("ILLEGAL_OPCODE", pc=pc,
                           detail=f"unknown syscall {number}")
         cpu.regs[0] = result & 0xFFFFFFFF
-        if self.hooks.active:
-            self.hooks.reg_write(pc, 0, cpu.regs[0])
-            self.hooks.syscall(pc, number, args, result)
+        hk = self.hooks.sink
+        hk.reg_write(pc, 0, cpu.regs[0])
+        hk.syscall(pc, number, args, result)
         cpu.cycles += 8
 
     def _replayable(self, number: int, live_fn):
@@ -293,11 +294,10 @@ class Process:
         data = message.data[:max_len]
         self.memory.write(buf, data)
         self.current_msg_id = message.msg_id
-        if self.hooks.active:
-            self.hooks.mem_write(pc, buf, len(data), data)
-            self.hooks.syscall(pc, SYS_RECV, (buf, max_len, 0, 0),
-                               {"msg_id": message.msg_id, "data": data,
-                                "buf": buf})
+        hk = self.hooks.sink
+        hk.mem_write(pc, buf, len(data), data)
+        hk.syscall(pc, SYS_RECV, (buf, max_len, 0, 0),
+                   {"msg_id": message.msg_id, "data": data, "buf": buf})
         if not self.replay_mode:
             self.syscall_log.append(SyscallRecord(
                 number=SYS_RECV, result=len(data),
@@ -306,8 +306,7 @@ class Process:
 
     def _sys_send(self, buf: int, length: int) -> int:
         data = self.memory.read(buf, length)
-        if self.hooks.active:
-            self.hooks.mem_read(self._sys_pc, buf, length)
+        self.hooks.sink.mem_read(self._sys_pc, buf, length)
         self.sent.append(SentMessage(msg_id=self.current_msg_id, data=data))
         if not self.replay_mode:
             self.syscall_log.append(SyscallRecord(
@@ -319,24 +318,24 @@ class Process:
 
     def run(self, max_cycles: int | None = None,
             max_steps: int | None = None) -> RunResult:
-        """Run until idle/exit/budget; faults propagate to the caller."""
+        """Run until idle/exit/budget; faults propagate to the caller.
+
+        Execution is batched: the CPU selects the cheapest inner loop
+        the current deployment allows (plain predecoded cells when no
+        tool or VSEF is live) and runs it until a budget trips or the
+        guest blocks/exits/faults.
+        """
         start = self.cpu.cycles
-        steps = 0
-        while True:
-            if max_cycles is not None and self.cpu.cycles - start >= max_cycles:
-                return RunResult("cycles", self.cpu.cycles - start)
-            if max_steps is not None and steps >= max_steps:
-                return RunResult("steps", self.cpu.cycles - start)
-            try:
-                self.cpu.step()
-            except _WouldBlock:
-                self.cpu.pc = self._sys_pc
-                return RunResult("idle", self.cpu.cycles - start)
-            except ProcessExited as exited:
-                self.exited = True
-                return RunResult("exit", self.cpu.cycles - start,
-                                 exit_status=exited.status)
-            steps += 1
+        try:
+            reason = self.cpu.run(max_steps=max_steps, max_cycles=max_cycles)
+            return RunResult(reason, self.cpu.cycles - start)
+        except _WouldBlock:
+            self.cpu.pc = self._sys_pc
+            return RunResult("idle", self.cpu.cycles - start)
+        except ProcessExited as exited:
+            self.exited = True
+            return RunResult("exit", self.cpu.cycles - start,
+                             exit_status=exited.status)
 
     # -- checkpoint / rollback ------------------------------------------------------------
 

@@ -12,7 +12,7 @@ cost model rather than being scripted.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.machine.cpu import CPU_HZ
 from repro.machine.process import Process, ProcessSnapshot
@@ -24,15 +24,18 @@ CHECKPOINT_PER_PAGE_CYCLES = 55
 #: Cost charged per page later copied on write (the deferred COW work).
 COW_COPY_CYCLES = 180
 
-_seq = itertools.count(1)
-
-
 @dataclass
 class Checkpoint:
-    """One retained checkpoint."""
+    """One retained checkpoint.
+
+    ``seq`` orders checkpoints within their owning manager; it is
+    assigned by :meth:`CheckpointManager.take` from a per-manager
+    counter, so sequence numbers are deterministic per run and never
+    leak across Sweeper instances or test cases.
+    """
 
     snapshot: ProcessSnapshot
-    seq: int = field(default_factory=lambda: next(_seq))
+    seq: int = 0
 
     @property
     def msg_cursor(self) -> int:
@@ -50,10 +53,13 @@ class CheckpointManager:
         self.interval_ms = interval_ms
         self.max_checkpoints = max_checkpoints
         self.checkpoints: list[Checkpoint] = []
+        self._seq = itertools.count(1)
         self._last_cp_cycles: int | None = None
         self._last_cow_copies = 0
         self.total_taken = 0
         self.total_cost_cycles = 0
+        #: Dirty-bitmap size observed at the last take (introspection).
+        self.last_dirty_pages = 0
 
     @property
     def interval_cycles(self) -> int:
@@ -75,6 +81,9 @@ class CheckpointManager:
         """Take a checkpoint now, charging its virtual cost."""
         memory = process.memory
         # Charge the deferred COW copies performed since the last take.
+        # ``cow_copies`` is derived from the memory's dirty-page bitmap
+        # (it counts frozen pages that entered the dirty set), so the
+        # write path never runs checkpoint accounting code.
         new_copies = memory.cow_copies - self._last_cow_copies
         cost = (CHECKPOINT_BASE_CYCLES
                 + CHECKPOINT_PER_PAGE_CYCLES * memory.mapped_page_count()
@@ -82,7 +91,9 @@ class CheckpointManager:
         process.cpu.cycles += cost
         self.total_cost_cycles += cost
         self._last_cow_copies = memory.cow_copies
-        checkpoint = Checkpoint(snapshot=process.snapshot_full())
+        self.last_dirty_pages = memory.dirty_page_count()
+        checkpoint = Checkpoint(snapshot=process.snapshot_full(),
+                                seq=next(self._seq))
         self.checkpoints.append(checkpoint)
         self.total_taken += 1
         self._last_cp_cycles = process.cpu.cycles

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import (AttackDetected, FAULT_BADPC, FAULT_ILLEGAL,
-                          FAULT_NULL, VMFault)
+from repro.errors import (AttackDetected, FAULT_BADPC, FAULT_DIVZERO,
+                          FAULT_ILLEGAL, FAULT_NULL, VMFault)
 
 
 @dataclass
@@ -43,7 +43,7 @@ def classify_fault(fault: VMFault) -> str:
     if fault.kind in (FAULT_BADPC, FAULT_ILLEGAL):
         return ("wild control transfer (consistent with a hijack defeated "
                 "by address-space randomization)")
-    if fault.kind == "DIV_ZERO":
+    if fault.kind == FAULT_DIVZERO:
         return "arithmetic fault"
     return "invalid memory access (possible overflow under randomization)"
 

@@ -7,7 +7,11 @@ requests — the instrumentation is dynamic, so the decision can be made
 per message, and hosts can sample more aggressively when idle.
 
 :class:`RequestSampler` implements that policy: every Nth request is
-served with a :class:`~repro.analysis.taint.TaintTracker` attached.  A
+served with a :class:`~repro.analysis.taint.TaintTracker` attached.
+Attaching the tracker flips the hook manager's sink live, which makes
+the batched CPU loop select its instrumented path for exactly that
+request — unsampled requests keep running predecoded cells at full
+speed, which is what makes per-message sampling decisions free.  A
 taint violation on a sampled request is a *pre-corruption* detection —
 it fires at the sink, before the hijacked control transfer executes —
 so the runtime can drop the request like a VSEF block and derive

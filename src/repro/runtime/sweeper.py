@@ -459,6 +459,7 @@ class Sweeper:
     # -- introspection ------------------------------------------------------------------------
 
     def stats(self) -> dict:
+        cpu = self.process.cpu
         return {
             "virtual_time": self.clock,
             "requests_seen": len(self.proxy.log),
@@ -469,4 +470,11 @@ class Sweeper:
             "checkpoints_taken": self.checkpoints.total_taken,
             "checkpoint_cost_seconds":
                 self.checkpoints.total_cost_cycles / CPU_HZ,
+            # Execution-core introspection: how much of the guest is
+            # served by the predecoded fast path, and how much memory
+            # churn the last checkpoint interval saw.
+            "predecoded_insns": cpu.predecoded_count,
+            "cow_page_copies": self.process.memory.cow_copies,
+            "dirty_pages_last_checkpoint":
+                self.checkpoints.last_dirty_pages,
         }

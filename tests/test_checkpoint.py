@@ -114,3 +114,27 @@ def test_snapshot_contains_message_cursor():
     checkpoint = manager.take(process)
     assert checkpoint.msg_cursor == 1
     assert checkpoint.taken_at_cycles == process.cpu.cycles
+
+
+def test_seq_numbers_are_per_manager():
+    """Sequence numbers must not leak across managers (or test runs):
+    each manager numbers its own checkpoints from 1."""
+    first = CheckpointManager()
+    second = CheckpointManager()
+    process_a = make_process()
+    process_b = make_process()
+    seqs_a = [first.take(process_a).seq for _ in range(3)]
+    seqs_b = [second.take(process_b).seq for _ in range(3)]
+    assert seqs_a == [1, 2, 3]
+    assert seqs_b == [1, 2, 3]
+
+
+def test_seq_ordering_survives_discard_after():
+    manager = CheckpointManager()
+    process = make_process()
+    checkpoints = [manager.take(process) for _ in range(4)]
+    manager.discard_after(checkpoints[1])
+    assert [c.seq for c in manager.checkpoints] == [1, 2]
+    assert manager.older_than(checkpoints[1]) is checkpoints[0]
+    # New checkpoints keep counting from where the manager left off.
+    assert manager.take(process).seq == 5

@@ -298,3 +298,162 @@ class TestVSEFFastPath:
             lambda cpu, insn: seen.append(insn.op.name)]
         process.run()
         assert seen == ["MOVRI"]
+
+
+class TestPredecodeInvalidation:
+    def _bare_cpu(self):
+        from repro.instrument.hooks import HookManager
+        from repro.machine.cpu import CPU
+        from repro.machine.memory import PagedMemory
+
+        memory = PagedMemory()
+        cpu = CPU(memory, HookManager())
+        # A stack so push/call-free programs still have a valid SP.
+        memory.map_region("stack", 0x90000, 4096)
+        cpu.regs[SP] = 0x91000 - 16
+        return memory, cpu
+
+    def _load_code(self, memory, cpu, base, blob):
+        memory.map_region("code", base, 4096, writable=False)
+        memory.write_unchecked(base, blob)
+        cpu.predecode(base, base + len(blob))
+
+    def test_stale_decodings_dropped_on_unmap_and_remap(self):
+        from repro.errors import ProcessExited
+        from repro.isa.encoding import encode
+        from repro.isa.opcodes import Op
+
+        memory, cpu = self._bare_cpu()
+        base = 0x40000
+        self._load_code(memory, cpu, base,
+                        encode(Op.MOVRI, 0, 111) + encode(Op.HALT))
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 111
+        assert base in cpu._decode_cache
+
+        memory.unmap_region("code")
+        assert base not in cpu._decode_cache   # invalidated with the region
+
+        self._load_code(memory, cpu, base,
+                        encode(Op.MOVRI, 0, 222) + encode(Op.HALT))
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 222              # not the stale 111
+
+    def test_readonly_patch_invalidates_affected_range(self):
+        from repro.errors import ProcessExited
+        from repro.isa.encoding import encode
+        from repro.isa.opcodes import Op
+
+        memory, cpu = self._bare_cpu()
+        base = 0x40000
+        self._load_code(memory, cpu, base,
+                        encode(Op.MOVRI, 0, 111) + encode(Op.HALT))
+        # Loader-style patch of the immediate inside the cached MOVRI.
+        memory.write_unchecked(base + 2, (333).to_bytes(4, "little"))
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 333
+
+    def test_invalidate_code_full_flush(self):
+        from repro.isa.encoding import encode
+        from repro.isa.opcodes import Op
+
+        memory, cpu = self._bare_cpu()
+        base = 0x40000
+        self._load_code(memory, cpu, base,
+                        encode(Op.MOVRI, 0, 1) + encode(Op.HALT))
+        assert cpu._decode_cache
+        cpu.invalidate_code()
+        assert not cpu._decode_cache
+        assert not cpu._cells
+
+    def test_rollback_across_remap_drops_stale_cells(self):
+        """Restoring a snapshot taken before an unmap/remap must not let
+        cells compiled from the newer mapping keep executing."""
+        from repro.errors import ProcessExited
+        from repro.isa.encoding import encode
+        from repro.isa.opcodes import Op
+
+        memory, cpu = self._bare_cpu()
+        base = 0x40000
+        self._load_code(memory, cpu, base,
+                        encode(Op.MOVRI, 0, 111) + encode(Op.HALT))
+        snap = memory.snapshot()
+        cpu_snap = cpu.snapshot_state()
+
+        memory.unmap_region("code")
+        memory.map_region("code", base, 4096, writable=False)
+        memory.write_unchecked(base, encode(Op.MOVRI, 0, 222)
+                               + encode(Op.HALT))
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 222
+
+        memory.restore(snap)
+        cpu.restore_state(cpu_snap)
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 111              # restored code, not stale 222
+
+    def test_rollback_across_readonly_patch_drops_stale_cells(self):
+        """Same-layout rollback: a loader patch to read-only code since
+        the snapshot must be forgotten when the bytes rewind."""
+        from repro.errors import ProcessExited
+        from repro.isa.encoding import encode
+        from repro.isa.opcodes import Op
+
+        memory, cpu = self._bare_cpu()
+        base = 0x40000
+        self._load_code(memory, cpu, base,
+                        encode(Op.MOVRI, 0, 111) + encode(Op.HALT))
+        snap = memory.snapshot()
+        cpu_snap = cpu.snapshot_state()
+
+        memory.write_unchecked(base + 2, (222).to_bytes(4, "little"))
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 222
+
+        memory.restore(snap)
+        cpu.restore_state(cpu_snap)
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 111
+
+    def test_rollback_to_older_checkpoint_drops_stale_cells(self):
+        """The patch may have happened several checkpoints ago: rolling
+        back to a snapshot older than the latest must still flush."""
+        from repro.errors import ProcessExited
+        from repro.isa.encoding import encode
+        from repro.isa.opcodes import Op
+
+        memory, cpu = self._bare_cpu()
+        base = 0x40000
+        self._load_code(memory, cpu, base,
+                        encode(Op.MOVRI, 0, 111) + encode(Op.HALT))
+        snap_old = memory.snapshot()
+        cpu_old = cpu.snapshot_state()
+
+        memory.write_unchecked(base + 2, (222).to_bytes(4, "little"))
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 222
+
+        memory.snapshot()          # newer checkpoint clears the bitmap
+
+        memory.restore(snap_old)   # roll back PAST the patch
+        cpu.restore_state(cpu_old)
+        cpu.pc = base
+        with pytest.raises(ProcessExited):
+            cpu.run()
+        assert cpu.regs[0] == 111  # original bytes, not the stale cell

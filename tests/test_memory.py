@@ -225,3 +225,66 @@ def test_snapshot_restore_property(before_writes, after_writes):
         memory.write(BASE + offset, data)
     memory.restore(snap)
     assert memory.read(BASE, 2 * PAGE_SIZE) == reference
+
+
+class TestDirtyPageBitmap:
+    def test_write_marks_page_dirty(self):
+        memory = make_memory()
+        assert memory.dirty_page_count() == 0
+        memory.write(BASE, b"x")
+        assert memory.dirty_page_count() == 1
+        assert memory.dirty_page_indices() == {BASE // PAGE_SIZE}
+
+    def test_repeat_writes_do_not_grow_bitmap(self):
+        memory = make_memory()
+        for offset in range(0, 64, 4):
+            memory.write_word(BASE + offset, offset)
+        assert memory.dirty_page_count() == 1
+
+    def test_snapshot_clears_bitmap_and_cow_repopulates(self):
+        memory = make_memory()
+        memory.write(BASE, b"before")
+        memory.snapshot()
+        assert memory.dirty_page_count() == 0
+        before = memory.cow_copies
+        memory.write(BASE, b"after")           # first write: COW copy
+        assert memory.dirty_page_count() == 1
+        assert memory.cow_copies == before + 1
+        memory.write(BASE + 1, b"again")       # same page: no new copy
+        assert memory.dirty_page_count() == 1
+        assert memory.cow_copies == before + 1
+
+    def test_restore_clears_bitmap(self):
+        memory = make_memory()
+        memory.write(BASE, b"state")
+        snap = memory.snapshot()
+        memory.write(BASE, b"dirty")
+        memory.restore(snap)
+        assert memory.dirty_page_count() == 0
+        assert memory.read(BASE, 5) == b"state"
+
+
+class TestUnmapRegion:
+    def test_unmap_then_remap(self):
+        memory = make_memory()
+        memory.write(BASE, b"payload")
+        memory.unmap_region("test")
+        assert not memory.is_mapped(BASE)
+        with pytest.raises(VMFault):
+            memory.read(BASE, 1)
+        memory.map_region("test2", BASE, PAGE_SIZE)
+        # Old pages were dropped with the region: fresh zero-fill.
+        assert memory.read(BASE, 7) == b"\x00" * 7
+
+    def test_unmap_notifies_code_listeners(self):
+        memory = make_memory()
+        heard = []
+        memory.add_code_listener(lambda start, end: heard.append((start, end)))
+        region = memory.region_named("test")
+        memory.unmap_region("test")
+        assert heard == [(region.start, region.end)]
+
+    def test_unmap_unknown_region_raises(self):
+        memory = make_memory()
+        with pytest.raises(ReproError):
+            memory.unmap_region("nope")
