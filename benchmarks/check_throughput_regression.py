@@ -1,0 +1,80 @@
+"""Fail CI when the throughput bench regresses against the recorded
+baseline.
+
+Compares the fresh ``benchmarks/results/BENCH_exec_throughput.json``
+(written by ``bench_exec_throughput.py``) against the *tracked* baseline
+``benchmarks/BENCH_exec_throughput.json``.  Shared CI runners vary
+wildly in absolute speed, so the gate is machine-normalized: for each
+workload it checks the ``plain/stepped`` and ``plain/instrumented``
+speedup ratios — how much the batched fused loop beats per-instruction
+dispatch on the *same* machine.  A hot-path regression (lost fusion, a
+new per-instruction branch, a slower cell body) shrinks those ratios
+regardless of runner speed.  A ratio more than ``TOLERANCE`` (20%)
+below the baseline's fails the gate.
+
+Set ``REFERENCE_HW=1`` to additionally enforce absolute insns/s within
+the same tolerance (meaningful only on reference-class containers).
+
+Usage: ``PYTHONPATH=src python benchmarks/check_throughput_regression.py``
+(after running the bench).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.20
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "BENCH_exec_throughput.json"
+FRESH_PATH = HERE / "results" / "BENCH_exec_throughput.json"
+
+#: The machine-normalized ratios the gate enforces per workload.
+RATIOS = (("plain", "stepped"), ("plain", "instrumented"))
+
+
+def _ratio(modes: dict, num: str, den: str) -> float:
+    return modes[num] / modes[den]
+
+
+def main() -> int:
+    baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
+    fresh = json.loads(FRESH_PATH.read_text())["workloads"]
+    failures = []
+    for workload, base_modes in baseline.items():
+        fresh_modes = fresh.get(workload)
+        if fresh_modes is None:
+            failures.append(f"{workload}: missing from fresh results")
+            continue
+        for num, den in RATIOS:
+            want = _ratio(base_modes, num, den)
+            got = _ratio(fresh_modes, num, den)
+            verdict = "ok" if got >= want * (1 - TOLERANCE) else "FAIL"
+            print(f"{workload:>8s} {num}/{den}: baseline {want:6.2f}  "
+                  f"fresh {got:6.2f}  [{verdict}]")
+            if verdict == "FAIL":
+                failures.append(
+                    f"{workload} {num}/{den}: {got:.2f} < "
+                    f"{want * (1 - TOLERANCE):.2f} (baseline {want:.2f} "
+                    f"- {TOLERANCE:.0%})")
+        if os.environ.get("REFERENCE_HW"):
+            for mode, want in base_modes.items():
+                got = fresh_modes[mode]
+                if got < want * (1 - TOLERANCE):
+                    failures.append(
+                        f"{workload} {mode}: {got:,.0f} insns/s < "
+                        f"{want * (1 - TOLERANCE):,.0f}")
+    if failures:
+        print("\nthroughput regression >20% below recorded baseline:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno throughput regression against the recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

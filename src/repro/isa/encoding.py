@@ -13,7 +13,8 @@ import struct
 from dataclasses import dataclass
 
 from repro.errors import EncodingError
-from repro.isa.opcodes import NUM_REGS, OP_SIGNATURES, Op
+from repro.isa.opcodes import (COND_BRANCHES, FUSIBLE_OPS, NUM_REGS,
+                               OP_SIGNATURES, Op)
 
 _OPERAND_WIDTH = {"r": 1, "i": 4, "b": 1}
 
@@ -35,6 +36,12 @@ class Insn:
     @property
     def signature(self) -> str:
         return OP_SIGNATURES[self.op]
+
+    @property
+    def fusible(self) -> bool:
+        """Whether this instruction may live inside a fused trace (it is
+        straight-line and never re-enters the runtime)."""
+        return self.op in FUSIBLE_OPS
 
 
 #: Precomputed encoded length per opcode (1 opcode byte + operand bytes).
@@ -130,6 +137,32 @@ def decode_range(fetch, start: int, end: int) -> dict[int, Insn]:
         stream[addr] = insn
         addr += insn.length
     return stream
+
+
+def block_leaders(stream: dict[int, Insn]) -> set[int]:
+    """Basic-block leaders of a decoded instruction ``stream``.
+
+    A leader is any address control can enter other than by falling
+    through mid-block: the start of the stream, every statically known
+    branch/call target inside the stream, and the return address after
+    every call (a ``ret`` lands there).  Indirect transfers (``jmp r``,
+    ``call r``, ``ret``) have unknowable targets; entering a fused trace
+    mid-way through one of them is handled by the per-cell fallback, not
+    by leader analysis.
+    """
+    leaders: set[int] = set()
+    if not stream:
+        return leaders
+    leaders.add(min(stream))
+    for pc, insn in stream.items():
+        op = insn.op
+        if op is Op.JMPI or op is Op.CALLI or op in COND_BRANCHES:
+            target = insn.operands[0]
+            if target in stream:
+                leaders.add(target)
+        if op is Op.CALLI or op is Op.CALLR:
+            leaders.add(pc + insn.length)
+    return leaders
 
 
 def decode_bytes(blob: bytes, offset: int = 0) -> Insn:

@@ -174,6 +174,25 @@ PREDICATE_FUNCS: dict[Op, "object"] = {
 
 COND_BRANCHES = frozenset(BRANCH_PREDICATES)
 
+#: Opcodes that transfer control (or may): every one of these ends a
+#: basic block, so no fused trace may extend past one.
+CONTROL_TRANSFER_OPS = frozenset({
+    Op.JMPI, Op.JMPR, Op.CALLI, Op.CALLR, Op.RET, *BRANCH_PREDICATES,
+})
+
+#: Opcodes that re-enter the runtime (syscall dispatch, process exit) and
+#: therefore never compile to executable cells, let alone fuse.
+RUNTIME_OPS = frozenset({Op.SYS, Op.HALT})
+
+#: Fusibility metadata: opcodes whose cells may be merged into a single
+#: fused supercell.  An opcode is fusible iff it is straight-line (falls
+#: through to ``pc + length``), touches no instrumentation state beyond
+#: registers/flags/data memory, and never re-enters the runtime.  Control
+#: transfers, SYS and HALT terminate traces; everything else — data
+#: movement, ALU, compares, loads/stores and stack traffic — fuses.
+FUSIBLE_OPS = frozenset(
+    op for op in Op if op not in CONTROL_TRANSFER_OPS and op not in RUNTIME_OPS)
+
 #: ALU semantics as callables over unsigned 32-bit operands.  Results may
 #: exceed 32 bits (callers mask) and division by zero raises Python's
 #: ``ZeroDivisionError`` (callers map it to a DIV_ZERO fault); keeping the

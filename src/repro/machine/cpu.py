@@ -37,16 +37,16 @@ Design notes tied to the paper:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.errors import (FAULT_BADPC, FAULT_DIVZERO, FAULT_ILLEGAL,
                           EncodingError, ProcessExited, VMFault)
-from repro.isa.encoding import OP_LENGTHS, Insn, decode, decode_range
-from repro.isa.opcodes import (ALU_FUNCS, ALU_OPS, FP, OP_SIGNATURES,
-                               PREDICATE_FUNCS, SP, Op, to_signed,
-                               to_unsigned)
-from repro.machine.execcore import compile_cell
+from repro.isa.encoding import (OP_LENGTHS, Insn, block_leaders, decode,
+                                decode_range)
+from repro.isa.opcodes import (ALU_FUNCS, ALU_OPS, CONTROL_TRANSFER_OPS, FP,
+                               OP_SIGNATURES, PREDICATE_FUNCS, SP, Op,
+                               to_signed, to_unsigned)
+from repro.machine.execcore import compile_cell, compile_trace
 from repro.machine.memory import PagedMemory
 
 #: Virtual CPU frequency: cycles per virtual second.  2 MHz is chosen so
@@ -63,10 +63,19 @@ CONTROL_RING_SIZE = 64
 #: code range.
 MAX_INSN_LENGTH = max(OP_LENGTHS.values())
 
+#: Longest straight-line run fused into one supercell.  Bounds generated
+#: code size and how often a step budget smaller than a trace forces the
+#: per-cell tail path.
+FUSION_LIMIT = 32
 
-@dataclass(frozen=True)
-class ControlEvent:
-    """One control transfer: kind is 'call', 'ret', 'branch' or 'native'."""
+
+class ControlEvent(NamedTuple):
+    """One control transfer: kind is 'call', 'ret', 'branch' or 'native'.
+
+    A named tuple rather than a dataclass: the ring append is on the
+    fast path of every taken branch/call/ret, and tuple construction is
+    about twice as cheap as a frozen dataclass ``__init__``.
+    """
 
     kind: str
     pc: int
@@ -106,6 +115,19 @@ class CPU:
         self._decode_cache: dict[int, Insn] = {}
         #: Executable-form cells for the same addresses: pc -> closure.
         self._cells: dict[int, Callable] = {}
+        #: Fused traces: head pc -> (supercell, insn count, end address,
+        #: member (pc, insn) tuple).  Members are kept so invalidation
+        #: can re-split a partially stale trace.
+        self._traces: dict[int, tuple] = {}
+        #: The fused loop's dispatch table: pc -> (fn, insn count).
+        #: Every cell appears with count 1; trace heads are overridden
+        #: by their supercell.
+        self._hot: dict[int, tuple] = {}
+        #: Tier switch: False forces the plain per-cell loop even with
+        #: traces built (differential testing, debugging).
+        self.fusion_enabled = True
+        #: Set by a faulting supercell: (faulting pc, uncharged cycles).
+        self._trace_fault: tuple[int, int] | None = None
         #: Bound-method dispatch table for the general execute path.
         self._dispatch: dict[Op, Callable] = {
             op: getattr(self, name) for op, name in _DISPATCH_NAMES.items()}
@@ -154,33 +176,112 @@ class CPU:
         """How many instructions currently have executable cells."""
         return len(self._cells)
 
+    @property
+    def fused_trace_count(self) -> int:
+        """How many supercells (fused straight-line traces) are live."""
+        return len(self._traces)
+
     def predecode(self, start: int, end: int):
         """Predecode the read-only range ``[start, end)`` into executable
-        cells (linear sweep; stops quietly at undecodable padding)."""
+        cells (linear sweep; stops quietly at undecodable padding), then
+        fuse straight-line runs within basic blocks into supercells."""
         region = self.memory.region_at(start)
         if region is None or region.writable:
             return
-        for pc, insn in decode_range(self.fetch, start, end).items():
+        stream = decode_range(self.fetch, start, end)
+        for pc, insn in stream.items():
             self._decode_cache[pc] = insn
             cell = compile_cell(self, pc, insn)
             if cell is not None:
                 self._cells[pc] = cell
+                if pc not in self._traces:
+                    self._hot[pc] = (cell, 1)
+        self._fuse_stream(stream)
+
+    def _fuse_stream(self, stream: dict[int, Insn]):
+        """Merge maximal straight-line runs of fusible instructions —
+        each closed by its block's terminating control transfer, when
+        present — into supercells.  A run ends at any block leader
+        (branch/call target, post-call return address), at any control
+        transfer (which joins the trace as its tail), at SYS/HALT
+        (which never compile), and at ``FUSION_LIMIT``; runs shorter
+        than 2 stay per-cell."""
+        if not stream:
+            return
+        leaders = block_leaders(stream)
+        run: list[tuple[int, Insn]] = []
+        for pc in sorted(stream):
+            insn = stream[pc]
+            if run and (pc in leaders or pc != run[-1][0] + run[-1][1].length):
+                self._install_traces(run)
+                run = []
+            if insn.fusible:
+                run.append((pc, insn))
+            elif insn.op in CONTROL_TRANSFER_OPS:
+                run.append((pc, insn))
+                self._install_traces(run)
+                run = []
+            else:                         # SYS/HALT: runtime re-entry
+                self._install_traces(run)
+                run = []
+        self._install_traces(run)
+
+    def _install_traces(self, run: list[tuple[int, Insn]]):
+        for base in range(0, len(run), FUSION_LIMIT):
+            items = run[base:base + FUSION_LIMIT]
+            if len(items) < 2:
+                continue
+            fn = compile_trace(self, items)
+            if fn is None:
+                continue
+            head = items[0][0]
+            last_pc, last_insn = items[-1]
+            self._traces[head] = (fn, len(items),
+                                  last_pc + last_insn.length, tuple(items))
+            self._hot[head] = (fn, len(items))
 
     def invalidate_code(self, start: int | None = None,
                         end: int | None = None):
         """Forget predecoded instructions overlapping ``[start, end)``
         (everything when no range is given).  Called when a code region
         is unmapped/remapped or patched, so stale decodings can never
-        execute."""
+        execute.  Fused traces overlapping the range are *re-split*: the
+        trace is dropped and its still-valid prefix and suffix runs are
+        re-fused, so no supercell can replay stale bytes while untouched
+        instructions keep their fast path."""
         if start is None or end is None:
             self._decode_cache.clear()
             self._cells.clear()
+            self._traces.clear()
+            self._hot.clear()
             return
         low = start - MAX_INSN_LENGTH
         stale = [pc for pc in self._decode_cache if low < pc < end]
         for pc in stale:
             self._decode_cache.pop(pc, None)
             self._cells.pop(pc, None)
+            self._hot.pop(pc, None)
+        for head in [h for h, t in self._traces.items()
+                     if h < end and start < t[2]]:
+            _fn, _count, _tend, members = self._traces.pop(head)
+            self._hot.pop(head, None)
+            cell = self._cells.get(head)
+            if cell is not None:
+                self._hot[head] = (cell, 1)
+            prefix: list[tuple[int, Insn]] = []
+            for m_pc, m_insn in members:
+                if m_pc + m_insn.length > start or m_pc not in self._cells:
+                    break
+                prefix.append((m_pc, m_insn))
+            self._install_traces(prefix)
+            suffix: list[tuple[int, Insn]] = []
+            for m_pc, m_insn in members:
+                if m_pc < end:
+                    continue
+                if m_pc not in self._cells:   # keep the run contiguous
+                    break
+                suffix.append((m_pc, m_insn))
+            self._install_traces(suffix)
 
     def _decode_at(self, pc: int) -> Insn:
         """Decode at ``pc``; cache (and compile) read-only instructions."""
@@ -196,6 +297,8 @@ class CPU:
             cell = compile_cell(self, pc, insn)
             if cell is not None:
                 self._cells[pc] = cell
+                if pc not in self._traces:
+                    self._hot[pc] = (cell, 1)
         return insn
 
     # -- stack -----------------------------------------------------------------
@@ -253,8 +356,11 @@ class CPU:
         """Batched execution until a budget is exhausted.
 
         Selects the cheapest inner loop the current deployment allows —
-        plain cells, cells + VSEF probes, or instrumented step() — and
-        re-selects whenever a fallback step changes the deployment.
+        fused supercells, plain cells, cells + VSEF probes, or
+        instrumented step() — and re-selects whenever a fallback step
+        changes the deployment.  Armed VSEF checks disable the fused
+        tier entirely: every probe PC must be probed per instruction, so
+        execution falls back to per-cell until the filters are removed.
         Returns ``"steps"`` or ``"cycles"`` (which budget tripped);
         faults, syscall blocking and process exit propagate as
         exceptions.  With no budgets it runs until one of those.
@@ -265,8 +371,12 @@ class CPU:
         while True:
             if self.hooks.active:
                 return self._run_instrumented(steps_left, cycle_cap)
-            done, reason = self._run_fast(steps_left, cycle_cap,
-                                          bool(self.pre_checks))
+            if self.pre_checks:
+                done, reason = self._run_fast(steps_left, cycle_cap, True)
+            elif self.fusion_enabled and self._traces:
+                done, reason = self._run_fused(steps_left, cycle_cap)
+            else:
+                done, reason = self._run_fast(steps_left, cycle_cap, False)
             if reason is not None:
                 return reason
             if steps_left is not None:
@@ -284,6 +394,81 @@ class CPU:
                 return "steps"
             step()
             done += 1
+
+    def _run_fused(self, steps_left: int | None,
+                   cycle_cap: int | None) -> tuple[int, str | None]:
+        """The fused hot loop: supercells where traces exist, plain
+        cells everywhere else, no VSEF probes, no hook dispatch.
+
+        ``_hot`` maps every predecoded pc to ``(fn, k)``; one dict probe
+        dispatches either a single cell (k=1) or a whole straight-line
+        trace (k instructions in one call).  Budgets stay exact: a trace
+        larger than the remaining chunk is executed per-cell instead, so
+        a budget can pause execution mid-trace and resume (possibly on a
+        different tier) from any member pc.  A faulting supercell
+        reports the faulting pc and its uncharged tail cycles through
+        ``_trace_fault``; the ``finally`` below settles both, keeping
+        fault-time state bit-identical to per-cell execution.
+        """
+        hot_get = self._hot.get
+        cells_get = self._cells.get
+        hooks = self.hooks
+        prechecks = self.pre_checks
+        pc = self.pc
+        done = 0
+        n = 0          # instructions executed since the last flush
+        try:
+            while True:
+                chunk = _BIG if steps_left is None else steps_left - done
+                if cycle_cap is not None:
+                    room = cycle_cap - self.cycles
+                    if room < chunk:
+                        chunk = room
+                        if chunk <= 0:
+                            return done, "cycles"
+                if chunk <= 0:
+                    return done, "steps"
+                n = 0
+                while n < chunk:
+                    entry = hot_get(pc)
+                    if entry is None:
+                        break
+                    fn, k = entry
+                    m = n + k
+                    if m > chunk:
+                        # The whole trace does not fit the budget: take
+                        # one member cell (k=1 never lands here).
+                        n += 1
+                        pc = cells_get(pc)(self)
+                        continue
+                    n = m
+                    pc = fn(self)
+                else:
+                    # Chunk exhausted without a miss: flush, re-derive.
+                    self.cycles += n
+                    done += n
+                    n = 0
+                    continue
+                # Hot miss: native entry, SYS/HALT, writable-memory or
+                # unmapped code.  Flush and take the general path.
+                self.pc = pc
+                self.cycles += n
+                done += n
+                n = 0
+                self.step()
+                pc = self.pc
+                done += 1
+                if hooks.active or prechecks:
+                    return done, None
+        finally:
+            fault = self._trace_fault
+            if fault is None:
+                self.pc = pc
+                self.cycles += n
+            else:
+                self._trace_fault = None
+                self.pc = fault[0]
+                self.cycles += n - fault[1]
 
     def _run_fast(self, steps_left: int | None, cycle_cap: int | None,
                   checked: bool) -> tuple[int, str | None]:

@@ -29,9 +29,10 @@ from typing import Callable
 
 from repro.errors import FAULT_DIVZERO, VMFault
 from repro.isa.encoding import Insn
-from repro.isa.opcodes import (ALU_FUNCS, ALU_OPS, OP_SIGNATURES,
-                               PREDICATE_FUNCS, SP, Op, to_signed)
-from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE
+from repro.isa.opcodes import (ALU_FUNCS, ALU_OPS, CONTROL_TRANSFER_OPS,
+                               OP_SIGNATURES, PREDICATE_FUNCS, SP, Op,
+                               to_signed)
+from repro.machine.memory import PAGE_SHIFT, PAGE_SIZE, u32_get, u32_put
 
 WORD_MASK = 0xFFFFFFFF
 _SIGN_BIT = 0x80000000
@@ -150,6 +151,7 @@ _PAGE_MASK = PAGE_SIZE - 1
 _WORD_FIT = PAGE_SIZE - 4
 
 
+
 def _reraise_data_fault(fault: VMFault, pc: int):
     raise VMFault(fault.kind, pc=pc, addr=fault.addr,
                   detail=fault.detail) from None
@@ -172,8 +174,7 @@ def _ldw(cpu, pc, insn):
         index = addr >> _PAGE_SHIFT
         if offset <= _WORD_FIT and index in page_region:
             page = pages.get(index)
-            regs[rd] = 0 if page is None else \
-                int.from_bytes(page[offset:offset + 4], "little")
+            regs[rd] = 0 if page is None else u32_get(page, offset)[0]
             return next_pc
         try:
             regs[rd] = read_word(addr)
@@ -231,8 +232,7 @@ def _stw(cpu, pc, insn):
             if region is not None and region.writable:
                 page = pages[index] if index in dirty else \
                     page_for_write(index)
-                page[offset:offset + 4] = \
-                    (regs[rs] & WORD_MASK).to_bytes(4, "little")
+                u32_put(page, offset, regs[rs] & WORD_MASK)
                 return next_pc
         try:
             write_word(addr, regs[rs])
@@ -367,7 +367,6 @@ def _call_factory(cpu, pc: int, insn: Insn):
     indirect = insn.op == Op.CALLR
     operand = insn.operands[0]
     next_pc = pc + insn.length
-    return_bytes = next_pc.to_bytes(4, "little")
 
     def run(cpu):
         target = regs[operand] if indirect else operand
@@ -378,7 +377,7 @@ def _call_factory(cpu, pc: int, insn: Insn):
         region = page_region.get(index)
         if offset <= _WORD_FIT and region is not None and region.writable:
             page = pages[index] if index in dirty else page_for_write(index)
-            page[offset:offset + 4] = return_bytes
+            u32_put(page, offset, next_pc)
         else:
             try:
                 write_word(sp, next_pc)
@@ -410,8 +409,7 @@ def _ret(cpu, pc, insn):
         index = sp >> _PAGE_SHIFT
         if offset <= _WORD_FIT and index in page_region:
             page = pages.get(index)
-            target = 0 if page is None else \
-                int.from_bytes(page[offset:offset + 4], "little")
+            target = 0 if page is None else u32_get(page, offset)[0]
         else:
             try:
                 target = read_word(sp)
@@ -445,7 +443,7 @@ def _push(cpu, pc, insn):
         region = page_region.get(index)
         if offset <= _WORD_FIT and region is not None and region.writable:
             page = pages[index] if index in dirty else page_for_write(index)
-            page[offset:offset + 4] = (value & WORD_MASK).to_bytes(4, "little")
+            u32_put(page, offset, value & WORD_MASK)
         else:
             try:
                 write_word(sp, value)
@@ -471,8 +469,7 @@ def _popr(cpu, pc, insn):
         index = sp >> _PAGE_SHIFT
         if offset <= _WORD_FIT and index in page_region:
             page = pages.get(index)
-            value = 0 if page is None else \
-                int.from_bytes(page[offset:offset + 4], "little")
+            value = 0 if page is None else u32_get(page, offset)[0]
         else:
             try:
                 value = read_word(sp)
@@ -488,3 +485,480 @@ def _popr(cpu, pc, insn):
 
 #: Opcodes that compile to cells (everything except SYS/HALT).
 COMPILABLE_OPS = frozenset(_FACTORIES)
+
+
+# ---------------------------------------------------------------------------
+# Trace fusion: supercells
+#
+# A *supercell* is one generated Python function that executes a whole
+# straight-line run of fusible instructions (see
+# :data:`repro.isa.opcodes.FUSIBLE_OPS`), optionally closed by the basic
+# block's terminating control transfer: operands are unpacked at compile
+# time, guest registers and flags are coalesced into Python locals
+# (loaded on first read, flushed once at the end), ALU semantics are
+# inlined as operators, loads/stores inline the same single-page fast
+# path the per-instruction cells use, and the run ends in a single PC
+# return — the fall-through address, or the terminator's (possibly
+# conditional) target.  The batched loop charges the trace's full
+# instruction count in one add, so cycle accounting stays bit-identical
+# to per-cell execution.
+#
+# Faults mid-trace must look exactly like per-cell faults: architectural
+# state reflects every instruction before the faulting one, the faulting
+# instruction's own partial effects match step() (e.g. PUSH leaves SP
+# decremented), the fault carries the faulting instruction's PC, and
+# only the executed prefix is charged cycles.  Each potentially faulting
+# site therefore gets its own handler that flushes the registers written
+# so far and reports, through ``cpu._trace_fault``, the faulting PC and
+# how many of the trace's pre-charged cycles were *not* earned; the
+# fused run loop consumes that to settle ``pc`` and ``cycles``.
+# ---------------------------------------------------------------------------
+
+_M = "0xFFFFFFFF"
+
+#: ALU semantics as inline expression templates over already-masked
+#: 32-bit operands.  ``and/or/xor/shr`` cannot overflow 32 bits, so they
+#: skip the re-mask; div/mod are handled separately (fault path).
+_ALU_EXPR = {
+    "add": "({a} + {b}) & " + _M,
+    "sub": "({a} - {b}) & " + _M,
+    "mul": "({a} * {b}) & " + _M,
+    "and": "{a} & {b}",
+    "or": "{a} | {b}",
+    "xor": "{a} ^ {b}",
+    "shl": "({a} << ({b} & 31)) & " + _M,
+    "shr": "{a} >> ({b} & 31)",
+}
+
+
+def _fused_data_fault(cpu, fault, pc, shortfall):
+    """Re-raise a data fault from inside a supercell.
+
+    ``shortfall`` is the number of the trace's pre-charged cycles that
+    were not executed (instructions past the faulting one); the fused
+    run loop subtracts it and rewinds ``cpu.pc`` to ``pc``.
+    """
+    cpu._trace_fault = (pc, shortfall)
+    raise VMFault(fault.kind, pc=pc, addr=fault.addr,
+                  detail=fault.detail) from None
+
+
+def _fused_div_fault(cpu, pc, shortfall):
+    cpu._trace_fault = (pc, shortfall)
+    raise VMFault(FAULT_DIVZERO, pc=pc) from None
+
+
+#: Branch predicates as expression templates over the flag value names
+#: (mirrors :data:`repro.isa.opcodes.PREDICATE_FUNCS`).
+_PRED_EXPR = {
+    Op.JE: "{zf}",
+    Op.JNE: "not {zf}",
+    Op.JL: "{sf}",
+    Op.JLE: "({sf} or {zf})",
+    Op.JG: "not ({sf} or {zf})",
+    Op.JGE: "not {sf}",
+    Op.JB: "{cf}",
+    Op.JAE: "not {cf}",
+}
+
+
+class _TraceCompiler:
+    """Emits the Python source of one supercell."""
+
+    def __init__(self, items: list[tuple[int, Insn]]):
+        self.items = items
+        self.k = len(items)
+        self.lines: list[str] = []
+        self._bound: set[int] = set()     # guest regs with a live local
+        self._written: set[int] = set()   # locals differing from _regs
+        self._flags_local = False         # a CMP put flags in locals
+
+    # -- register locals ---------------------------------------------------
+
+    def use(self, reg: int) -> str:
+        """Local name for a register read (loads it on first touch)."""
+        if reg not in self._bound:
+            self.lines.append(f"    r{reg} = _regs[{reg}]")
+            self._bound.add(reg)
+        return f"r{reg}"
+
+    def define(self, reg: int) -> str:
+        """Mark a register as written; its local is flushed at the end
+        (and by any later fault handler)."""
+        self._bound.add(reg)
+        self._written.add(reg)
+        return f"r{reg}"
+
+    def flag(self, name: str) -> str:
+        """Where the current value of flag ``name`` lives: a local once
+        any CMP in this trace has written it, ``cpu.<name>`` before."""
+        return f"_{name}" if self._flags_local else f"cpu.{name}"
+
+    # -- state flushes and fault handlers ----------------------------------
+
+    def _flush_lines(self, indent: str) -> list[str]:
+        """Statements writing every dirty local (registers, flags) back
+        to the architectural state."""
+        out = [f"{indent}_regs[{reg}] = r{reg}"
+               for reg in sorted(self._written)]
+        if self._flags_local:
+            out.append(f"{indent}cpu.zf = _zf")
+            out.append(f"{indent}cpu.sf = _sf")
+            out.append(f"{indent}cpu.cf = _cf")
+        return out
+
+    def _handler(self, indent: str, catch: str, raise_stmt: str):
+        """An except block flushing the state written *so far*."""
+        self.lines.append(f"{indent}except {catch}:")
+        self.lines.extend(self._flush_lines(indent + "    "))
+        self.lines.append(f"{indent}    {raise_stmt}")
+
+    def data_handler(self, indent: str, pc: int, j: int):
+        self._handler(indent, "VMFault as _f",
+                      f"_fault(cpu, _f, {pc}, {self.k - j - 1})")
+
+    def div_handler(self, indent: str, pc: int, j: int):
+        self._handler(indent, "ZeroDivisionError",
+                      f"_divfault(cpu, {pc}, {self.k - j - 1})")
+
+    # -- addressing --------------------------------------------------------
+
+    def addr_expr(self, base: int, disp: int) -> str:
+        """Local or temp holding ``(regs[base] + signed(disp)) & mask``.
+
+        With a zero displacement the (invariantly masked) register local
+        is used directly; the emitters only read the address before any
+        register local could be reassigned, so the alias is safe.
+        """
+        sdisp = to_signed(disp)
+        name = self.use(base)
+        if sdisp == 0:
+            return name
+        self.lines.append(f"    _a = ({name} + {sdisp}) & {_M}")
+        return "_a"
+
+    # -- per-opcode emitters ----------------------------------------------
+
+    def emit(self, j: int, pc: int, insn: Insn):
+        op = insn.op
+        if op is Op.NOP:
+            return
+        if op is Op.MOVRR:
+            rd, rs = insn.operands
+            src = self.use(rs)
+            self.lines.append(f"    {self.define(rd)} = {src}")
+        elif op is Op.MOVRI:
+            rd, imm = insn.operands
+            self.lines.append(f"    {self.define(rd)} = {imm}")
+        elif op in ALU_OPS:
+            self._emit_alu(j, pc, insn)
+        elif op is Op.CMPRR:
+            a = self.use(insn.operands[0])
+            b = self.use(insn.operands[1])
+            self.lines.append(f"    _zf = {a} == {b}")
+            self.lines.append(
+                f"    _sf = ({a} ^ 0x80000000) < ({b} ^ 0x80000000)")
+            self.lines.append(f"    _cf = {a} < {b}")
+            self._flags_local = True
+        elif op is Op.CMPRI:
+            a = self.use(insn.operands[0])
+            imm = insn.operands[1]
+            self.lines.append(f"    _zf = {a} == {imm}")
+            self.lines.append(
+                f"    _sf = ({a} ^ 0x80000000) < {imm ^ 0x80000000}")
+            self.lines.append(f"    _cf = {a} < {imm}")
+            self._flags_local = True
+        elif op is Op.LDW:
+            self._emit_ldw(j, pc, insn)
+        elif op is Op.LDB:
+            self._emit_ldb(j, pc, insn)
+        elif op is Op.STW:
+            self._emit_stw(j, pc, insn)
+        elif op is Op.STB:
+            self._emit_stb(j, pc, insn)
+        elif op is Op.PUSHR or op is Op.PUSHI:
+            self._emit_push(j, pc, insn)
+        elif op is Op.POPR:
+            self._emit_pop(j, pc, insn)
+        else:                                      # pragma: no cover
+            raise AssertionError(f"unfusible opcode {op!r} in trace")
+
+    def _emit_alu(self, j: int, pc: int, insn: Insn):
+        name = ALU_OPS[insn.op]
+        rd = insn.operands[0]
+        if OP_SIGNATURES[insn.op] == "rr":
+            a = self.use(rd)
+            b = self.use(insn.operands[1])
+            if name in ("div", "mod"):
+                oper = "//" if name == "div" else "%"
+                self.lines.append("    try:")
+                self.lines.append(f"        r{rd} = {a} {oper} {b}")
+                self.div_handler("    ", pc, j)
+                self.define(rd)
+                return
+            expr = _ALU_EXPR[name].format(a=a, b=b)
+        else:
+            a = self.use(rd)
+            imm = insn.operands[1]
+            if name in ("div", "mod"):
+                if imm == 0:
+                    # Constant division by zero: always faults, exactly
+                    # as the cell/step paths would.
+                    self.lines.extend(self._flush_lines("    "))
+                    self.lines.append(
+                        f"    _divfault(cpu, {pc}, {self.k - j - 1})")
+                    return
+                oper = "//" if name == "div" else "%"
+                expr = f"{a} {oper} {imm}"
+            elif name == "shl":
+                expr = f"({a} << {imm & 31}) & {_M}"
+            elif name == "shr":
+                expr = f"{a} >> {imm & 31}"
+            else:
+                expr = _ALU_EXPR[name].format(a=a, b=imm)
+        self.lines.append(f"    {self.define(rd)} = {expr}")
+
+    def _emit_ldw(self, j: int, pc: int, insn: Insn):
+        rd, base, disp = insn.operands
+        addr = self.addr_expr(base, disp)
+        L = self.lines
+        L.append(f"    _i = {addr} >> 12")
+        L.append(f"    _o = {addr} & 4095")
+        L.append("    if _o <= 4092 and _i in _pr:")
+        L.append("        _p = _pages.get(_i)")
+        L.append(f"        r{rd} = 0 if _p is None else _up(_p, _o)[0]")
+        L.append("    else:")
+        L.append("        try:")
+        L.append(f"            r{rd} = _rw({addr})")
+        self.data_handler("        ", pc, j)
+        self.define(rd)
+
+    def _emit_ldb(self, j: int, pc: int, insn: Insn):
+        rd, base, disp = insn.operands
+        addr = self.addr_expr(base, disp)
+        L = self.lines
+        L.append(f"    _i = {addr} >> 12")
+        L.append("    if _i in _pr:")
+        L.append("        _p = _pages.get(_i)")
+        L.append(f"        r{rd} = 0 if _p is None else _p[{addr} & 4095]")
+        L.append("    else:")
+        L.append("        try:")
+        L.append(f"            r{rd} = _rdm({addr}, 1)[0]")
+        self.data_handler("        ", pc, j)
+        self.define(rd)
+
+    def _emit_stw(self, j: int, pc: int, insn: Insn):
+        base, disp, rs = insn.operands
+        val = self.use(rs)
+        addr = self.addr_expr(base, disp)
+        L = self.lines
+        L.append(f"    _i = {addr} >> 12")
+        L.append(f"    _o = {addr} & 4095")
+        L.append("    _rg = _pr.get(_i) if _o <= 4092 else None")
+        L.append("    if _rg is not None and _rg.writable:")
+        L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
+        L.append(f"        _pk(_p, _o, {val} & {_M})")
+        L.append("    else:")
+        L.append("        try:")
+        L.append(f"            _ww({addr}, {val})")
+        self.data_handler("        ", pc, j)
+
+    def _emit_stb(self, j: int, pc: int, insn: Insn):
+        base, disp, rs = insn.operands
+        val = self.use(rs)
+        addr = self.addr_expr(base, disp)
+        L = self.lines
+        L.append(f"    _i = {addr} >> 12")
+        L.append("    _rg = _pr.get(_i)")
+        L.append("    if _rg is not None and _rg.writable:")
+        L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
+        L.append(f"        _p[{addr} & 4095] = {val} & 0xFF")
+        L.append("    else:")
+        L.append("        try:")
+        L.append(f"            _wrm({addr}, bytes(({val} & 0xFF,)))")
+        self.data_handler("        ", pc, j)
+
+    def _emit_push(self, j: int, pc: int, insn: Insn):
+        if insn.op is Op.PUSHR:
+            rs = insn.operands[0]
+            val = self.use(rs)
+            if rs == SP:
+                # The pushed value is SP *before* the decrement.
+                self.lines.append(f"    _v = {val}")
+                val = "_v"
+        else:
+            val = str(insn.operands[0])
+        sp = self.use(SP)
+        self.lines.append(f"    {self.define(SP)} = ({sp} - 4) & {_M}")
+        L = self.lines
+        L.append(f"    _i = r{SP} >> 12")
+        L.append(f"    _o = r{SP} & 4095")
+        L.append("    _rg = _pr.get(_i) if _o <= 4092 else None")
+        L.append("    if _rg is not None and _rg.writable:")
+        L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
+        L.append(f"        _pk(_p, _o, {val} & {_M})")
+        L.append("    else:")
+        L.append("        try:")
+        L.append(f"            _ww(r{SP}, {val})")
+        # SP is already in the written set: a faulting PUSH leaves it
+        # decremented, exactly like step().
+        self.data_handler("        ", pc, j)
+
+    def _emit_pop(self, j: int, pc: int, insn: Insn):
+        rd = insn.operands[0]
+        sp = self.use(SP)
+        L = self.lines
+        L.append(f"    _i = {sp} >> 12")
+        L.append(f"    _o = {sp} & 4095")
+        L.append("    if _o <= 4092 and _i in _pr:")
+        L.append("        _p = _pages.get(_i)")
+        L.append("        _v = 0 if _p is None else _up(_p, _o)[0]")
+        L.append("    else:")
+        L.append("        try:")
+        L.append(f"            _v = _rw({sp})")
+        self.data_handler("        ", pc, j)            # SP untouched yet
+        # Increment first, then land the value: bit-exact with step()
+        # (and the cell) when rd is SP itself.
+        self.lines.append(f"    {self.define(SP)} = ({sp} + 4) & {_M}")
+        self.lines.append(f"    {self.define(rd)} = _v")
+
+    # -- block terminators -------------------------------------------------
+    #
+    # A trace may close with its basic block's control transfer.  The
+    # terminator computes the outgoing PC, appends the same control-ring
+    # event the per-instruction cell would, and returns — so a whole
+    # block is one call.  Flushes happen before the return on every
+    # path; ring/call-target bookkeeping only after any stack access
+    # succeeded, exactly like the cells.
+
+    def emit_terminator(self, j: int, pc: int, insn: Insn):
+        op = insn.op
+        if op in _PRED_EXPR:
+            target = insn.operands[0]
+            pred = _PRED_EXPR[op].format(zf=self.flag("zf"),
+                                         sf=self.flag("sf"),
+                                         cf=self.flag("cf"))
+            self.lines.extend(self._flush_lines("    "))
+            self.lines.append(f"    if {pred}:")
+            self.lines.append(
+                f"        _ring(_EV('branch', {pc}, {target}))")
+            self.lines.append(f"        return {target}")
+            self.lines.append(f"    return {pc + insn.length}")
+        elif op is Op.JMPI:
+            target = insn.operands[0]
+            self.lines.extend(self._flush_lines("    "))
+            self.lines.append(f"    _ring(_EV('branch', {pc}, {target}))")
+            self.lines.append(f"    return {target}")
+        elif op is Op.JMPR:
+            target = self.use(insn.operands[0])
+            self.lines.extend(self._flush_lines("    "))
+            self.lines.append(f"    _ring(_EV('branch', {pc}, {target}))")
+            self.lines.append(f"    return {target}")
+        elif op is Op.CALLI or op is Op.CALLR:
+            self._emit_call(j, pc, insn)
+        elif op is Op.RET:
+            self._emit_ret(j, pc, insn)
+        else:                                      # pragma: no cover
+            raise AssertionError(f"bad terminator {op!r}")
+
+    def _emit_call(self, j: int, pc: int, insn: Insn):
+        next_pc = pc + insn.length
+        if insn.op is Op.CALLR:
+            target = self.use(insn.operands[0])
+            if insn.operands[0] == SP:
+                self.lines.append(f"    _t = {target}")
+                target = "_t"
+        else:
+            target = str(insn.operands[0])
+        sp = self.use(SP)
+        self.lines.append(f"    {self.define(SP)} = ({sp} - 4) & {_M}")
+        L = self.lines
+        L.append(f"    _i = r{SP} >> 12")
+        L.append(f"    _o = r{SP} & 4095")
+        L.append("    _rg = _pr.get(_i) if _o <= 4092 else None")
+        L.append("    if _rg is not None and _rg.writable:")
+        L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
+        L.append(f"        _pk(_p, _o, {next_pc})")
+        L.append("    else:")
+        L.append("        try:")
+        L.append(f"            _ww(r{SP}, {next_pc})")
+        self.data_handler("        ", pc, j)       # SP stays decremented
+        self.lines.extend(self._flush_lines("    "))
+        self.lines.append(f"    _known({target})")
+        self.lines.append(f"    _ring(_EV('call', {pc}, {target}))")
+        self.lines.append(f"    return {target}")
+
+    def _emit_ret(self, j: int, pc: int, insn: Insn):
+        sp = self.use(SP)
+        L = self.lines
+        L.append(f"    _i = {sp} >> 12")
+        L.append(f"    _o = {sp} & 4095")
+        L.append("    if _o <= 4092 and _i in _pr:")
+        L.append("        _p = _pages.get(_i)")
+        L.append("        _t = 0 if _p is None else _up(_p, _o)[0]")
+        L.append("    else:")
+        L.append("        try:")
+        L.append(f"            _t = _rw({sp})")
+        self.data_handler("        ", pc, j)       # SP untouched yet
+        self.lines.append(f"    {self.define(SP)} = ({sp} + 4) & {_M}")
+        self.lines.extend(self._flush_lines("    "))
+        self.lines.append(f"    _ring(_EV('ret', {pc}, _t))")
+        self.lines.append("    return _t")
+
+    # -- assembly ----------------------------------------------------------
+
+    def source(self) -> str:
+        last_j = self.k - 1
+        last_pc, last_insn = self.items[last_j]
+        terminated = last_insn.op in CONTROL_TRANSFER_OPS
+        straight = self.items[:-1] if terminated else self.items
+        for j, (pc, insn) in enumerate(straight):
+            self.emit(j, pc, insn)
+        if terminated:
+            self.emit_terminator(last_j, last_pc, last_insn)
+        else:
+            self.lines.extend(self._flush_lines("    "))
+            self.lines.append(f"    return {last_pc + last_insn.length}")
+        header = ("def _trace(cpu, _regs=_REGS, _pages=_PAGES, _pr=_PR, "
+                  "_dirty=_DIRTY, _pfw=_PFW, _rw=_RW, _ww=_WW, _rdm=_RDM, "
+                  "_wrm=_WRM, _ring=_RING, _known=_KNOWN, _EV=_EVC, "
+                  "_up=_UP, _pk=_PK):")
+        return header + "\n" + "\n".join(self.lines)
+
+
+def compile_trace(cpu, items: list[tuple[int, Insn]]) -> Cell | None:
+    """Compile a run of predecoded instructions into one supercell:
+    ``fn(cpu) -> next_pc`` executing the whole run.
+
+    ``items`` is the ordered, contiguous ``(pc, insn)`` list: fusible
+    (straight-line) opcodes, optionally closed by the block's control
+    transfer as the final item.  Like cells, the generated function
+    captures the per-process containers (register file, page table,
+    page-region index, dirty bitmap, control ring) by identity, so
+    snapshot/restore keeps it valid; code *content* changes must drop
+    it (see ``CPU.invalidate_code``).
+    """
+    if len(items) < 2:
+        return None
+    memory = cpu.memory
+    namespace = {
+        "_REGS": cpu.regs,
+        "_PAGES": memory._pages,
+        "_PR": memory._page_region,
+        "_DIRTY": memory._dirty,
+        "_PFW": memory._page_for_write,
+        "_RW": memory.read_word,
+        "_WW": memory.write_word,
+        "_RDM": memory.read,
+        "_WRM": memory.write,
+        "_RING": cpu.control_ring.append,
+        "_KNOWN": cpu.known_call_targets.add,
+        "_EVC": type(cpu).CONTROL_EVENT,
+        "_UP": u32_get,
+        "_PK": u32_put,
+        "VMFault": VMFault,
+        "_fault": _fused_data_fault,
+        "_divfault": _fused_div_fault,
+    }
+    exec(_TraceCompiler(items).source(), namespace)
+    return namespace["_trace"]

@@ -354,7 +354,14 @@ class Process:
         ``keep_log=True`` keeps syscall records past the snapshot for
         deterministic replay (rollback-for-analysis); ``False`` discards
         them (rollback-for-recovery re-executes live).
+
+        A rollback that crosses a code-change epoch drops every
+        predecoded cell and fused trace (they may describe bytes that no
+        longer exist on this timeline); the text section is re-predecoded
+        from the restored bytes so the fast path — including trace
+        fusion — is rebuilt rather than decaying to lazy per-pc decode.
         """
+        epoch_crossed = snap.memory.code_epoch != self.memory.code_epoch
         self.memory.restore(snap.memory)
         self.cpu.restore_state(snap.cpu_state)
         self.rng.setstate(snap.rng_state)
@@ -366,6 +373,9 @@ class Process:
             self.syscall_log.cursor = snap.syscall_log_len
         else:
             self.syscall_log.truncate(snap.syscall_log_len)
+        if epoch_crossed:
+            self.cpu.predecode(self.layout.code_base,
+                               self.layout.code_base + len(self.image.text))
 
 
 def load_program(source: str, entry: str = "main", seed: int = 0,

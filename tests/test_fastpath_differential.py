@@ -1,13 +1,14 @@
-"""Differential tests: plain fast path vs fully instrumented execution.
+"""Differential tests across the CPU's four run-loop tiers.
 
-The batched CPU loop runs uninstrumented code through predecoded
-executable cells that skip every hook call, pre-check probe and per-step
-decode.  The contract is that this is *purely* an implementation detail:
-registers, flags, memory, cycle counts, the control ring and every fault
-must be bit-identical to the instrumented step() path.  These tests run
-the same guest programs down both paths and diff the final machine state,
-and they exercise the dirty-page bitmap through snapshot/restore
-round-trips.
+The batched CPU loop selects among four inner loops: **fused** (trace
+supercells + cells), **plain** (per-instruction cells), **checked**
+(cells + per-PC VSEF probes) and **instrumented** (step() with full
+event emission).  The contract is that the tier is *purely* an
+implementation detail: registers, flags, memory, cycle counts, the
+control ring and every fault must be bit-identical across all of them.
+These tests run the same guest programs down every tier and diff the
+final machine state, and they exercise the dirty-page bitmap through
+snapshot/restore round-trips.
 """
 
 from __future__ import annotations
@@ -80,24 +81,37 @@ def _machine_state(process: Process) -> dict:
             "ring": list(cpu.control_ring), "pages": pages}
 
 
+def _benign_check(cpu, insn):
+    """A VSEF probe that fires without charging cycles or touching
+    state: arming it forces the checked run loop."""
+
+
 def run_differential(source: str, feeds=(), max_steps: int = 500_000,
                      seed: int = 7):
-    """Run ``source`` plain and instrumented; assert identical state."""
-    plain = Process(assemble(source), seed=seed)
-    instrumented = Process(assemble(source), seed=seed)
+    """Run ``source`` down all four run-loop tiers; assert identical
+    state.  Returns the fused process, the instrumented one and its
+    tool (kept for callers asserting on event counts)."""
+    image = assemble(source)
+    fused = Process(image, seed=seed)
+    plain = Process(image, seed=seed)
+    plain.cpu.fusion_enabled = False
+    checked = Process(image, seed=seed)
+    checked.cpu.pre_checks[checked.symbols[image.entry]] = [_benign_check]
+    instrumented = Process(image, seed=seed)
     tool = TouchEverything()
     instrumented.hooks.attach(tool, instrumented)
-    for data in feeds:
-        plain.feed(data)
-        instrumented.feed(data)
-    result_plain = plain.run(max_steps=max_steps)
-    result_instr = instrumented.run(max_steps=max_steps)
-    assert result_plain.reason == result_instr.reason
-    assert result_plain.cycles == result_instr.cycles
-    state_plain = _machine_state(plain)
-    state_instr = _machine_state(instrumented)
-    assert state_plain == state_instr
-    return plain, instrumented, tool
+    processes = [fused, plain, checked, instrumented]
+    for process in processes:
+        for data in feeds:
+            process.feed(data)
+    results = [process.run(max_steps=max_steps) for process in processes]
+    states = [_machine_state(process) for process in processes]
+    for result in results[1:]:
+        assert result.reason == results[0].reason
+        assert result.cycles == results[0].cycles
+    for state in states[1:]:
+        assert state == states[0]
+    return fused, instrumented, tool
 
 
 def _random_program(rng: random.Random, length: int = 60) -> str:
