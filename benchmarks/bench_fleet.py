@@ -1,0 +1,122 @@
+"""Executed community fleet: the §6 community claim measured from real
+nodes.
+
+Boots the default :class:`FleetConfig` — 26 executed Sweeper nodes
+(20 vulnerable httpd forming the epidemic population, α = 0.2, plus
+squidp/cvsd riders), one shared CommunityBus — runs the seeded outbreak
+and records t₀, the measured γ = γ₁ + γ₂ and the final infection ratio,
+cross-validated two ways:
+
+- **Gillespie, matched seed**: the fleet's contact process consumes the
+  same rng sequence as ``simulate_outbreak``, so the executed run must
+  realize the *same trajectory* (t₀ to float precision, infection
+  counts exactly) once the measured γ is plugged in.  Any drift means
+  an executed defense misbehaved.
+- **ODE**: one stochastic realization at N = 20 sits off the continuum
+  limit, so the infection ratio is compared with a loose tolerance.
+
+Results go to ``benchmarks/results/BENCH_fleet.json`` (scratch); the
+*recorded* baseline is tracked at ``benchmarks/BENCH_fleet.json`` and
+``check_fleet_regression.py`` fails CI if any seed-deterministic
+quantity drifts.  Wall-clock fields (aggregate nodes×insns/s) are
+reported but never gated.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.worm.fleet import FleetConfig, run_fleet
+
+from conftest import RESULTS_DIR, report
+
+#: Executed-vs-Gillespie agreement must be essentially exact.
+GILLESPIE_T0_TOL = 1e-9
+#: Executed-vs-ODE: one small-N realization against the continuum.
+ODE_RATIO_TOL = 0.25
+
+CONFIG = FleetConfig()
+
+
+def test_fleet_outbreak():
+    result = run_fleet(CONFIG)
+
+    # -- acceptance: N >= 20 executed nodes, at least one producer -----
+    assert result.total_nodes >= 20
+    assert result.producers >= 1
+    assert result.t0 is not None, "worm never reached a producer"
+    assert result.availability + CONFIG.post_immunity_slack \
+        <= CONFIG.horizon, "horizon clipped the epidemic"
+
+    # -- executed == matched-seed Gillespie ----------------------------
+    gillespie = result.gillespie
+    assert gillespie is not None
+    assert abs(result.t0 - gillespie["t0"]) < GILLESPIE_T0_TOL
+    assert result.infected_final == gillespie["final_infected"]
+
+    # -- executed vs ODE (loose: one realization at N = 20) ------------
+    model = result.model
+    assert model is not None
+    assert abs(result.infection_ratio - model["infection_ratio"]) \
+        <= ODE_RATIO_TOL
+
+    # -- the community mechanism actually executed ---------------------
+    assert result.bundles_published >= 1
+    assert result.contacts_blocked >= 1, \
+        "no post-immunity contact was blocked by an executed antibody"
+    for node in result.nodes:
+        if node["infected"]:
+            assert node["infected_at"] <= result.availability
+
+    lines = [
+        "EXECUTED COMMUNITY FLEET — measured vs modeled outbreak",
+        "",
+        f"nodes executed        {result.total_nodes} "
+        f"(population N={result.population}, producers="
+        f"{result.producers}, alpha={result.producer_ratio:.2f})",
+        f"worm                  beta={result.beta}/s rho={result.rho} "
+        f"seed={result.seed}",
+        f"t0 first producer hit {result.t0:10.4f} s   "
+        f"(gillespie {gillespie['t0']:10.4f}, ode {model['t0']:10.4f})",
+        f"gamma measured        {result.gamma_measured:10.4f} s   "
+        f"(gamma1 to first VSEF {result.gamma1_first_vsef * 1000:.1f} ms "
+        f"+ gamma2 {CONFIG.gamma2:.1f} s)",
+        f"infection ratio       {result.infection_ratio:10.4f}     "
+        f"(gillespie {gillespie['infection_ratio']:.4f}, "
+        f"ode {model['infection_ratio']:.4f})",
+        f"contacts              {result.contacts} total, "
+        f"{result.contacts_to_producers} on producers, "
+        f"{result.contacts_blocked} blocked by antibodies, "
+        f"{result.contacts_wasted} wasted",
+        f"benign traffic        {result.benign_sent} requests, "
+        f"{result.benign_responses} responses",
+        f"bundles published     {result.bundles_published}",
+        f"aggregate throughput  {result.aggregate_insns_per_second:,.0f} "
+        f"guest insns/s across {result.total_nodes} nodes "
+        f"({result.wall_seconds:.2f} s wall)",
+    ]
+    report("fleet", lines)
+
+    payload = {
+        "unit": "virtual_seconds_and_ratios",
+        "config": {
+            "seed": CONFIG.seed,
+            "vulnerable_nodes": CONFIG.vulnerable_nodes,
+            "producers": CONFIG.producers,
+            "extra_apps": [list(x) for x in CONFIG.extra_apps],
+            "beta": CONFIG.beta,
+            "rho": CONFIG.rho,
+            "benign_rate": CONFIG.benign_rate,
+            "gamma2": CONFIG.gamma2,
+            "horizon": CONFIG.horizon,
+            "post_immunity_slack": CONFIG.post_immunity_slack,
+        },
+        "tolerances": {
+            "gillespie_t0": GILLESPIE_T0_TOL,
+            "ode_infection_ratio": ODE_RATIO_TOL,
+        },
+        "result": result.to_dict(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fleet.json").write_text(
+        json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,83 @@
+"""Fail CI when the executed fleet drifts from its recorded trajectory.
+
+Compares the fresh ``benchmarks/results/BENCH_fleet.json`` (written by
+``bench_fleet.py``) against the *tracked* baseline
+``benchmarks/BENCH_fleet.json``.  The fleet is seed-deterministic: with
+an unchanged config every virtual-time quantity — t₀, the measured γ,
+infection counts, contact tallies, per-node bookkeeping — must
+reproduce exactly (small float tolerance for serialization).  A
+mismatch means an executed layer changed behaviour: a different
+analysis outcome, a VSEF that stopped blocking, an altered clock or
+bus ordering.
+
+Wall-clock fields (``wall_seconds``, ``aggregate_insns_per_second``)
+are machine-dependent and excluded.
+
+Usage: ``PYTHONPATH=src python benchmarks/check_fleet_regression.py``
+(after running the bench).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "BENCH_fleet.json"
+FRESH_PATH = HERE / "results" / "BENCH_fleet.json"
+
+#: Machine-dependent fields, never gated.
+EXCLUDED = {"wall_seconds", "aggregate_insns_per_second"}
+
+REL_TOL = 1e-9
+
+
+def _walk(base, fresh, path, failures):
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in sorted(set(base) | set(fresh)):
+            if key in EXCLUDED:
+                continue
+            if key not in base or key not in fresh:
+                failures.append(f"{path}.{key}: present in only one side")
+                continue
+            _walk(base[key], fresh[key], f"{path}.{key}", failures)
+        return
+    if isinstance(base, list) and isinstance(fresh, list):
+        if len(base) != len(fresh):
+            failures.append(f"{path}: length {len(base)} != {len(fresh)}")
+            return
+        for index, (b, f) in enumerate(zip(base, fresh)):
+            _walk(b, f, f"{path}[{index}]", failures)
+        return
+    if isinstance(base, float) and isinstance(fresh, float):
+        scale = max(abs(base), abs(fresh), 1.0)
+        if abs(base - fresh) > REL_TOL * scale:
+            failures.append(f"{path}: {base!r} != {fresh!r}")
+        return
+    if base != fresh:
+        failures.append(f"{path}: {base!r} != {fresh!r}")
+
+
+def main() -> int:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    fresh = json.loads(FRESH_PATH.read_text())
+    failures: list[str] = []
+    _walk(baseline, fresh, "fleet", failures)
+    if failures:
+        print("fleet run diverged from the recorded deterministic "
+              "baseline:")
+        for failure in failures[:40]:
+            print(f"  - {failure}")
+        if len(failures) > 40:
+            print(f"  ... and {len(failures) - 40} more")
+        return 1
+    print("fleet trajectory matches the recorded baseline "
+          f"(seed {baseline['config']['seed']}, "
+          f"N={baseline['result']['population']}, "
+          f"infection ratio {baseline['result']['infection_ratio']:.4f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

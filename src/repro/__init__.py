@@ -28,13 +28,15 @@ from repro.isa import assemble, Image
 from repro.machine import Process, load_program
 from repro.machine.layout import (AddressSpaceLayout, ReferenceLayout,
                                   randomized_layout)
-from repro.runtime import Sweeper, SweeperConfig
+from repro.runtime import Sweeper, SweeperConfig, VirtualClock
 from repro.antibody import (VSEF, CommunityBus, install_vsef,
                             verify_antibody)
-from repro.apps import (EXPLOITS, benign_requests, build_cvsd, build_httpd,
+from repro.apps import (EXPLOITS, ExploitStream, TrafficStream,
+                        benign_requests, build_cvsd, build_httpd,
                         build_squidp, apache1_exploit, apache2_exploit,
                         cvs_exploit, squid_exploit, measure_throughput)
-from repro.worm import (WormParams, infection_ratio, solve_outbreak,
+from repro.worm import (FleetConfig, FleetResult, WormParams,
+                        infection_ratio, run_fleet, solve_outbreak,
                         simulate_outbreak)
 
 __version__ = "1.0.0"
@@ -44,11 +46,13 @@ __all__ = [
     "RecoveryFailed",
     "assemble", "Image", "Process", "load_program",
     "AddressSpaceLayout", "ReferenceLayout", "randomized_layout",
-    "Sweeper", "SweeperConfig",
+    "Sweeper", "SweeperConfig", "VirtualClock",
     "VSEF", "CommunityBus", "install_vsef", "verify_antibody",
-    "EXPLOITS", "benign_requests", "build_cvsd", "build_httpd",
-    "build_squidp", "apache1_exploit", "apache2_exploit", "cvs_exploit",
-    "squid_exploit", "measure_throughput",
-    "WormParams", "infection_ratio", "solve_outbreak", "simulate_outbreak",
+    "EXPLOITS", "ExploitStream", "TrafficStream", "benign_requests",
+    "build_cvsd", "build_httpd", "build_squidp", "apache1_exploit",
+    "apache2_exploit", "cvs_exploit", "squid_exploit",
+    "measure_throughput",
+    "FleetConfig", "FleetResult", "WormParams", "infection_ratio",
+    "run_fleet", "solve_outbreak", "simulate_outbreak",
     "__version__",
 ]

@@ -5,18 +5,25 @@ completes* — the initial VSEF first (tens of milliseconds), the improved
 VSEF and the input signature later — because applying a VSEF early and
 verifying later only risks wasted cycles, never new behaviour.
 
-:class:`CommunityBus` is a virtual-time event queue: ``publish`` stamps
+:class:`CommunityBus` is a virtual-time event log: ``publish`` stamps
 each bundle with the producer's availability time plus the dissemination
-latency γ₂, and consumers drain what has arrived by their local clock.
-The worm model consumes the resulting end-to-end γ = γ₁ + γ₂.
+latency γ₂.  Consumers are *subscribers with cursors*: each ``poll``
+returns only bundles the subscriber has not seen that have arrived by
+its local clock, in a deterministic order — availability time first,
+publish order as the tie-break — so a fleet of consumers polling off
+one bus applies antibodies in a reproducible sequence regardless of
+scheduling.  The stateless ``available`` view remains for one-shot
+callers.  The worm model consumes the resulting end-to-end γ = γ₁ + γ₂.
+
+Bundle ids are assigned *per bus* at publish time (``ab-1``, ``ab-2``,
+…), so many buses in one process — one per fleet, one per test — never
+interleave their counters and runs stay reproducible.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-
-_ids = itertools.count(1)
 
 
 @dataclass
@@ -33,7 +40,9 @@ class AntibodyBundle:
     exploit_input: bytes | None = None
     produced_at: float = 0.0       # producer-local virtual seconds
     stage: str = "initial"         # "initial" | "improved" | "final"
-    bundle_id: str = field(default_factory=lambda: f"ab-{next(_ids)}")
+    #: Assigned by the first :meth:`CommunityBus.publish` (per-bus
+    #: counter); empty for a bundle that was never published.
+    bundle_id: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -76,32 +85,88 @@ class AntibodyBundle:
 class _Delivery:
     bundle: AntibodyBundle
     available_at: float
+    seq: int                       # publish order; the deterministic tie-break
 
 
 class CommunityBus:
-    """Virtual-time antibody dissemination with latency γ₂."""
+    """Virtual-time antibody dissemination with latency γ₂.
+
+    The bus is an append-only log in publish order.  Each subscriber
+    owns a cursor into that log plus a (normally empty) set of seqs it
+    consumed *ahead* of the cursor — needed because availability is not
+    monotone in publish order when producers' clocks differ: a slow
+    producer can publish a bundle that becomes available earlier than
+    one the subscriber already drained.  The cursor only advances past
+    the contiguous consumed prefix, so nothing is ever skipped and
+    nothing is delivered twice.
+    """
 
     def __init__(self, dissemination_latency: float = 3.0):
         #: γ₂ — Vigilante measured < 3 s for initial alert dissemination;
         #: the paper adopts that figure (§6.3).
         self.dissemination_latency = dissemination_latency
-        self._deliveries: list[_Delivery] = []
+        self._log: list[_Delivery] = []
+        self._ids = itertools.count(1)
+        self._cursors: dict[str, int] = {}
+        self._consumed_ahead: dict[str, set[int]] = {}
         self.published: list[AntibodyBundle] = []
 
-    def publish(self, bundle: AntibodyBundle):
+    def publish(self, bundle: AntibodyBundle) -> AntibodyBundle:
+        if not bundle.bundle_id:
+            bundle.bundle_id = f"ab-{next(self._ids)}"
         self.published.append(bundle)
-        self._deliveries.append(_Delivery(
+        self._log.append(_Delivery(
             bundle=bundle,
-            available_at=bundle.produced_at + self.dissemination_latency))
-        self._deliveries.sort(key=lambda d: d.available_at)
+            available_at=bundle.produced_at + self.dissemination_latency,
+            seq=len(self._log)))
+        return bundle
+
+    # -- subscriber cursors --------------------------------------------------
+
+    def subscribe(self, name: str) -> str:
+        """Register (idempotently) a named subscriber; returns ``name``.
+
+        A fresh subscriber starts at the head of the log: it will see
+        every bundle, including ones already available — joining the
+        community late must not lose antibodies.
+        """
+        self._cursors.setdefault(name, 0)
+        self._consumed_ahead.setdefault(name, set())
+        return name
+
+    def poll(self, name: str, now: float) -> list[AntibodyBundle]:
+        """New-to-``name`` bundles available by virtual time ``now``.
+
+        Ordering is deterministic: by availability time, then by publish
+        order for simultaneous arrivals.  The boundary is inclusive — a
+        consumer polling exactly at γ₂ sees the bundle.
+        """
+        self.subscribe(name)
+        cursor = self._cursors[name]
+        ahead = self._consumed_ahead[name]
+        batch = [d for d in self._log[cursor:]
+                 if d.seq not in ahead and d.available_at <= now]
+        ahead.update(d.seq for d in batch)
+        log = self._log
+        while cursor < len(log) and log[cursor].seq in ahead:
+            ahead.discard(log[cursor].seq)
+            cursor += 1
+        self._cursors[name] = cursor
+        batch.sort(key=lambda d: (d.available_at, d.seq))
+        return [d.bundle for d in batch]
+
+    # -- stateless views -----------------------------------------------------
 
     def available(self, now: float) -> list[AntibodyBundle]:
-        """Bundles a consumer polling at virtual time ``now`` can see."""
-        return [d.bundle for d in self._deliveries if d.available_at <= now]
+        """Bundles any consumer polling at virtual time ``now`` can see,
+        in the same deterministic order ``poll`` uses."""
+        ready = [d for d in self._log if d.available_at <= now]
+        ready.sort(key=lambda d: (d.available_at, d.seq))
+        return [d.bundle for d in ready]
 
     def first_available_time(self, app: str | None = None) -> float | None:
         """When the earliest (initial) antibody reaches consumers."""
-        times = [d.available_at for d in self._deliveries
+        times = [d.available_at for d in self._log
                  if app is None or d.bundle.app == app]
         return min(times) if times else None
 

@@ -21,16 +21,18 @@ request streams and measures throughput.
 from repro.apps.httpd import HTTPD_SOURCE, build_httpd
 from repro.apps.squidp import SQUIDP_SOURCE, build_squidp
 from repro.apps.cvsd import CVSD_SOURCE, build_cvsd
-from repro.apps.exploits import (EXPLOITS, ExploitSpec, apache1_exploit,
+from repro.apps.exploits import (APP_EXPLOITS, EXPLOITS, ExploitSpec,
+                                 ExploitStream, apache1_exploit,
                                  apache2_exploit, cvs_exploit, squid_exploit)
 from repro.apps.workload import (benign_requests, ThroughputResult,
-                                 measure_throughput)
+                                 TrafficStream, measure_throughput)
 
 __all__ = [
     "HTTPD_SOURCE", "build_httpd",
     "SQUIDP_SOURCE", "build_squidp",
     "CVSD_SOURCE", "build_cvsd",
-    "EXPLOITS", "ExploitSpec", "apache1_exploit", "apache2_exploit",
-    "cvs_exploit", "squid_exploit",
-    "benign_requests", "ThroughputResult", "measure_throughput",
+    "APP_EXPLOITS", "EXPLOITS", "ExploitSpec", "ExploitStream",
+    "apache1_exploit", "apache2_exploit", "cvs_exploit", "squid_exploit",
+    "benign_requests", "ThroughputResult", "TrafficStream",
+    "measure_throughput",
 ]

@@ -26,38 +26,64 @@ _CVS_DIRS = ["/src", "/src/module", "/src/module/alpha", "/docs", "/tools"]
 _CVS_ENTRIES = ["main.c", "util.c", "README", "Makefile", "parse.y"]
 
 
+def _benign_request(app: str, rng: random.Random, index: int) -> bytes:
+    """One benign request for ``app``, drawn from ``rng``.
+
+    The draw order per request is part of the format: streams and batch
+    generation share it, so a seed names the same traffic everywhere.
+    """
+    if app == "httpd":
+        path = rng.choice(_HTTPD_PATHS)
+        referer = rng.choice(_HTTPD_REFERERS)
+        request = f"GET {path} HTTP/1.0\n"
+        if referer:
+            request += f"Referer: {referer}\n"
+        request += "User-Agent: repro-bench\n"
+        return request.encode()
+    if app == "squidp":
+        if rng.random() < 0.25:
+            user = rng.choice(_SQUID_FTP_USERS)
+            return f"GET ftp://{user}@ftp.site/pub/file{index}".encode()
+        return f"GET {rng.choice(_SQUID_SITES)}?r={index}".encode()
+    if app == "cvsd":
+        roll = rng.random()
+        if roll < 0.4:
+            return f"Directory {rng.choice(_CVS_DIRS)}\n".encode()
+        if roll < 0.8:
+            return f"Entry {rng.choice(_CVS_ENTRIES)}\n".encode()
+        return b"noop\n"
+    raise KeyError(f"unknown app {app!r}")
+
+
+class TrafficStream:
+    """Seeded, unbounded benign-request stream for one app.
+
+    Every fleet node owns one (with a node-specific seed), so per-node
+    traffic is independent yet the whole fleet replays from a single
+    configuration seed.  ``benign_requests`` is the batch view of the
+    same generator.
+    """
+
+    def __init__(self, app: str, seed: int = 11):
+        if app not in ("httpd", "squidp", "cvsd"):
+            raise KeyError(f"unknown app {app!r}")
+        self.app = app
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.generated = 0
+
+    def next_request(self) -> bytes:
+        data = _benign_request(self.app, self._rng, self.generated)
+        self.generated += 1
+        return data
+
+    def take(self, count: int) -> list[bytes]:
+        return [self.next_request() for _ in range(count)]
+
+
 def benign_requests(app: str, count: int, seed: int = 11) -> list[bytes]:
     """``count`` benign requests for ``app`` ∈ {httpd, squidp, cvsd}."""
-    rng = random.Random(seed)
-    out: list[bytes] = []
-    for index in range(count):
-        if app == "httpd":
-            path = rng.choice(_HTTPD_PATHS)
-            referer = rng.choice(_HTTPD_REFERERS)
-            request = f"GET {path} HTTP/1.0\n"
-            if referer:
-                request += f"Referer: {referer}\n"
-            request += "User-Agent: repro-bench\n"
-            out.append(request.encode())
-        elif app == "squidp":
-            if rng.random() < 0.25:
-                user = rng.choice(_SQUID_FTP_USERS)
-                out.append(f"GET ftp://{user}@ftp.site/pub/file{index}"
-                           .encode())
-            else:
-                out.append(f"GET {rng.choice(_SQUID_SITES)}?r={index}"
-                           .encode())
-        elif app == "cvsd":
-            roll = rng.random()
-            if roll < 0.4:
-                out.append(f"Directory {rng.choice(_CVS_DIRS)}\n".encode())
-            elif roll < 0.8:
-                out.append(f"Entry {rng.choice(_CVS_ENTRIES)}\n".encode())
-            else:
-                out.append(b"noop\n")
-        else:
-            raise KeyError(f"unknown app {app!r}")
-    return out
+    return TrafficStream(app, seed=seed).take(count)
 
 
 @dataclass

@@ -8,6 +8,7 @@ heavyweight analysis, recovery — activates only after an attack.
 """
 
 from repro.runtime.checkpoint import Checkpoint, CheckpointManager
+from repro.runtime.clock import VirtualClock
 from repro.runtime.proxy import NetworkProxy, LoggedMessage
 from repro.runtime.monitor import Detection, classify_fault
 from repro.runtime.recovery import RecoveryManager, RecoveryResult
@@ -15,6 +16,7 @@ from repro.runtime.sweeper import Sweeper, SweeperConfig, SweeperEvent
 
 __all__ = [
     "Checkpoint", "CheckpointManager",
+    "VirtualClock",
     "NetworkProxy", "LoggedMessage",
     "Detection", "classify_fault",
     "RecoveryManager", "RecoveryResult",

@@ -31,11 +31,15 @@ class Checkpoint:
     ``seq`` orders checkpoints within their owning manager; it is
     assigned by :meth:`CheckpointManager.take` from a per-manager
     counter, so sequence numbers are deterministic per run and never
-    leak across Sweeper instances or test cases.
+    leak across Sweeper instances or test cases.  ``virtual_time`` is
+    stamped from the manager's injected virtual clock (``None`` when the
+    manager runs clockless) — the timeline coordinate fleet tooling and
+    event logs report.
     """
 
     snapshot: ProcessSnapshot
     seq: int = 0
+    virtual_time: float | None = None
 
     @property
     def msg_cursor(self) -> int:
@@ -47,11 +51,19 @@ class Checkpoint:
 
 
 class CheckpointManager:
-    """Takes, retains and selects checkpoints for one process."""
+    """Takes, retains and selects checkpoints for one process.
 
-    def __init__(self, interval_ms: float = 200.0, max_checkpoints: int = 20):
+    ``clock`` (a :class:`~repro.runtime.clock.VirtualClock`) is optional;
+    when provided, each checkpoint is stamped with the virtual time of
+    its creation.  The interval schedule itself stays cycle-driven —
+    checkpoints are charged against executed guest work, not idle time.
+    """
+
+    def __init__(self, interval_ms: float = 200.0, max_checkpoints: int = 20,
+                 clock=None):
         self.interval_ms = interval_ms
         self.max_checkpoints = max_checkpoints
+        self.clock = clock
         self.checkpoints: list[Checkpoint] = []
         self._seq = itertools.count(1)
         self._last_cp_cycles: int | None = None
@@ -93,7 +105,9 @@ class CheckpointManager:
         self._last_cow_copies = memory.cow_copies
         self.last_dirty_pages = memory.dirty_page_count()
         checkpoint = Checkpoint(snapshot=process.snapshot_full(),
-                                seq=next(self._seq))
+                                seq=next(self._seq),
+                                virtual_time=self.clock.now
+                                if self.clock is not None else None)
         self.checkpoints.append(checkpoint)
         self.total_taken += 1
         self._last_cp_cycles = process.cpu.cycles

@@ -1,0 +1,56 @@
+"""The virtual clock: never-rewinding time shared by one Sweeper stack.
+
+Every timing claim in the paper — checkpoint overhead, γ₁ analysis
+latency, recovery time, the community response time γ — is made in
+*virtual* seconds: time derived from the guest's cycle counter plus the
+modeled cost of runtime work.  Unlike the CPU cycle counter, which
+rewinds on every rollback, the virtual clock is monotonic: rollbacks
+consume time, they do not undo it.
+
+Historically the clock was a bare float embedded in ``Sweeper``.  It is
+now a small injectable object so that a fleet scheduler can own the
+clocks of many nodes: the scheduler aligns each node to the global
+event time with :meth:`advance_to` before delivering an event, and the
+node's own execution (cycles, analysis, recovery) advances it further
+with :meth:`advance`.  Components that stamp times (the proxy's message
+log, the checkpoint manager) read the same instance, so one node's
+timeline is consistent across layers by construction.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic virtual time in seconds.
+
+    The two mutators enforce the never-rewind invariant differently:
+    ``advance`` refuses negative deltas loudly (a negative delta is a
+    bug in the caller's accounting), while ``advance_to`` treats a
+    target in the past as a no-op (the normal case when a scheduler
+    aligns a node that is already ahead of the global event time).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"virtual clock cannot rewind ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, target: float) -> float:
+        """Move time forward to ``target`` if it is in the future."""
+        if target > self._now:
+            self._now = float(target)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock({self._now:.6f})"

@@ -39,9 +39,15 @@ class CommittedOutput:
 
 
 class NetworkProxy:
-    """Message log + filter + replay + output commit for one process."""
+    """Message log + filter + replay + output commit for one process.
 
-    def __init__(self):
+    ``clock`` (a :class:`~repro.runtime.clock.VirtualClock`) is optional;
+    when provided it supplies the default arrival stamp for submitted
+    messages, so every layer of one node shares a single timeline.
+    """
+
+    def __init__(self, clock=None):
+        self.clock = clock
         self.signatures = SignatureSet()
         self.log: list[LoggedMessage] = []
         self.delivered: list[int] = []      # msg_ids, in delivery order
@@ -51,8 +57,11 @@ class NetworkProxy:
 
     # -- ingress ------------------------------------------------------------
 
-    def submit(self, data: bytes, arrival_time: float = 0.0) -> LoggedMessage:
+    def submit(self, data: bytes,
+               arrival_time: float | None = None) -> LoggedMessage:
         """Log one inbound request, applying signature filters."""
+        if arrival_time is None:
+            arrival_time = self.clock.now if self.clock is not None else 0.0
         message = LoggedMessage(msg_id=len(self.log), data=bytes(data),
                                 arrival_time=arrival_time)
         signature = self.signatures.match(data)

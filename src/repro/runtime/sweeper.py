@@ -19,6 +19,7 @@ Typical use::
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.analysis.pipeline import AnalysisOutcome, AnalysisPipeline
@@ -29,8 +30,10 @@ from repro.antibody.vsef import VSEF, InstalledVSEF, install_vsef
 from repro.errors import AttackDetected, RecoveryFailed, VMFault
 from repro.isa.assembler import Image, assemble
 from repro.machine.cpu import CPU_HZ
+from repro.machine.layout import ReferenceLayout
 from repro.machine.process import Process
 from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.clock import VirtualClock
 from repro.runtime.monitor import (Detection, detection_from_fault,
                                    detection_from_vsef)
 from repro.runtime.proxy import NetworkProxy
@@ -59,15 +62,28 @@ class SweeperConfig:
     #: §4.2 sampling: run taint analysis on every Nth request (0 = off).
     #: Catches attacks that defeat address randomization (the ρ case).
     sample_every: int = 0
+    #: Proactive protection (§3.1).  True slides every region by a random
+    #: page offset (the ρ = 2^-entropy attenuation); False loads the
+    #: reference layout — an *unprotected* host, which is what the fleet
+    #: uses for susceptible consumer nodes so a worm's hijack genuinely
+    #: lands instead of faulting.
+    randomize_layout: bool = True
 
 
 @dataclass
 class SweeperEvent:
-    """One entry in the virtual-time event log (drives Figure 5)."""
+    """One entry in the virtual-time event log (drives Figure 5).
+
+    ``wall_seconds`` carries any *host* wall-clock measurement (e.g. how
+    long analysis really took on this machine).  It lives outside
+    ``detail`` so the (virtual_time, kind, detail) triple is reproducible
+    byte-for-byte across runs of the same seed.
+    """
 
     virtual_time: float
     kind: str
     detail: str = ""
+    wall_seconds: float | None = None
 
 
 @dataclass
@@ -89,17 +105,20 @@ class Sweeper:
 
     def __init__(self, image: Image | str, app_name: str = "app",
                  config: SweeperConfig | None = None,
-                 bus: CommunityBus | None = None):
+                 bus: CommunityBus | None = None,
+                 clock: VirtualClock | None = None):
         if isinstance(image, str):
             image = assemble(image)
         self.image = image
         self.app_name = app_name
         self.config = config or SweeperConfig()
-        self.process = Process(image, seed=self.config.seed, name=app_name)
-        self.proxy = NetworkProxy()
+        self.vclock = clock if clock is not None else VirtualClock()
+        self.process = self._new_process(self.config.seed)
+        self.proxy = NetworkProxy(clock=self.vclock)
         self.checkpoints = CheckpointManager(
             interval_ms=self.config.checkpoint_interval_ms,
-            max_checkpoints=self.config.max_checkpoints)
+            max_checkpoints=self.config.max_checkpoints,
+            clock=self.vclock)
         self.recovery = RecoveryManager(strict=self.config.strict_recovery)
         self.pipeline = AnalysisPipeline(
             self.process, self.checkpoints, self.proxy,
@@ -112,8 +131,8 @@ class Sweeper:
             if self.config.publish_antibodies else None)
 
         self.sampler = RequestSampler(every=self.config.sample_every)
-        self.clock = 0.0                    # never-rewinding virtual time
         self._last_cycles = self.process.cpu.cycles
+        self._inbox: deque = deque()        # scheduled, not-yet-served requests
         self.events: list[SweeperEvent] = []
         self.attacks: list[AttackRecord] = []
         self.detections: list[Detection] = []
@@ -125,19 +144,31 @@ class Sweeper:
 
     # -- clock / events ---------------------------------------------------------
 
+    @property
+    def clock(self) -> float:
+        """Current virtual time (seconds); never rewinds."""
+        return self.vclock.now
+
+    def _new_process(self, seed: int) -> Process:
+        layout = None if self.config.randomize_layout else ReferenceLayout()
+        return Process(self.image, layout=layout, seed=seed,
+                       name=self.app_name)
+
     def _sync_clock(self):
         delta = self.process.cpu.cycles - self._last_cycles
         if delta > 0:
-            self.clock += delta / CPU_HZ
+            self.vclock.advance(delta / CPU_HZ)
         self._last_cycles = self.process.cpu.cycles
 
     def _rebase_cycles(self):
         """After a rollback the cycle counter rewound; re-anchor it."""
         self._last_cycles = self.process.cpu.cycles
 
-    def _event(self, kind: str, detail: str = ""):
+    def _event(self, kind: str, detail: str = "",
+               wall_seconds: float | None = None):
         self.events.append(SweeperEvent(virtual_time=self.clock, kind=kind,
-                                        detail=detail))
+                                        detail=detail,
+                                        wall_seconds=wall_seconds))
 
     # -- normal operation -----------------------------------------------------------
 
@@ -170,8 +201,31 @@ class Sweeper:
         self._sync_clock()
 
     def submit(self, data: bytes) -> list[bytes]:
-        """Feed one request through the proxy; returns new responses."""
-        message = self.proxy.submit(data, arrival_time=self.clock)
+        """Feed one request through the proxy; returns new responses.
+
+        Equivalent to :meth:`schedule` followed by :meth:`advance` — the
+        single-node convenience the fleet scheduler decomposes.
+        """
+        self.schedule(data)
+        return self.advance()
+
+    def schedule(self, data: bytes):
+        """Phase 1: log one inbound request (filters apply now, at
+        arrival) and queue it for service.  Returns the logged message."""
+        message = self.proxy.submit(data)
+        self._inbox.append(message)
+        return message
+
+    def advance(self) -> list[bytes]:
+        """Phase 2: serve every scheduled request in arrival order;
+        returns the new responses.  A steppable scheduler calls this
+        once per delivered event; ``submit`` calls it immediately."""
+        responses: list[bytes] = []
+        while self._inbox:
+            responses.extend(self._serve(self._inbox.popleft()))
+        return responses
+
+    def _serve(self, message) -> list[bytes]:
         if message.filtered_by is not None:
             self._event("filtered",
                         f"msg {message.msg_id} blocked by "
@@ -199,8 +253,9 @@ class Sweeper:
                 # Charge the sampled request's instrumentation overhead.
                 executed = self.process.cpu.cycles - cycles_start
                 if executed > 0:
-                    self.clock += executed / CPU_HZ * \
-                        (self.sampler.overhead_factor - 1.0)
+                    self.vclock.advance(
+                        executed / CPU_HZ
+                        * (self.sampler.overhead_factor - 1.0))
         responses = []
         for sent in self.process.sent[sent_before:]:
             self.proxy.commit(sent.msg_id, sent.data)
@@ -251,7 +306,7 @@ class Sweeper:
         base = self.clock
         published_initial = False
         for step in outcome.steps:
-            self.clock = base + step.cumulative_virtual
+            self.vclock.advance_to(base + step.cumulative_virtual)
             self._event(f"analysis:{step.name}", step.summary)
             new_vsefs = self._install_new(step.vsefs)
             record.vsefs_installed.extend(new_vsefs)
@@ -285,9 +340,8 @@ class Sweeper:
         record.recovery = self._recover(outcome,
                                         suspect=detection.msg_id)
         record.recovered_at = self.clock
-        self._event("recovered",
-                    f"service restored; wall analysis "
-                    f"{time.perf_counter() - wall_start:.3f}s")
+        self._event("recovered", "service restored",
+                    wall_seconds=time.perf_counter() - wall_start)
 
     def _recover(self, outcome: AnalysisOutcome,
                  suspect: int | None = None) -> RecoveryResult | None:
@@ -316,7 +370,7 @@ class Sweeper:
             self._restart()
             return None
         self._rebase_cycles()
-        self.clock += result.virtual_seconds
+        self.vclock.advance(result.virtual_seconds)
         return result
 
     def _delivery_index(self, msg_id: int) -> int:
@@ -327,13 +381,13 @@ class Sweeper:
 
     def _restart(self):
         """Full restart: the expensive fallback Sweeper tries to avoid."""
-        self.clock += 5.0   # §1.1: "restarting ... takes up to several seconds"
+        self.vclock.advance(5.0)  # §1.1: "restarting ... takes up to several seconds"
         config = self.config
-        self.process = Process(self.image, seed=config.seed + 1,
-                               name=self.app_name)
+        self.process = self._new_process(config.seed + 1)
         self.checkpoints = CheckpointManager(
             interval_ms=config.checkpoint_interval_ms,
-            max_checkpoints=config.max_checkpoints)
+            max_checkpoints=config.max_checkpoints,
+            clock=self.vclock)
         self.pipeline = AnalysisPipeline(
             self.process, self.checkpoints, self.proxy,
             enable_membug=config.enable_membug,
@@ -401,7 +455,7 @@ class Sweeper:
             self._restart()
             return
         self._rebase_cycles()
-        self.clock += result.virtual_seconds
+        self.vclock.advance(result.virtual_seconds)
         self._event("recovered", "sampled detection handled cleanly")
 
     def _handle_vsef_block(self, blocked: AttackDetected):
@@ -429,7 +483,7 @@ class Sweeper:
             self._restart()
             return
         self._rebase_cycles()
-        self.clock += result.virtual_seconds
+        self.vclock.advance(result.virtual_seconds)
         if drop:
             self.proxy.mark_malicious(sorted(drop))
 

@@ -17,6 +17,8 @@ from repro.worm.community import (figure6_data, figure7_data, figure8_data,
                                   infection_ratio_grid, end_to_end_gamma,
                                   SLAMMER, HITLIST_1K, HITLIST_4K)
 from repro.worm.simulation import simulate_outbreak, SimulationResult
+from repro.worm.fleet import (FleetConfig, FleetNode, FleetResult,
+                              run_fleet)
 from repro.worm.export import grid_to_csv, series_for_gamma
 
 __all__ = [
@@ -26,4 +28,5 @@ __all__ = [
     "figure6_data", "figure7_data", "figure8_data", "infection_ratio_grid",
     "end_to_end_gamma", "SLAMMER", "HITLIST_1K", "HITLIST_4K",
     "simulate_outbreak", "SimulationResult",
+    "FleetConfig", "FleetNode", "FleetResult", "run_fleet",
 ]

@@ -1,0 +1,516 @@
+"""The executed community fleet: N real Sweeper nodes on one shared bus.
+
+Everything §6 of the paper claims about the *community* — producers pay
+for analysis once, consumers are protected within γ = γ₁ + γ₂ — was
+previously modeled only as ODE/Gillespie aggregates (:mod:`si_model`,
+:mod:`simulation`).  This module closes the loop: a discrete-event,
+virtual-time scheduler boots N *actual* ``Sweeper``-protected guest
+processes (mixed httpd/squidp/cvsd, mixed producer/consumer roles),
+drives them with interleaved benign traffic and worm contacts, and lets
+producers publish antibodies that consumers apply off one shared
+:class:`~repro.antibody.distribution.CommunityBus` — so t₀, γ and the
+final infection ratio are **measured from executed nodes**.
+
+Roles map onto the epidemic model exactly:
+
+- **Producers** (the α fraction) run the full Sweeper stack on a
+  *randomized* layout: a worm contact faults (the lightweight
+  detection), triggers real rollback/replay analysis, and publishes
+  VSEFs + signatures on the bus.  γ₁ is whatever the executed pipeline
+  takes.
+- **Susceptible consumers** run *without* proactive protection
+  (reference layout, ``randomize_layout=False``) and without analysis
+  modules: a worm contact genuinely hijacks control flow — the httpd
+  backdoor answers ``OWNED!`` and the host is infected.  Once a bundle
+  is available on the bus, a consumer applies it before its next event
+  and the same contact is *blocked by an executed VSEF* instead.
+
+**Cross-validation by construction.**  The worm contact process draws
+from its rng in *exactly* the sequence :func:`simulate_outbreak` does —
+one ``expovariate(β·I)`` gap per contact, one uniform roll to pick the
+target bucket (producers / susceptible / rest), one ρ draw in the
+susceptible branch — while node *identities* within a bucket come from
+a separate rng.  A fleet run with seed *s* therefore realizes the same
+stochastic trajectory as ``simulate_outbreak(seed=s, γ=measured γ)``:
+t₀ matches to float precision and infection counts match exactly,
+*provided the executed defenses behave as the model assumes*.  Any
+divergence (an antibody that fails to block, an exploit that fails to
+land) breaks the match — which is precisely what makes the comparison a
+test of the executed system.  The ODE solution is compared with a loose
+tolerance (one stochastic realization at small N sits well off the
+continuum limit).
+
+Only the reactive regime ρ = 1 is executable today: susceptible
+consumers are unrandomized, so every landed contact owns them — the
+Slammer/Fig. 6 setting.  ρ < 1 would randomize consumer layouts and let
+the collision probability emerge from execution; that is an open item.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.antibody.distribution import CommunityBus
+from repro.apps.cvsd import build_cvsd
+from repro.apps.exploits import APP_EXPLOITS, EXPLOITS, ExploitStream
+from repro.apps.httpd import build_httpd
+from repro.apps.squidp import build_squidp
+from repro.apps.workload import TrafficStream
+from repro.errors import ReproError
+from repro.machine.cpu import CPU_HZ
+from repro.runtime.sweeper import Sweeper, SweeperConfig
+from repro.worm.simulation import simulate_outbreak
+
+_BUILDERS = {"httpd": build_httpd, "squidp": build_squidp, "cvsd": build_cvsd}
+
+#: What the httpd backdoor answers when a hijack lands: the infection
+#: signal the fleet reads off the executed responses.
+_INFECTION_MARKER = b"OWNED!"
+
+#: Exploits that genuinely *own* an unrandomized host (reach a gadget
+#: that answers with the marker) rather than just crashing it; only
+#: these can play the worm.  Today that is the Apache1 stack smash.
+_OWNING_EXPLOITS = {"Apache1"}
+
+_KIND_BENIGN = 0
+_KIND_CONTACT = 1
+
+
+class FleetDivergence(ReproError):
+    """The executed fleet departed from the epidemic process it mirrors
+    (e.g. a patient-zero exploit failed to land)."""
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet scenario.
+
+    The worm targets ``vulnerable_app``; those nodes form the epidemic
+    population N (``producers`` of them run full analysis, so
+    α = producers / N).  ``extra_apps`` nodes ride along serving benign
+    traffic only — mixed-workload realism plus aggregate throughput.
+    """
+
+    seed: int = 0
+    vulnerable_app: str = "httpd"
+    vulnerable_nodes: int = 20          # epidemic population N
+    producers: int = 4                  # α·N of the vulnerable population
+    #: (app, consumers, producers) triples of along-for-the-ride nodes.
+    extra_apps: tuple[tuple[str, int, int], ...] = (("squidp", 2, 1),
+                                                    ("cvsd", 2, 1))
+    worm_exploit: str = "Apache1"       # must own an unrandomized host
+    beta: float = 0.4                   # worm contacts/s per infected node
+    rho: float = 1.0                    # only the reactive regime executes
+    benign_rate: float = 0.3            # benign requests/s per node
+    gamma2: float = 3.0                 # bus dissemination latency γ₂
+    horizon: float = 60.0               # hard virtual-time stop
+    #: Keep running this long past community immunity so blocked
+    #: contacts are demonstrated, then stop (everything after immunity
+    #: is epidemiologically frozen).
+    post_immunity_slack: float = 6.0
+    checkpoint_interval_ms: float = 200.0
+    max_contacts: int = 100_000
+
+    @property
+    def total_nodes(self) -> int:
+        return self.vulnerable_nodes + sum(c + p for _, c, p
+                                           in self.extra_apps)
+
+
+@dataclass
+class FleetNode:
+    """One executed node and its epidemic bookkeeping."""
+
+    index: int
+    name: str
+    app: str
+    role: str                           # "producer" | "consumer"
+    vulnerable: bool
+    sweeper: Sweeper
+    traffic: TrafficStream
+    arrivals: random.Random             # inter-arrival draws (per-node)
+    infected: bool = False
+    infected_at: float | None = None
+    immune_at: float | None = None
+    requests: int = 0
+    responses: int = 0
+    contacts: int = 0
+    worm: ExploitStream | None = None   # armed when this node is infected
+
+    def report(self) -> dict:
+        sweeper = self.sweeper
+        return {
+            "name": self.name, "app": self.app, "role": self.role,
+            "vulnerable": self.vulnerable,
+            "infected": self.infected, "infected_at": self.infected_at,
+            "immune_at": self.immune_at,
+            "benign_requests": self.requests,
+            "benign_responses": self.responses,
+            "worm_contacts": self.contacts,
+            "attacks_analyzed": len(sweeper.attacks),
+            "detections": len(sweeper.detections),
+            "antibodies": len(sweeper.antibodies),
+            "requests_filtered": sweeper.proxy.filtered_count,
+            "virtual_time": sweeper.clock,
+        }
+
+
+@dataclass
+class FleetResult:
+    """What one executed fleet run measured."""
+
+    population: int
+    producers: int
+    producer_ratio: float
+    beta: float
+    rho: float
+    seed: int
+    total_nodes: int
+    t0: float | None                    # first producer contact (fleet time)
+    availability: float | None          # first bundle reachable on the bus
+    gamma_measured: float | None        # availability - t0 = γ₁ + γ₂
+    gamma1_first_vsef: float | None     # detect → first VSEF, first analysis
+    infected_final: int
+    infection_ratio: float
+    contacts: int
+    contacts_to_producers: int
+    contacts_blocked: int               # delivered to a consumer, defended
+    contacts_wasted: int                # landed on an already-infected host
+    benign_sent: int
+    benign_responses: int
+    bundles_published: int
+    total_guest_cycles: int
+    wall_seconds: float
+    aggregate_insns_per_second: float
+    nodes: list[dict] = field(default_factory=list)
+    gillespie: dict | None = None       # matched-seed simulate_outbreak
+    model: dict | None = None           # solve_outbreak (needs scipy)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _validate(config: FleetConfig):
+    if config.rho != 1.0:
+        raise ReproError(
+            "the executed fleet supports only rho = 1.0 (susceptible "
+            "consumers run unrandomized so worm contacts genuinely land); "
+            "rho < 1 needs layout-randomized consumers — see ROADMAP")
+    if config.producers < 1:
+        raise ReproError("a community needs at least one producer")
+    if config.producers >= config.vulnerable_nodes:
+        raise ReproError("the vulnerable population must contain "
+                         "susceptible consumers")
+    spec = EXPLOITS.get(config.worm_exploit)
+    if spec is None or spec.app != config.vulnerable_app or \
+            config.worm_exploit not in APP_EXPLOITS[config.vulnerable_app]:
+        raise ReproError(f"worm exploit {config.worm_exploit!r} does not "
+                         f"target {config.vulnerable_app!r}")
+    if config.worm_exploit not in _OWNING_EXPLOITS:
+        raise ReproError(
+            f"worm exploit {config.worm_exploit!r} cannot own a host: only "
+            f"control-flow hijacks that succeed on an unrandomized layout "
+            f"({', '.join(sorted(_OWNING_EXPLOITS))}) are executable as "
+            f"infections — the others merely crash the target")
+
+
+class _FleetRun:
+    """One in-flight execution of :func:`run_fleet`."""
+
+    def __init__(self, config: FleetConfig):
+        _validate(config)
+        self.config = config
+        #: The epidemic rng — consumed in exactly simulate_outbreak's
+        #: draw order so a fleet run is a matched Gillespie realization.
+        self.rng_contacts = random.Random(config.seed)
+        #: Node-identity rng: which concrete node within a drawn bucket.
+        self.detail = random.Random((config.seed << 16) ^ 0x5F1EE7)
+        self.bus = CommunityBus(dissemination_latency=config.gamma2)
+        self.nodes: list[FleetNode] = []
+        self._build_nodes()
+        self.v_producers = [n for n in self.nodes
+                            if n.vulnerable and n.role == "producer"]
+        self.v_consumers = [n for n in self.nodes
+                            if n.vulnerable and n.role == "consumer"]
+        self.population = len(self.v_producers) + len(self.v_consumers)
+        self.susceptible = list(self.v_consumers)
+        self.infected: list[FleetNode] = []
+
+        self.heap: list[tuple[float, int, int, int]] = []
+        self._seq = itertools.count()
+        self.t0: float | None = None
+        self.contacts = 0
+        self.contacts_to_producers = 0
+        self.contacts_blocked = 0
+        self.contacts_wasted = 0
+        self.benign_sent = 0
+        self.benign_responses = 0
+
+    # -- construction -------------------------------------------------------
+
+    def _node_config(self, role: str, vulnerable: bool,
+                     seed: int) -> SweeperConfig:
+        producer = role == "producer"
+        return SweeperConfig(
+            seed=seed,
+            checkpoint_interval_ms=self.config.checkpoint_interval_ms,
+            enable_membug=producer, enable_taint=producer,
+            enable_slicing=producer,
+            publish_antibodies=producer,
+            dissemination_latency=self.config.gamma2,
+            # Susceptible consumers are the unprotected hosts of the
+            # model: no address randomization, so the worm owns them.
+            randomize_layout=not (vulnerable and not producer))
+
+    def _build_nodes(self):
+        config = self.config
+        images = {}
+        roster: list[tuple[str, str, bool]] = []
+        for i in range(config.producers):
+            roster.append((config.vulnerable_app, "producer", True))
+        for i in range(config.vulnerable_nodes - config.producers):
+            roster.append((config.vulnerable_app, "consumer", True))
+        for app, consumers, producers in config.extra_apps:
+            for i in range(producers):
+                roster.append((app, "producer", False))
+            for i in range(consumers):
+                roster.append((app, "consumer", False))
+        counters: dict[tuple[str, str], itertools.count] = {}
+        for index, (app, role, vulnerable) in enumerate(roster):
+            if app not in images:
+                images[app] = _BUILDERS[app]()
+            ordinal = next(counters.setdefault((app, role),
+                                               itertools.count(1)))
+            node = FleetNode(
+                index=index,
+                name=f"{app}-{role[0]}{ordinal}",
+                app=app, role=role, vulnerable=vulnerable,
+                sweeper=Sweeper(
+                    images[app], app_name=app,
+                    config=self._node_config(role, vulnerable,
+                                             seed=config.seed * 31 + index),
+                    bus=self.bus if role == "producer" else None),
+                traffic=TrafficStream(
+                    app, seed=config.seed * 9_000_007 + index),
+                arrivals=random.Random(config.seed * 1_000_003
+                                       + 7919 * index + 11))
+            self.bus.subscribe(node.name)
+            self.nodes.append(node)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _push(self, t: float, kind: int, idx: int):
+        heapq.heappush(self.heap, (t, next(self._seq), kind, idx))
+
+    def _cutoff(self) -> float:
+        avail = self.bus.first_available_time(self.config.vulnerable_app)
+        if avail is None:
+            return self.config.horizon
+        return min(self.config.horizon,
+                   avail + self.config.post_immunity_slack)
+
+    # -- delivery -----------------------------------------------------------
+
+    def _apply_bus(self, node: FleetNode, t: float):
+        """Antibodies available by ``t`` apply before the node serves its
+        next event — the consumer's poll-on-wake discipline."""
+        for bundle in self.bus.poll(node.name, t):
+            if bundle.app != node.app:
+                continue
+            applied = node.sweeper.apply_foreign_vsefs(bundle.vsefs)
+            for signature in bundle.signatures:
+                node.sweeper.proxy.signatures.add(signature)
+            if (applied or bundle.signatures) and node.immune_at is None:
+                node.immune_at = t
+
+    def _deliver(self, node: FleetNode, data: bytes, t: float) -> list[bytes]:
+        self._apply_bus(node, t)
+        node.sweeper.vclock.advance_to(t)
+        # The steppable split: arrival is logged (and filtered) at the
+        # event time, then the node advances through its inbox.
+        node.sweeper.schedule(data)
+        return node.sweeper.advance()
+
+    def _deliver_contact(self, node: FleetNode, payload: bytes,
+                         t: float) -> bool:
+        """Deliver one worm contact; returns True if the host was owned."""
+        responses = self._deliver(node, payload, t)
+        node.contacts += 1
+        owned = any(_INFECTION_MARKER in r for r in responses)
+        if owned and not node.infected:
+            node.infected = True
+            node.infected_at = t
+            node.worm = ExploitStream(
+                self.config.worm_exploit,
+                seed=self.config.seed * 5_000_011 + node.index)
+            self.infected.append(node)
+            if node in self.susceptible:
+                self.susceptible.remove(node)
+        return owned
+
+    def _worm_payload(self) -> bytes:
+        attacker = self.infected[self.detail.randrange(len(self.infected))]
+        return attacker.worm.next_payload()
+
+    # -- event handlers -----------------------------------------------------
+
+    def _handle_benign(self, node: FleetNode, t: float):
+        if node.infected:
+            return                      # owned host: out of service
+        responses = self._deliver(node, node.traffic.next_request(), t)
+        node.requests += 1
+        node.responses += len(responses)
+        self.benign_sent += 1
+        self.benign_responses += len(responses)
+        if self.config.benign_rate > 0:
+            nxt = t + node.arrivals.expovariate(self.config.benign_rate)
+            if nxt <= self._cutoff():
+                self._push(nxt, _KIND_BENIGN, node.index)
+
+    def _handle_contact(self, t: float):
+        """One worm contact, mirroring simulate_outbreak's draws:
+        uniform roll over the population picks the bucket, a ρ draw is
+        consumed in the susceptible branch, and the realized outcome is
+        whatever the executed node does with the payload."""
+        rng = self.rng_contacts
+        self.contacts += 1
+        roll = rng.random() * self.population
+        n_producers = len(self.v_producers)
+        if roll < n_producers:
+            target = self.v_producers[self.detail.randrange(n_producers)]
+            self.contacts_to_producers += 1
+            if self.t0 is None:
+                self.t0 = t
+            self._deliver_contact(target, self._worm_payload(), t)
+        elif roll < n_producers + len(self.susceptible):
+            rng.random()                # the ρ draw (ρ = 1: always lands)
+            target = self.susceptible[
+                self.detail.randrange(len(self.susceptible))]
+            owned = self._deliver_contact(target, self._worm_payload(), t)
+            if not owned:
+                self.contacts_blocked += 1
+        else:
+            # Contact on an already-infected host: wasted, like the
+            # model's "else" bucket.  Not delivered — the process there
+            # is the worm now, not the server.
+            self.contacts_wasted += 1
+        if self.contacts < self.config.max_contacts:
+            gap = rng.expovariate(self.config.beta * len(self.infected))
+            if t + gap <= self._cutoff():
+                self._push(t + gap, _KIND_CONTACT, -1)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        config = self.config
+        wall_start = time.perf_counter()
+
+        if config.benign_rate > 0:
+            for node in self.nodes:
+                self._push(node.arrivals.expovariate(config.benign_rate),
+                           _KIND_BENIGN, node.index)
+
+        # Patient zero (t = 0): an external attacker owns one consumer —
+        # the model's single initially-infected host.
+        attacker = ExploitStream(config.worm_exploit,
+                                 seed=config.seed * 5_000_011 - 1)
+        patient = self.v_consumers[
+            self.detail.randrange(len(self.v_consumers))]
+        if not self._deliver_contact(patient, attacker.next_payload(), 0.0):
+            raise FleetDivergence(
+                f"patient-zero exploit failed to own {patient.name}")
+        # First contact gap, exactly as the Gillespie loop draws it.
+        gap = self.rng_contacts.expovariate(config.beta * len(self.infected))
+        if gap <= self._cutoff():
+            self._push(gap, _KIND_CONTACT, -1)
+
+        while self.heap:
+            t, _, kind, idx = heapq.heappop(self.heap)
+            if t > self._cutoff():
+                break
+            if kind == _KIND_BENIGN:
+                self._handle_benign(self.nodes[idx], t)
+            else:
+                self._handle_contact(t)
+
+        return self._result(time.perf_counter() - wall_start)
+
+    # -- results ------------------------------------------------------------
+
+    def _result(self, wall_seconds: float) -> FleetResult:
+        config = self.config
+        availability = self.bus.first_available_time(config.vulnerable_app)
+        gamma = (availability - self.t0
+                 if availability is not None and self.t0 is not None
+                 else None)
+        gamma1 = None
+        for node in self.v_producers:
+            if node.sweeper.attacks:
+                record = node.sweeper.attacks[0]
+                if record.first_vsef_at is not None:
+                    gamma1 = record.first_vsef_at - record.detected_at
+                break
+        total_cycles = sum(n.sweeper.process.cpu.cycles for n in self.nodes)
+        infected_final = len(self.infected)
+        result = FleetResult(
+            population=self.population,
+            producers=len(self.v_producers),
+            producer_ratio=len(self.v_producers) / self.population,
+            beta=config.beta, rho=config.rho, seed=config.seed,
+            total_nodes=len(self.nodes),
+            t0=self.t0, availability=availability, gamma_measured=gamma,
+            gamma1_first_vsef=gamma1,
+            infected_final=infected_final,
+            infection_ratio=infected_final / self.population,
+            contacts=self.contacts,
+            contacts_to_producers=self.contacts_to_producers,
+            contacts_blocked=self.contacts_blocked,
+            contacts_wasted=self.contacts_wasted,
+            benign_sent=self.benign_sent,
+            benign_responses=self.benign_responses,
+            bundles_published=len(self.bus.published),
+            total_guest_cycles=total_cycles,
+            wall_seconds=wall_seconds,
+            aggregate_insns_per_second=total_cycles / wall_seconds
+            if wall_seconds > 0 else 0.0,
+            nodes=[node.report() for node in self.nodes])
+        self._cross_validate(result)
+        return result
+
+    def _cross_validate(self, result: FleetResult):
+        """Replay the same epidemic in the aggregate models with the
+        *measured* γ plugged in."""
+        if result.gamma_measured is None:
+            return
+        config = self.config
+        sim = simulate_outbreak(
+            beta=config.beta, population=result.population,
+            producer_ratio=result.producer_ratio,
+            gamma=result.gamma_measured, rho=config.rho, seed=config.seed)
+        result.gillespie = {
+            "t0": sim.t0,
+            "final_infected": sim.final_infected,
+            "infection_ratio": sim.infection_ratio,
+        }
+        try:
+            from repro.worm.si_model import WormParams, solve_outbreak
+        except ImportError:             # scipy not available: skip the ODE
+            return
+        ode = solve_outbreak(WormParams(
+            beta=config.beta, population=result.population,
+            producer_ratio=result.producer_ratio,
+            gamma=result.gamma_measured, rho=config.rho))
+        result.model = {
+            "t0": ode.t0,
+            "infection_ratio": ode.infection_ratio,
+        }
+
+
+def run_fleet(config: FleetConfig | None = None) -> FleetResult:
+    """Boot the fleet, run the outbreak, measure, cross-validate."""
+    return _FleetRun(config or FleetConfig()).run()

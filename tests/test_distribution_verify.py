@@ -52,6 +52,88 @@ class TestCommunityBus:
         assert data["vsefs"][0]["kind"] == "double_free"
 
 
+class TestCommunityBusCursors:
+    def test_simultaneous_arrivals_order_by_publish_seq(self):
+        """Bundles that become available at the same instant drain in
+        publish order — the deterministic tie-break."""
+        bus = CommunityBus(dissemination_latency=1.0)
+        first = bus.publish(AntibodyBundle(app="httpd", stage="initial",
+                                           produced_at=2.0))
+        second = bus.publish(AntibodyBundle(app="cvs", stage="initial",
+                                            produced_at=2.0))
+        assert bus.available(now=3.0) == [first, second]
+        assert bus.poll("c1", now=3.0) == [first, second]
+
+    def test_poll_is_incremental_and_never_redelivers(self):
+        bus = CommunityBus(dissemination_latency=0.0)
+        a = bus.publish(AntibodyBundle(app="squid", produced_at=1.0))
+        assert bus.poll("c1", now=2.0) == [a]
+        assert bus.poll("c1", now=5.0) == []
+        b = bus.publish(AntibodyBundle(app="squid", produced_at=4.0))
+        assert bus.poll("c1", now=5.0) == [b]
+
+    def test_draining_exactly_at_gamma2_boundary(self):
+        """The availability boundary is inclusive: polling at exactly
+        produced_at + γ₂ sees the bundle, an instant before does not."""
+        bus = CommunityBus(dissemination_latency=3.0)
+        bundle = bus.publish(AntibodyBundle(app="squid", produced_at=0.25))
+        assert bus.poll("c1", now=3.25 - 1e-12) == []
+        assert bus.poll("c1", now=3.25) == [bundle]
+        assert bus.available(now=3.25) == [bundle]
+
+    def test_late_publish_with_earlier_availability_not_skipped(self):
+        """A slow producer's bundle can become available *earlier* than
+        one a subscriber already drained; the cursor must not skip it."""
+        bus = CommunityBus(dissemination_latency=1.0)
+        late = bus.publish(AntibodyBundle(app="squid", produced_at=9.0))
+        assert bus.poll("c1", now=10.0) == [late]
+        early = bus.publish(AntibodyBundle(app="squid", produced_at=0.5))
+        assert bus.poll("c1", now=10.0) == [early]
+        assert bus.poll("c1", now=20.0) == []
+
+    def test_late_subscriber_sees_full_backlog(self):
+        bus = CommunityBus(dissemination_latency=0.0)
+        bundles = [bus.publish(AntibodyBundle(app="squid", produced_at=t))
+                   for t in (1.0, 2.0)]
+        assert bus.poll("latecomer", now=10.0) == bundles
+
+    def test_bundle_ids_are_per_bus(self):
+        """Satellite: publish assigns ids from a per-bus counter, so
+        many buses in one process never interleave."""
+        bus_a, bus_b = CommunityBus(), CommunityBus()
+        bundle_a = bus_a.publish(AntibodyBundle(app="squid"))
+        bundle_b = bus_b.publish(AntibodyBundle(app="cvs"))
+        assert bundle_a.bundle_id == "ab-1"
+        assert bundle_b.bundle_id == "ab-1"
+        assert bus_a.publish(AntibodyBundle(app="squid")).bundle_id == "ab-2"
+        # An already-identified bundle (e.g. revived from the wire and
+        # re-shared) keeps its id.
+        relayed = AntibodyBundle.from_dict(bundle_a.to_dict())
+        assert bus_b.publish(relayed).bundle_id == "ab-1"
+
+    def test_same_antibody_from_multiple_producers_applies_once(self):
+        """Two producers publishing equivalent VSEFs: a consumer drains
+        both bundles but installs the filter only once."""
+        from repro.runtime.sweeper import Sweeper, SweeperConfig
+
+        bus = CommunityBus(dissemination_latency=0.0)
+        for producer in ("p1", "p2"):
+            bus.publish(AntibodyBundle(
+                app="cvs", produced_at=1.0,
+                vsefs=[VSEF(kind="double_free", params={"caller": None},
+                            provenance=producer)]))
+        consumer = Sweeper(build_cvsd(), app_name="cvs",
+                           config=SweeperConfig(
+                               seed=9, enable_membug=False,
+                               enable_taint=False, enable_slicing=False,
+                               publish_antibodies=False))
+        applied = []
+        for bundle in bus.poll("consumer", now=2.0):
+            applied.extend(consumer.apply_foreign_vsefs(bundle.vsefs))
+        assert len(applied) == 1
+        assert len(consumer.antibodies) == 1
+
+
 class TestVerification:
     def test_vsef_bundle_verifies_against_exploit(self):
         bundle = AntibodyBundle(

@@ -1,0 +1,206 @@
+"""Fleet subsystem tests: the injectable clock, the schedule/advance
+split, and the executed community fleet cross-validated against the
+Gillespie process it mirrors."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.apps.exploits import EXPLOITS
+from repro.apps.workload import benign_requests
+from repro.errors import ReproError
+from repro.runtime.clock import VirtualClock
+from repro.runtime.sweeper import Sweeper, SweeperConfig
+from repro.worm.fleet import FleetConfig, run_fleet
+
+#: Small-but-real fleet: 6 vulnerable httpd nodes (1 producer), no
+#: extra apps — fast enough for tier-1 while still executing the whole
+#: producer → bus → consumer loop.
+SMALL = FleetConfig(seed=2, vulnerable_nodes=6, producers=1,
+                    extra_apps=(), beta=1.0, benign_rate=0.3,
+                    horizon=40.0)
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return run_fleet(SMALL)
+
+
+class TestVirtualClock:
+    def test_advance_and_advance_to(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        assert clock.now == 1.5
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_never_rewinds(self):
+        clock = VirtualClock(start=2.0)
+        clock.advance_to(1.0)          # past target: no-op
+        assert clock.now == 2.0
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_injected_clock_is_shared_across_layers(self):
+        clock = VirtualClock()
+        sweeper = Sweeper(EXPLOITS["CVS"].build_image(), app_name="cvsd",
+                          config=SweeperConfig(seed=3), clock=clock)
+        assert sweeper.vclock is clock
+        assert sweeper.proxy.clock is clock
+        assert sweeper.checkpoints.clock is clock
+        assert sweeper.clock == clock.now > 0        # boot advanced it
+        clock.advance_to(10.0)
+        assert sweeper.clock == 10.0
+        message = sweeper.schedule(b"noop\n")
+        assert message.arrival_time == 10.0          # proxy stamps from it
+        sweeper.advance()
+        checkpoint = sweeper.checkpoints.take(sweeper.process)
+        assert checkpoint.virtual_time is not None
+        assert checkpoint.virtual_time >= 10.0
+
+
+class TestScheduleAdvance:
+    def _requests(self):
+        spec = EXPLOITS["CVS"]
+        return spec, benign_requests("cvsd", 4) + [spec.payload()] \
+            + benign_requests("cvsd", 2, seed=23)
+
+    def test_split_equals_submit(self):
+        """schedule()+advance() is submit(), across an attack."""
+        spec, requests = self._requests()
+        one = Sweeper(spec.build_image(), app_name="cvsd",
+                      config=SweeperConfig(seed=5))
+        two = Sweeper(spec.build_image(), app_name="cvsd",
+                      config=SweeperConfig(seed=5))
+        out_one, out_two = [], []
+        for data in requests:
+            out_one.append(one.submit(data))
+            two.schedule(data)
+            out_two.append(two.advance())
+        assert out_one == out_two
+        assert len(one.attacks) == len(two.attacks) == 1
+        assert [(e.virtual_time, e.kind) for e in one.events] == \
+            [(e.virtual_time, e.kind) for e in two.events]
+
+    def test_batched_schedule_serves_in_arrival_order(self):
+        spec = EXPLOITS["CVS"]
+        sweeper = Sweeper(spec.build_image(), app_name="cvsd",
+                          config=SweeperConfig(seed=5))
+        for data in (b"Entry main.c\n", b"noop\n", b"Directory /src\n"):
+            sweeper.schedule(data)
+        assert len(sweeper.proxy.log) == 3        # logged at arrival...
+        assert not sweeper.proxy.delivered        # ...but not yet served
+        responses = sweeper.advance()
+        assert len(sweeper.proxy.delivered) == 3
+        assert sweeper.proxy.delivered == [0, 1, 2]
+        assert responses
+        assert sweeper.advance() == []            # inbox drained
+
+    def test_filtered_requests_counted_at_serve_time(self):
+        spec, requests = self._requests()
+        sweeper = Sweeper(spec.build_image(), app_name="cvsd",
+                          config=SweeperConfig(seed=5))
+        for data in requests:
+            sweeper.submit(data)
+        filtered_before = sweeper.proxy.filtered_count
+        sweeper.submit(spec.payload())            # exact signature match
+        assert sweeper.proxy.filtered_count == filtered_before + 1
+
+
+class TestEventLogReproducibility:
+    """Satellite: wall time lives in its own field, so the
+    (virtual_time, kind, detail) log replays identically per seed."""
+
+    _GENERATED_IDS = re.compile(r"(sig-(exact|token)|vsef|ab)-\d+")
+
+    def _attack_events(self):
+        spec = EXPLOITS["Squid"]
+        sweeper = Sweeper(spec.build_image(), app_name=spec.app,
+                          config=SweeperConfig(seed=5))
+        for request in benign_requests(spec.app, 3):
+            sweeper.submit(request)
+        sweeper.submit(spec.payload())
+        return sweeper.events
+
+    def test_wall_time_out_of_detail(self):
+        events = self._attack_events()
+        recovered = [e for e in events if e.kind == "recovered"]
+        assert recovered
+        assert recovered[0].wall_seconds is not None
+        assert recovered[0].wall_seconds > 0
+        for event in events:
+            assert "wall" not in event.detail
+
+    def test_log_reproducible_across_runs(self):
+        """Two same-seed runs produce identical logs (module-global
+        antibody/signature counters are normalized out — they are
+        deterministic across fresh processes, not within one)."""
+        def normalized(events):
+            return [(e.virtual_time, e.kind,
+                     self._GENERATED_IDS.sub("<id>", e.detail))
+                    for e in events]
+
+        assert normalized(self._attack_events()) == \
+            normalized(self._attack_events())
+
+
+class TestFleet:
+    def test_acceptance_shape(self, small_fleet):
+        result = small_fleet
+        assert result.population == 6
+        assert result.producers == 1
+        assert result.total_nodes == 6
+        assert result.t0 is not None
+        assert result.bundles_published >= 1
+        # γ = γ₁ + γ₂: availability strictly after t0 by at least γ₂.
+        assert result.gamma_measured > SMALL.gamma2
+        assert result.gamma1_first_vsef is not None
+        assert 1 <= result.infected_final < result.population
+
+    def test_matches_gillespie_exactly(self, small_fleet):
+        """The executed fleet realizes the same trajectory as the
+        matched-seed Gillespie run with the measured γ plugged in."""
+        g = small_fleet.gillespie
+        assert g is not None
+        assert small_fleet.t0 == g["t0"]
+        assert small_fleet.infected_final == g["final_infected"]
+
+    def test_epidemic_freezes_at_availability(self, small_fleet):
+        """No executed infection lands after antibodies are reachable:
+        community immunity is enforced by real VSEFs, not bookkeeping."""
+        for node in small_fleet.nodes:
+            if node["infected"]:
+                assert node["infected_at"] <= small_fleet.availability
+
+    def test_consumers_apply_foreign_antibodies(self, small_fleet):
+        immune = [n for n in small_fleet.nodes
+                  if n["role"] == "consumer" and n["immune_at"] is not None]
+        assert immune
+        for node in immune:
+            assert node["antibodies"] >= 1
+            assert node["attacks_analyzed"] == 0   # consumers never analyze
+
+    def test_deterministic_from_seed(self):
+        def run():
+            data = run_fleet(SMALL).to_dict()
+            data.pop("wall_seconds")
+            data.pop("aggregate_insns_per_second")
+            return data
+
+        assert run() == run()
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            run_fleet(FleetConfig(rho=0.5))
+        with pytest.raises(ReproError):
+            run_fleet(FleetConfig(producers=0))
+        with pytest.raises(ReproError):
+            run_fleet(FleetConfig(worm_exploit="CVS"))
+        # App-consistent but merely-crashing exploits cannot play the
+        # worm: they never own a host, only fault it.
+        with pytest.raises(ReproError):
+            run_fleet(FleetConfig(vulnerable_app="cvsd",
+                                  worm_exploit="CVS"))
