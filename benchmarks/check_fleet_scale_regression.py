@@ -1,0 +1,35 @@
+"""Fail CI when the scale fleet drifts from its recorded trajectory.
+
+Compares the fresh ``benchmarks/results/BENCH_fleet_scale.json``
+(written by ``bench_fleet_scale.py``) against the tracked baseline
+``benchmarks/BENCH_fleet_scale.json`` with the same field-level walk
+and drift report as ``check_fleet_regression.py``.  Everything gated is
+seed-deterministic virtual-time trajectory data — t₀, γ, infection and
+contact counts, materialization and golden-fork tallies, the α-sweep
+points.  Wall-clock fields and the ``memory`` byte accounting are
+excluded (the bench itself asserts memory sub-linearity; exact byte
+counts may legitimately move with memory-layout changes).
+
+Usage: ``PYTHONPATH=src python benchmarks/check_fleet_scale_regression.py``
+(after running the bench).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from check_fleet_regression import EXCLUDED, compare
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "BENCH_fleet_scale.json"
+FRESH_PATH = HERE / "results" / "BENCH_fleet_scale.json"
+
+
+def main() -> int:
+    return compare(BASELINE_PATH, FRESH_PATH, "fleet-scale",
+                   excluded=EXCLUDED)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

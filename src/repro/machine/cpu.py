@@ -283,6 +283,19 @@ class CPU:
                 suffix.append((m_pc, m_insn))
             self._install_traces(suffix)
 
+    def adopt_decoded(self, pcs):
+        """Decode (and compile) every pc in ``pcs`` not yet decoded.
+
+        Used when forking a golden boot image: the donor's boot run may
+        have lazily decoded instructions past the linear-sweep horizon
+        (code after padding reached through jumps), and a forked node
+        must start with the identical decoded set so introspection and
+        fast-path selection match an eagerly booted sibling exactly.
+        """
+        for pc in pcs:
+            if pc not in self._decode_cache:
+                self._decode_at(pc)
+
     def _decode_at(self, pc: int) -> Insn:
         """Decode at ``pc``; cache (and compile) read-only instructions."""
         try:

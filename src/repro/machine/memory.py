@@ -106,6 +106,15 @@ class PagedMemory:
         #: keeps epochs unique across rollback/re-patch timelines.
         self._code_epoch = 0
         self._epoch_counter = itertools.count(1)
+        #: The newest snapshot/restore source, and whether the page
+        #: *set* changed behind the dirty bitmap's back (unmap pops
+        #: pages without dirtying).  Together they let a snapshot of a
+        #: clean interval share the previous snapshot's page table
+        #: outright instead of copying it — checkpoints taken while only
+        #: modeled (cycle-charged) work ran cost O(1), and a fleet of
+        #: idle nodes holds one page table per *distinct* state.
+        self._last_snapshot: MemorySnapshot | None = None
+        self._pages_mutated = False
 
     # -- mapping -----------------------------------------------------------
 
@@ -185,6 +194,7 @@ class PagedMemory:
             self._frozen.discard(index)
             self._dirty.discard(index)
             self._page_region.pop(index, None)
+        self._pages_mutated = True
         self._code_epoch = next(self._epoch_counter)
         self._notify_code_changed(region.start, region.end)
         return region
@@ -345,12 +355,29 @@ class PagedMemory:
     # -- snapshots -----------------------------------------------------------
 
     def snapshot(self) -> MemorySnapshot:
-        """Take a copy-on-write snapshot (the Rx shadow process)."""
-        self._frozen = set(self._pages)
-        self._dirty.clear()
-        return MemorySnapshot(pages=dict(self._pages),
-                              regions=list(self._regions),
-                              code_epoch=self._code_epoch)
+        """Take a copy-on-write snapshot (the Rx shadow process).
+
+        Only dirty state costs anything: page *contents* are always
+        shared (first write copies), and when the interval since the
+        previous snapshot wrote nothing — checkpoints during modeled
+        busy-work, repeated snapshots of an idle node — the page
+        *table* is shared with the previous snapshot too, skipping the
+        O(mapped pages) dict copy.
+        """
+        if self._last_snapshot is not None and not self._dirty \
+                and not self._pages_mutated:
+            snap = MemorySnapshot(pages=self._last_snapshot.pages,
+                                  regions=list(self._regions),
+                                  code_epoch=self._code_epoch)
+        else:
+            self._frozen = set(self._pages)
+            self._dirty.clear()
+            snap = MemorySnapshot(pages=dict(self._pages),
+                                  regions=list(self._regions),
+                                  code_epoch=self._code_epoch)
+        self._last_snapshot = snap
+        self._pages_mutated = False
+        return snap
 
     def restore(self, snap: MemorySnapshot):
         """Roll memory back to ``snap`` (near-instant, like a context switch).
@@ -372,9 +399,13 @@ class PagedMemory:
         self._page_region.clear()
         for region in self._regions:
             self._index_region(region)
-        # Restored pages are shared with the snapshot again.
+        # Restored pages are shared with the snapshot again, and the
+        # snapshot's page table is current — an immediately following
+        # clean-interval snapshot may share it.
         self._frozen = set(self._pages)
         self._dirty.clear()
+        self._last_snapshot = snap
+        self._pages_mutated = False
 
     def dirty_page_count(self) -> int:
         """Pages written (COW-copied or created) since the last snapshot

@@ -98,6 +98,10 @@ class Process:
         self.exited = False
         self.pid = 1000 + (seed % 1000)
         self.debug_log: list[bytes] = []
+        #: How many times the guest asked for its pid.  The pid is
+        #: seed-derived, so a boot that reads it cannot donate a shared
+        #: golden image (see :mod:`repro.runtime.golden`).
+        self.getpid_calls = 0
 
         # Message-level I/O.  The runtime proxy swaps these for its own.
         self.input_queue: deque[Message] = deque()
@@ -264,6 +268,7 @@ class Process:
             self.debug_log.append(data)
             result = args[1]
         elif number == SYS_GETPID:
+            self.getpid_calls += 1
             result = self.pid
         else:
             raise VMFault("ILLEGAL_OPCODE", pc=pc,

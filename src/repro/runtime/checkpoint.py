@@ -115,6 +115,28 @@ class CheckpointManager:
             self.checkpoints.pop(0)
         return checkpoint
 
+    def adopt_boot_checkpoint(self, process: Process,
+                              snapshot: ProcessSnapshot,
+                              cost_cycles: int, last_dirty_pages: int,
+                              virtual_time: float | None) -> Checkpoint:
+        """Install a golden-fork boot checkpoint as if :meth:`take` had
+        run on this node's own boot (see :mod:`repro.runtime.golden`).
+
+        ``process`` is the forked process already carrying the golden
+        state; ``snapshot`` shares the golden memory pages.  Accounting
+        (total cost, interval anchor, dirty-page introspection) is set
+        to exactly what an eager boot's first ``take`` would have left.
+        """
+        self.total_cost_cycles += cost_cycles
+        self._last_cow_copies = process.memory.cow_copies
+        self.last_dirty_pages = last_dirty_pages
+        checkpoint = Checkpoint(snapshot=snapshot, seq=next(self._seq),
+                                virtual_time=virtual_time)
+        self.checkpoints.append(checkpoint)
+        self.total_taken += 1
+        self._last_cp_cycles = process.cpu.cycles
+        return checkpoint
+
     def maybe_take(self, process: Process) -> Checkpoint | None:
         if self.due(process):
             return self.take(process)

@@ -18,6 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -30,7 +31,8 @@ from repro.antibody.vsef import VSEF, InstalledVSEF, install_vsef
 from repro.errors import AttackDetected, RecoveryFailed, VMFault
 from repro.isa.assembler import Image, assemble
 from repro.machine.cpu import CPU_HZ
-from repro.machine.layout import ReferenceLayout
+from repro.machine.layout import (AddressSpaceLayout, ReferenceLayout,
+                                  randomized_layout)
 from repro.machine.process import Process
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.clock import VirtualClock
@@ -41,6 +43,23 @@ from repro.runtime.recovery import RecoveryManager, RecoveryResult
 from repro.runtime.sampling import RequestSampler
 
 _RUN_STEP_BUDGET = 50_000_000
+
+
+def boot_layout(config: "SweeperConfig",
+                seed: int | None = None) -> AddressSpaceLayout:
+    """The concrete address-space layout a Sweeper with ``config`` loads.
+
+    Exposed so fleet tooling can name a node's golden-image cache key
+    without materializing the node; must match what ``_new_process``
+    hands to :class:`~repro.machine.process.Process` exactly (a
+    randomized layout draws from ``random.Random(seed)``, as the
+    process loader would).
+    """
+    if seed is None:
+        seed = config.seed
+    if config.randomize_layout:
+        return randomized_layout(random.Random(seed))
+    return ReferenceLayout()
 
 
 @dataclass
@@ -106,13 +125,19 @@ class Sweeper:
     def __init__(self, image: Image | str, app_name: str = "app",
                  config: SweeperConfig | None = None,
                  bus: CommunityBus | None = None,
-                 clock: VirtualClock | None = None):
+                 clock: VirtualClock | None = None,
+                 golden=None):
         if isinstance(image, str):
             image = assemble(image)
         self.image = image
         self.app_name = app_name
         self.config = config or SweeperConfig()
         self.vclock = clock if clock is not None else VirtualClock()
+        #: Optional :class:`~repro.runtime.golden.GoldenImageCache`: the
+        #: first node booted per (image, layout, checkpoint config)
+        #: donates its boot state, later ones fork it copy-on-write.
+        self.golden = golden
+        self.booted_from_golden = False
         self.process = self._new_process(self.config.seed)
         self.proxy = NetworkProxy(clock=self.vclock)
         self.checkpoints = CheckpointManager(
@@ -150,9 +175,8 @@ class Sweeper:
         return self.vclock.now
 
     def _new_process(self, seed: int) -> Process:
-        layout = None if self.config.randomize_layout else ReferenceLayout()
-        return Process(self.image, layout=layout, seed=seed,
-                       name=self.app_name)
+        return Process(self.image, layout=boot_layout(self.config, seed),
+                       seed=seed, name=self.app_name)
 
     def _sync_clock(self):
         delta = self.process.cpu.cycles - self._last_cycles
@@ -173,14 +197,53 @@ class Sweeper:
     # -- normal operation -----------------------------------------------------------
 
     def _boot(self):
-        """Run server initialization up to its first recv."""
+        """Run server initialization up to its first recv.
+
+        With a golden cache attached, the first boot per (image, layout,
+        checkpoint config) runs eagerly and donates its state; every
+        later boot forks that state copy-on-write instead of executing
+        initialization again — bit-identical by construction (see
+        :mod:`repro.runtime.golden`).
+        """
+        key = None
+        boot_start = self.vclock.now
+        if self.golden is not None:
+            key = self.golden.key_for(self.image, self.process.layout,
+                                      self.config.checkpoint_interval_ms,
+                                      self.config.max_checkpoints)
+            image = self.golden.get(key, self.image)
+            if image is not None:
+                self._boot_from_golden(image, boot_start)
+                return
         result = self.process.run(max_steps=_RUN_STEP_BUDGET)
         self._sync_clock()
         if result.reason != "idle":
             raise RecoveryFailed(
                 f"server failed to initialize ({result.reason})")
-        self.checkpoints.take(self.process)
+        checkpoint_virtual = self.vclock.now
+        checkpoint = self.checkpoints.take(self.process)
         self._sync_clock()
+        self._event("boot", "server initialized; first checkpoint taken")
+        if key is not None:
+            self.golden.offer(
+                key, self.image, self.process, checkpoint.snapshot,
+                checkpoint_virtual_delta=checkpoint_virtual - boot_start,
+                boot_clock_delta=self.vclock.now - boot_start,
+                checkpoint_cost_cycles=self.checkpoints.total_cost_cycles,
+                last_dirty_pages=self.checkpoints.last_dirty_pages)
+
+    def _boot_from_golden(self, image, boot_start: float):
+        """Fork a booted sibling's state instead of executing boot."""
+        snapshot = image.fork_into(self.process)
+        self.vclock.advance_to(boot_start + image.checkpoint_virtual_delta)
+        self.checkpoints.adopt_boot_checkpoint(
+            self.process, snapshot,
+            cost_cycles=image.checkpoint_cost_cycles,
+            last_dirty_pages=image.last_dirty_pages,
+            virtual_time=self.vclock.now)
+        self.vclock.advance_to(boot_start + image.boot_clock_delta)
+        self._last_cycles = self.process.cpu.cycles
+        self.booted_from_golden = True
         self._event("boot", "server initialized; first checkpoint taken")
 
     def advance_busy(self, cycles: int):

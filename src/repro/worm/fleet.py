@@ -44,6 +44,25 @@ Only the reactive regime ρ = 1 is executable today: susceptible
 consumers are unrandomized, so every landed contact owns them — the
 Slammer/Fig. 6 setting.  ρ < 1 would randomize consumer layouts and let
 the collision probability emerge from execution; that is an open item.
+
+**Scale.**  Fleets of hundreds of nodes pay three structural costs, all
+fixed here without changing a single popped-event order at any N:
+
+- *Boot and checkpoint memory*: nodes sharing an (image, layout) fork a
+  :class:`~repro.runtime.golden.GoldenImageCache` golden image instead
+  of re-executing initialization, and the forked pages are shared
+  copy-on-write — so N idle consumers hold ~1 copy of the post-boot
+  working set, not N (the CXL-style structural-sharing move).
+- *Lazy materialization*: a node builds its Sweeper stack only on first
+  contact/request; untouched nodes report their (golden-derived) boot
+  state and cost nothing.  Exactness is free because a node's virtual
+  clock is its own — boot advances it identically whenever it runs.
+- *Scheduling*: the single flat event heap becomes a
+  :class:`ShardedEventQueue` — per-shard heaps merged through a
+  head-pointer heap, with batch (heapify) scheduling of the initial
+  benign traffic.  A process-wide push counter keeps the pop order
+  bit-identical to the flat heap's, so determinism never depends on the
+  shard map.
 """
 
 from __future__ import annotations
@@ -63,7 +82,9 @@ from repro.apps.squidp import build_squidp
 from repro.apps.workload import TrafficStream
 from repro.errors import ReproError
 from repro.machine.cpu import CPU_HZ
-from repro.runtime.sweeper import Sweeper, SweeperConfig
+from repro.machine.memory import PAGE_SIZE
+from repro.runtime.golden import GoldenImageCache
+from repro.runtime.sweeper import Sweeper, SweeperConfig, boot_layout
 from repro.worm.simulation import simulate_outbreak
 
 _BUILDERS = {"httpd": build_httpd, "squidp": build_squidp, "cvsd": build_cvsd}
@@ -115,6 +136,9 @@ class FleetConfig:
     post_immunity_slack: float = 6.0
     checkpoint_interval_ms: float = 200.0
     max_contacts: int = 100_000
+    #: Event-queue shards; 0 picks ~√N automatically.  Any value yields
+    #: the identical event order (the queue's push counter is global).
+    scheduler_shards: int = 0
 
     @property
     def total_nodes(self) -> int:
@@ -122,18 +146,93 @@ class FleetConfig:
                                            in self.extra_apps)
 
 
+class ShardedEventQueue:
+    """K per-shard heaps merged through a heap of shard-head pointers.
+
+    ``push``/``pop`` keep each shard's heap small (events for one slice
+    of the fleet), and the top-level heap only tracks one pointer per
+    non-empty shard.  Entries carry a queue-wide monotone sequence
+    number, so the pop order is exactly the flat-heap order ``(t, seq)``
+    regardless of how nodes map to shards.  Head pointers go stale when
+    a push supersedes a shard's head; stale pointers are skipped on pop
+    (sequence numbers are unique, so a match is exact and nothing pops
+    twice).  ``extend`` batch-schedules with one heapify per shard
+    instead of N pushes — how the initial benign traffic is seeded.
+    """
+
+    __slots__ = ("_heaps", "_top", "_seq", "_len")
+
+    def __init__(self, shards: int = 1):
+        self._heaps: list[list[tuple[float, int, int, int]]] = \
+            [[] for _ in range(max(1, shards))]
+        self._top: list[tuple[float, int, int]] = []
+        self._seq = itertools.count()
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def shards(self) -> int:
+        return len(self._heaps)
+
+    def push(self, t: float, kind: int, idx: int):
+        shard = idx % len(self._heaps)
+        heap = self._heaps[shard]
+        entry = (t, next(self._seq), kind, idx)
+        heapq.heappush(heap, entry)
+        self._len += 1
+        if heap[0] is entry:
+            heapq.heappush(self._top, (t, entry[1], shard))
+
+    def extend(self, items):
+        """Batch-schedule ``(t, kind, idx)`` triples (sequence numbers
+        follow iteration order, matching one-by-one pushes)."""
+        for t, kind, idx in items:
+            self._heaps[idx % len(self._heaps)].append(
+                (t, next(self._seq), kind, idx))
+            self._len += 1
+        self._top = []
+        for shard, heap in enumerate(self._heaps):
+            heapq.heapify(heap)
+            if heap:
+                self._top.append((heap[0][0], heap[0][1], shard))
+        heapq.heapify(self._top)
+
+    def pop(self) -> tuple[float, int, int] | None:
+        """The globally earliest event as ``(t, kind, idx)``."""
+        while self._top:
+            t, seq, shard = heapq.heappop(self._top)
+            heap = self._heaps[shard]
+            if not heap or heap[0][0] != t or heap[0][1] != seq:
+                continue                      # stale head pointer
+            entry = heapq.heappop(heap)
+            self._len -= 1
+            if heap:
+                heapq.heappush(self._top, (heap[0][0], heap[0][1], shard))
+            return entry[0], entry[2], entry[3]
+        return None
+
+
 @dataclass
 class FleetNode:
-    """One executed node and its epidemic bookkeeping."""
+    """One executed node and its epidemic bookkeeping.
+
+    The Sweeper stack is *lazy*: ``sweeper`` stays ``None`` until the
+    scheduler first delivers an event to this node, at which point the
+    node materializes — forked from a golden boot image when one exists
+    for its (app, layout).  An untouched node is pure bookkeeping.
+    """
 
     index: int
     name: str
     app: str
     role: str                           # "producer" | "consumer"
     vulnerable: bool
-    sweeper: Sweeper
+    config: SweeperConfig
     traffic: TrafficStream
     arrivals: random.Random             # inter-arrival draws (per-node)
+    sweeper: Sweeper | None = None
     infected: bool = False
     infected_at: float | None = None
     immune_at: float | None = None
@@ -157,6 +256,19 @@ class FleetNode:
             "antibodies": len(sweeper.antibodies),
             "requests_filtered": sweeper.proxy.filtered_count,
             "virtual_time": sweeper.clock,
+        }
+
+    def boot_stub_report(self, boot_clock: float) -> dict:
+        """What :meth:`report` would say for a node that booted but was
+        never touched — synthesized so untouched nodes need not boot."""
+        return {
+            "name": self.name, "app": self.app, "role": self.role,
+            "vulnerable": self.vulnerable,
+            "infected": False, "infected_at": None, "immune_at": None,
+            "benign_requests": 0, "benign_responses": 0,
+            "worm_contacts": 0, "attacks_analyzed": 0, "detections": 0,
+            "antibodies": 0, "requests_filtered": 0,
+            "virtual_time": boot_clock,
         }
 
 
@@ -187,6 +299,13 @@ class FleetResult:
     total_guest_cycles: int
     wall_seconds: float
     aggregate_insns_per_second: float
+    #: Scale accounting: how many nodes ever materialized a Sweeper
+    #: stack, and how the golden-image cache served them.
+    nodes_materialized: int = 0
+    golden: dict | None = None          # GoldenImageCache.stats()
+    #: Checkpoint/live page sharing across the fleet (bytes); excluded
+    #: from regression gates, asserted sub-linear by the scale bench.
+    memory: dict | None = None
     nodes: list[dict] = field(default_factory=list)
     gillespie: dict | None = None       # matched-seed simulate_outbreak
     model: dict | None = None           # solve_outbreak (needs scipy)
@@ -231,7 +350,10 @@ class _FleetRun:
         #: Node-identity rng: which concrete node within a drawn bucket.
         self.detail = random.Random((config.seed << 16) ^ 0x5F1EE7)
         self.bus = CommunityBus(dissemination_latency=config.gamma2)
+        self.golden = GoldenImageCache()
+        self.images: dict[str, object] = {}
         self.nodes: list[FleetNode] = []
+        self.materialized = 0
         self._build_nodes()
         self.v_producers = [n for n in self.nodes
                             if n.vulnerable and n.role == "producer"]
@@ -241,8 +363,9 @@ class _FleetRun:
         self.susceptible = list(self.v_consumers)
         self.infected: list[FleetNode] = []
 
-        self.heap: list[tuple[float, int, int, int]] = []
-        self._seq = itertools.count()
+        shards = config.scheduler_shards or \
+            max(1, int(round(config.total_nodes ** 0.5)))
+        self.queue = ShardedEventQueue(shards)
         self.t0: float | None = None
         self.contacts = 0
         self.contacts_to_producers = 0
@@ -268,8 +391,13 @@ class _FleetRun:
             randomize_layout=not (vulnerable and not producer))
 
     def _build_nodes(self):
+        """Build the roster as pure bookkeeping; no node boots here.
+
+        Sweeper stacks materialize on first delivered event (see
+        :meth:`_sweeper`), so a 512-node fleet only ever pays for the
+        nodes the outbreak actually touches.
+        """
         config = self.config
-        images = {}
         roster: list[tuple[str, str, bool]] = []
         for i in range(config.producers):
             roster.append((config.vulnerable_app, "producer", True))
@@ -282,19 +410,16 @@ class _FleetRun:
                 roster.append((app, "consumer", False))
         counters: dict[tuple[str, str], itertools.count] = {}
         for index, (app, role, vulnerable) in enumerate(roster):
-            if app not in images:
-                images[app] = _BUILDERS[app]()
+            if app not in self.images:
+                self.images[app] = _BUILDERS[app]()
             ordinal = next(counters.setdefault((app, role),
                                                itertools.count(1)))
             node = FleetNode(
                 index=index,
                 name=f"{app}-{role[0]}{ordinal}",
                 app=app, role=role, vulnerable=vulnerable,
-                sweeper=Sweeper(
-                    images[app], app_name=app,
-                    config=self._node_config(role, vulnerable,
-                                             seed=config.seed * 31 + index),
-                    bus=self.bus if role == "producer" else None),
+                config=self._node_config(role, vulnerable,
+                                         seed=config.seed * 31 + index),
                 traffic=TrafficStream(
                     app, seed=config.seed * 9_000_007 + index),
                 arrivals=random.Random(config.seed * 1_000_003
@@ -302,10 +427,27 @@ class _FleetRun:
             self.bus.subscribe(node.name)
             self.nodes.append(node)
 
+    def _sweeper(self, node: FleetNode) -> Sweeper:
+        """The node's Sweeper stack, materializing it on first use.
+
+        Materialization order cannot perturb the trajectory: boot state
+        is deterministic per (image, layout, seed) — golden-forked or
+        eager — and each node's virtual clock is its own, advanced by
+        boot identically whenever boot happens.
+        """
+        if node.sweeper is None:
+            node.sweeper = Sweeper(
+                self.images[node.app], app_name=node.app,
+                config=node.config,
+                bus=self.bus if node.role == "producer" else None,
+                golden=self.golden)
+            self.materialized += 1
+        return node.sweeper
+
     # -- scheduling ---------------------------------------------------------
 
     def _push(self, t: float, kind: int, idx: int):
-        heapq.heappush(self.heap, (t, next(self._seq), kind, idx))
+        self.queue.push(t, kind, idx)
 
     def _cutoff(self) -> float:
         avail = self.bus.first_available_time(self.config.vulnerable_app)
@@ -316,25 +458,26 @@ class _FleetRun:
 
     # -- delivery -----------------------------------------------------------
 
-    def _apply_bus(self, node: FleetNode, t: float):
+    def _apply_bus(self, node: FleetNode, sweeper: Sweeper, t: float):
         """Antibodies available by ``t`` apply before the node serves its
         next event — the consumer's poll-on-wake discipline."""
         for bundle in self.bus.poll(node.name, t):
             if bundle.app != node.app:
                 continue
-            applied = node.sweeper.apply_foreign_vsefs(bundle.vsefs)
+            applied = sweeper.apply_foreign_vsefs(bundle.vsefs)
             for signature in bundle.signatures:
-                node.sweeper.proxy.signatures.add(signature)
+                sweeper.proxy.signatures.add(signature)
             if (applied or bundle.signatures) and node.immune_at is None:
                 node.immune_at = t
 
     def _deliver(self, node: FleetNode, data: bytes, t: float) -> list[bytes]:
-        self._apply_bus(node, t)
-        node.sweeper.vclock.advance_to(t)
+        sweeper = self._sweeper(node)
+        self._apply_bus(node, sweeper, t)
+        sweeper.vclock.advance_to(t)
         # The steppable split: arrival is logged (and filtered) at the
         # event time, then the node advances through its inbox.
-        node.sweeper.schedule(data)
-        return node.sweeper.advance()
+        sweeper.schedule(data)
+        return sweeper.advance()
 
     def _deliver_contact(self, node: FleetNode, payload: bytes,
                          t: float) -> bool:
@@ -411,9 +554,10 @@ class _FleetRun:
         wall_start = time.perf_counter()
 
         if config.benign_rate > 0:
-            for node in self.nodes:
-                self._push(node.arrivals.expovariate(config.benign_rate),
-                           _KIND_BENIGN, node.index)
+            # Batch-scheduled: one heapify per shard, not N heap pushes.
+            self.queue.extend(
+                (node.arrivals.expovariate(config.benign_rate),
+                 _KIND_BENIGN, node.index) for node in self.nodes)
 
         # Patient zero (t = 0): an external attacker owns one consumer —
         # the model's single initially-infected host.
@@ -429,8 +573,11 @@ class _FleetRun:
         if gap <= self._cutoff():
             self._push(gap, _KIND_CONTACT, -1)
 
-        while self.heap:
-            t, _, kind, idx = heapq.heappop(self.heap)
+        while True:
+            event = self.queue.pop()
+            if event is None:
+                break
+            t, kind, idx = event
             if t > self._cutoff():
                 break
             if kind == _KIND_BENIGN:
@@ -442,6 +589,58 @@ class _FleetRun:
 
     # -- results ------------------------------------------------------------
 
+    def _boot_clock_for(self, node: FleetNode) -> tuple[float, int] | None:
+        """(virtual clock, guest cycles) an untouched ``node`` would show
+        after boot.
+
+        Boot statistics are layout-independent, so *any* golden image of
+        the node's app under the same checkpoint config serves — an
+        untouched randomized-layout producer reads its numbers off the
+        consumer image instead of booting."""
+        golden = self.golden.boot_stats(
+            self.images[node.app], node.config.checkpoint_interval_ms,
+            node.config.max_checkpoints)
+        if golden is None:
+            return None
+        return golden.boot_clock_delta, golden.boot_cycles
+
+    def _node_report(self, node: FleetNode) -> tuple[dict, int]:
+        """(report dict, guest cycles) — synthesizing the boot stub for
+        untouched nodes once any sibling image exists, materializing
+        (boot state only, identical to eager) at most once per app."""
+        if node.sweeper is None:
+            boot = self._boot_clock_for(node)
+            if boot is not None:
+                return node.boot_stub_report(boot[0]), boot[1]
+            self._sweeper(node)
+        return node.report(), node.sweeper.process.cpu.cycles
+
+    def _memory_stats(self) -> dict:
+        """Fleet-wide page sharing: bytes held per node summed (what N
+        private copies would cost) vs bytes held once across the fleet
+        (what COW golden forking actually costs)."""
+        fleet_pages: set[int] = set()
+        per_node_sum = 0
+        for node in self.nodes:
+            if node.sweeper is None:
+                continue
+            sweeper = node.sweeper
+            node_pages: set[int] = set()
+            page_maps = [sweeper.process.memory._pages]
+            page_maps += [c.snapshot.memory.pages
+                          for c in sweeper.checkpoints.checkpoints]
+            for pages in page_maps:
+                for page in pages.values():
+                    node_pages.add(id(page))
+            per_node_sum += len(node_pages)
+            fleet_pages |= node_pages
+        return {
+            "page_bytes_unique": len(fleet_pages) * PAGE_SIZE,
+            "page_bytes_per_node_sum": per_node_sum * PAGE_SIZE,
+            "sharing_factor": (per_node_sum / len(fleet_pages)
+                               if fleet_pages else 1.0),
+        }
+
     def _result(self, wall_seconds: float) -> FleetResult:
         config = self.config
         availability = self.bus.first_available_time(config.vulnerable_app)
@@ -450,12 +649,23 @@ class _FleetRun:
                  else None)
         gamma1 = None
         for node in self.v_producers:
-            if node.sweeper.attacks:
+            if node.sweeper is not None and node.sweeper.attacks:
                 record = node.sweeper.attacks[0]
                 if record.first_vsef_at is not None:
                     gamma1 = record.first_vsef_at - record.detected_at
                 break
-        total_cycles = sum(n.sweeper.process.cpu.cycles for n in self.nodes)
+        # Accounting snapshots *before* report synthesis, which may
+        # materialize golden-less untouched nodes just to read their
+        # boot state.
+        memory = self._memory_stats()
+        materialized = self.materialized
+        golden_stats = self.golden.stats()
+        reports = []
+        total_cycles = 0
+        for node in self.nodes:
+            report, cycles = self._node_report(node)
+            reports.append(report)
+            total_cycles += cycles
         infected_final = len(self.infected)
         result = FleetResult(
             population=self.population,
@@ -478,7 +688,10 @@ class _FleetRun:
             wall_seconds=wall_seconds,
             aggregate_insns_per_second=total_cycles / wall_seconds
             if wall_seconds > 0 else 0.0,
-            nodes=[node.report() for node in self.nodes])
+            nodes_materialized=materialized,
+            golden=golden_stats,
+            memory=memory,
+            nodes=reports)
         self._cross_validate(result)
         return result
 

@@ -1,6 +1,9 @@
 """Unit tests for antibody distribution and sandboxed verification."""
 
+import pytest
+
 from repro.antibody.distribution import AntibodyBundle, CommunityBus
+from repro.errors import ReproError
 from repro.antibody.signatures import generate_exact
 from repro.antibody.verify import verify_antibody
 from repro.antibody.vsef import VSEF, CodeLoc
@@ -134,6 +137,78 @@ class TestCommunityBusCursors:
         assert len(consumer.antibodies) == 1
 
 
+class TestBusIndex:
+    """The availability-sorted index and per-subscriber pending heaps
+    must preserve the cursor bus's exactly-once, deterministic-order
+    contract at any backlog size."""
+
+    def test_late_subscriber_after_1k_publishes_sees_all_exactly_once(self):
+        """Satellite: a subscriber that joins after 1000 publishes must
+        still see every bundle exactly once, in (available_at, seq)
+        order — draining in chunks as its clock advances."""
+        bus = CommunityBus(dissemination_latency=2.0)
+        rng_times = [((i * 7919) % 1000) / 10.0 for i in range(1000)]
+        bundles = [bus.publish(AntibodyBundle(app="httpd", produced_at=t))
+                   for t in rng_times]
+        assert len(bus.published) == 1000
+        bus.subscribe("latecomer")
+        assert bus.subscriber_backlog("latecomer") == 1000
+        seen = []
+        for now in (10.0, 25.0, 25.0, 60.0, 102.0):
+            seen.extend(bus.poll("latecomer", now))
+        assert len(seen) == 1000
+        assert len({id(b) for b in seen}) == 1000          # exactly once
+        expected = sorted(
+            range(1000),
+            key=lambda i: (rng_times[i] + 2.0, i))
+        assert seen == [bundles[i] for i in expected]
+        assert bus.subscriber_backlog("latecomer") == 0    # compacted
+        assert bus.poll("latecomer", 200.0) == []
+
+    def test_available_matches_bruteforce_after_interleaved_publishes(self):
+        bus = CommunityBus(dissemination_latency=1.0)
+        times = [5.0, 0.5, 3.25, 0.5, 9.0, 2.0]
+        bundles = [bus.publish(AntibodyBundle(app="a", produced_at=t))
+                   for t in times]
+        for now in (0.0, 1.5, 3.0, 4.25, 6.0, 100.0):
+            expected = [b for _, _, b in sorted(
+                (t + 1.0, i, b)
+                for i, (t, b) in enumerate(zip(times, bundles))
+                if t + 1.0 <= now)]
+            assert bus.available(now) == expected
+
+    def test_first_available_time_tracks_running_minimum(self):
+        bus = CommunityBus(dissemination_latency=1.0)
+        assert bus.first_available_time() is None
+        bus.publish(AntibodyBundle(app="a", produced_at=5.0))
+        assert bus.first_available_time() == 6.0
+        bus.publish(AntibodyBundle(app="b", produced_at=0.5))
+        assert bus.first_available_time() == 1.5
+        assert bus.first_available_time("a") == 6.0
+        assert bus.first_available_time("b") == 1.5
+        assert bus.first_available_time("c") is None
+
+    def test_non_monotone_poll_raises(self):
+        """Satellite: a subscriber polling with a clock earlier than its
+        previous poll would observe an order inconsistent with
+        ``available()`` — the bus refuses instead."""
+        bus = CommunityBus(dissemination_latency=0.0)
+        bus.publish(AntibodyBundle(app="a", produced_at=1.0))
+        bus.poll("c1", now=5.0)
+        with pytest.raises(ReproError, match="monotone"):
+            bus.poll("c1", now=4.0)
+        assert bus.poll("c1", now=5.0) == []      # equal time is fine
+        # Other subscribers keep their own high-water marks.
+        bus.poll("c2", now=1.0)
+
+    def test_publish_fans_out_to_existing_subscribers(self):
+        bus = CommunityBus(dissemination_latency=0.0)
+        bus.subscribe("early")
+        a = bus.publish(AntibodyBundle(app="x", produced_at=1.0))
+        assert bus.subscriber_backlog("early") == 1
+        assert bus.poll("early", now=2.0) == [a]
+
+
 class TestVerification:
     def test_vsef_bundle_verifies_against_exploit(self):
         bundle = AntibodyBundle(
@@ -219,3 +294,15 @@ class TestWireFormat:
         revived = AntibodyBundle.from_dict(original.to_dict())
         assert revived.exploit_input is None
         assert revived.vsefs == []
+
+    def test_unpublished_bundle_round_trips_without_bundle_id(self):
+        """Satellite: a bundle serialized before it was ever published
+        may lack the ``bundle_id`` key entirely on the wire (older
+        producers never emitted it); from_dict must not KeyError, and a
+        later publish assigns a fresh id."""
+        wire = AntibodyBundle(app="httpd", stage="initial").to_dict()
+        del wire["bundle_id"]
+        revived = AntibodyBundle.from_dict(wire)
+        assert revived.bundle_id == ""
+        bus = CommunityBus()
+        assert bus.publish(revived).bundle_id == "ab-1"

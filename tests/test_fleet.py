@@ -4,6 +4,9 @@ Gillespie process it mirrors."""
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import random
 import re
 
 import pytest
@@ -13,7 +16,7 @@ from repro.apps.workload import benign_requests
 from repro.errors import ReproError
 from repro.runtime.clock import VirtualClock
 from repro.runtime.sweeper import Sweeper, SweeperConfig
-from repro.worm.fleet import FleetConfig, run_fleet
+from repro.worm.fleet import FleetConfig, ShardedEventQueue, run_fleet
 
 #: Small-but-real fleet: 6 vulnerable httpd nodes (1 producer), no
 #: extra apps — fast enough for tier-1 while still executing the whole
@@ -145,6 +148,118 @@ class TestEventLogReproducibility:
 
         assert normalized(self._attack_events()) == \
             normalized(self._attack_events())
+
+
+class TestShardedEventQueue:
+    def _drive(self, shards: int, seed: int) -> list[tuple]:
+        """Interleave pushes and pops; mirror against one flat heap."""
+        rng = random.Random(seed)
+        queue = ShardedEventQueue(shards)
+        flat: list[tuple] = []
+        seq = itertools.count()
+        popped = []
+        for step in range(400):
+            if rng.random() < 0.6 or not flat:
+                t = round(rng.uniform(0, 50), 3)
+                kind = rng.randrange(2)
+                idx = rng.randrange(-1, 37)
+                queue.push(t, kind, idx)
+                heapq.heappush(flat, (t, next(seq), kind, idx))
+            else:
+                got = queue.pop()
+                t, fseq, kind, idx = heapq.heappop(flat)
+                assert got == (t, kind, idx)
+                popped.append(got)
+            assert len(queue) == len(flat)
+        while flat:
+            t, fseq, kind, idx = heapq.heappop(flat)
+            assert queue.pop() == (t, kind, idx)
+            popped.append((t, kind, idx))
+        assert queue.pop() is None
+        assert len(queue) == 0
+        return popped
+
+    @pytest.mark.parametrize("shards", [1, 3, 8, 64])
+    def test_identical_to_flat_heap(self, shards):
+        for seed in (0, 1, 2):
+            self._drive(shards, seed)
+
+    def test_shard_count_does_not_change_order(self):
+        runs = [self._drive(shards, seed=9) for shards in (1, 5, 16)]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_batch_extend_matches_sequential_pushes(self):
+        items = [(float(t), 0, i) for i, t in
+                 enumerate([5, 1, 3, 3, 2, 8, 0])]
+        batched = ShardedEventQueue(3)
+        batched.extend(items)
+        pushed = ShardedEventQueue(3)
+        for t, kind, idx in items:
+            pushed.push(t, kind, idx)
+        out_b = [batched.pop() for _ in range(len(items))]
+        out_p = [pushed.pop() for _ in range(len(items))]
+        assert out_b == out_p
+        # Simultaneous events drain in scheduling order (seq ties).
+        assert out_b[3:5] == [(3.0, 0, 2), (3.0, 0, 3)]
+
+
+class TestFleetAtScale:
+    """Lazy materialization + golden forking, exercised at tier-1 size."""
+
+    #: Contained outbreak with sparse benign traffic: immunity freezes
+    #: the epidemic while many consumers are still untouched.
+    LAZY = FleetConfig(seed=7, vulnerable_nodes=48, producers=6,
+                       extra_apps=(), beta=0.4, benign_rate=0.01,
+                       horizon=300.0, post_immunity_slack=4.0)
+
+    @pytest.fixture(scope="class")
+    def lazy_fleet(self):
+        return run_fleet(self.LAZY)
+
+    def test_untouched_nodes_never_materialize(self, lazy_fleet):
+        assert lazy_fleet.nodes_materialized < lazy_fleet.total_nodes
+        assert len(lazy_fleet.nodes) == lazy_fleet.total_nodes
+        untouched = [n for n in lazy_fleet.nodes
+                     if n["benign_requests"] == 0
+                     and n["worm_contacts"] == 0 and not n["infected"]]
+        assert untouched
+        for node in untouched:
+            assert node["virtual_time"] > 0        # boot-stub timeline
+            assert node["antibodies"] == 0
+
+    def test_consumers_fork_golden_images(self, lazy_fleet):
+        golden = lazy_fleet.golden
+        assert golden["forks"] >= 1
+        # One httpd consumer image + producer layouts at most.
+        assert golden["images"] <= self.LAZY.producers + 1
+
+    def test_checkpoint_pages_shared_across_nodes(self, lazy_fleet):
+        memory = lazy_fleet.memory
+        assert memory["page_bytes_unique"] < \
+            memory["page_bytes_per_node_sum"]
+        assert memory["sharing_factor"] > 1.5
+
+    def test_scheduler_shards_do_not_change_the_trajectory(self):
+        """The tentpole determinism claim at fleet level: any shard
+        count realizes the identical executed trajectory."""
+        def run(shards):
+            config = FleetConfig(
+                seed=2, vulnerable_nodes=6, producers=1, extra_apps=(),
+                beta=1.0, benign_rate=0.3, horizon=40.0,
+                scheduler_shards=shards)
+            data = run_fleet(config).to_dict()
+            data.pop("wall_seconds")
+            data.pop("aggregate_insns_per_second")
+            return data
+
+        assert run(1) == run(4) == run(13)
+
+    def test_gillespie_match_holds_with_lazy_boot(self, lazy_fleet):
+        gillespie = lazy_fleet.gillespie
+        assert gillespie is not None
+        assert lazy_fleet.t0 == gillespie["t0"]
+        assert lazy_fleet.infected_final == gillespie["final_infected"]
+        assert lazy_fleet.contacts_blocked >= 1
 
 
 class TestFleet:

@@ -1,0 +1,182 @@
+"""Golden boot images: forked nodes must be bit-identical to eagerly
+booted ones, pages must be shared copy-on-write, and boots that consume
+entropy must refuse to donate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.exploits import EXPLOITS
+from repro.apps.httpd import build_httpd
+from repro.apps.workload import benign_requests
+from repro.runtime.golden import GoldenImageCache
+from repro.runtime.sweeper import Sweeper, SweeperConfig, boot_layout
+
+
+def _config(seed: int, randomize: bool = False) -> SweeperConfig:
+    return SweeperConfig(seed=seed, randomize_layout=randomize,
+                         enable_membug=False, enable_taint=False,
+                         enable_slicing=False, publish_antibodies=False)
+
+
+@pytest.fixture(scope="module")
+def httpd_image():
+    return build_httpd()
+
+
+class TestForkEqualsEager:
+    def test_boot_state_identical(self, httpd_image):
+        cache = GoldenImageCache()
+        donor = Sweeper(httpd_image, app_name="httpd", config=_config(1),
+                        golden=cache)
+        fork = Sweeper(httpd_image, app_name="httpd", config=_config(7),
+                       golden=cache)
+        eager = Sweeper(httpd_image, app_name="httpd", config=_config(7))
+        assert not donor.booted_from_golden
+        assert fork.booted_from_golden
+        assert fork.process.cpu.snapshot_state() == \
+            eager.process.cpu.snapshot_state()
+        assert fork.process.rng.getstate() == eager.process.rng.getstate()
+        assert fork.process.pid == eager.process.pid
+        assert fork.clock == eager.clock
+        assert fork.process.syscall_log.records == \
+            eager.process.syscall_log.records
+        assert fork.stats() == eager.stats()
+        # The boot checkpoint is reconstructed, not skipped.
+        assert fork.checkpoints.total_taken == eager.checkpoints.total_taken
+        assert [c.seq for c in fork.checkpoints.checkpoints] == \
+            [c.seq for c in eager.checkpoints.checkpoints]
+        assert fork.checkpoints.checkpoints[0].virtual_time == \
+            eager.checkpoints.checkpoints[0].virtual_time
+
+    def test_behaviour_identical_through_attack(self, httpd_image):
+        """Responses, events and stats agree across benign traffic, an
+        owning exploit, analysis and rollback recovery — all of which
+        run over golden-shared pages in the fork."""
+        cache = GoldenImageCache()
+        Sweeper(httpd_image, app_name="httpd", config=_config(1),
+                golden=cache)
+        fork = Sweeper(httpd_image, app_name="httpd", config=_config(7),
+                       golden=cache)
+        eager = Sweeper(httpd_image, app_name="httpd", config=_config(7))
+        requests = benign_requests("httpd", 6, seed=3) \
+            + [EXPLOITS["Apache1"].payload()] \
+            + benign_requests("httpd", 6, seed=4)
+        assert [fork.submit(r) for r in requests] == \
+            [eager.submit(r) for r in requests]
+        assert [(e.virtual_time, e.kind, e.detail) for e in fork.events] \
+            == [(e.virtual_time, e.kind, e.detail) for e in eager.events]
+        assert fork.stats() == eager.stats()
+
+    def test_pages_shared_until_written(self, httpd_image):
+        cache = GoldenImageCache()
+        donor = Sweeper(httpd_image, app_name="httpd", config=_config(1),
+                        golden=cache)
+        fork = Sweeper(httpd_image, app_name="httpd", config=_config(7),
+                       golden=cache)
+        donor_pages = donor.process.memory._pages
+        fork_pages = fork.process.memory._pages
+        assert fork_pages.keys() == donor_pages.keys()
+        assert all(fork_pages[i] is donor_pages[i] for i in fork_pages)
+        # A write COW-copies in the fork and leaves the donor intact.
+        before = {i: bytes(p) for i, p in donor_pages.items()}
+        for request in benign_requests("httpd", 3, seed=5):
+            fork.submit(request)
+        assert fork.process.memory.cow_copies > 0
+        assert any(fork_pages[i] is not donor_pages[i] for i in fork_pages)
+        assert {i: bytes(p) for i, p in donor_pages.items()} == before
+
+    def test_fork_serves_distinct_seeded_randomness(self, httpd_image):
+        """Forked nodes keep their own seed-derived identity."""
+        cache = GoldenImageCache()
+        Sweeper(httpd_image, app_name="httpd", config=_config(1),
+                golden=cache)
+        a = Sweeper(httpd_image, app_name="httpd", config=_config(7),
+                    golden=cache)
+        b = Sweeper(httpd_image, app_name="httpd", config=_config(8),
+                    golden=cache)
+        assert a.process.pid != b.process.pid
+        assert a.process.rng.getstate() != b.process.rng.getstate()
+
+
+class TestCacheKeying:
+    def test_randomized_layouts_do_not_collide(self, httpd_image):
+        """Producers with distinct randomized layouts boot eagerly; only
+        true (image, layout) twins fork."""
+        cache = GoldenImageCache()
+        a = Sweeper(httpd_image, app_name="httpd",
+                    config=_config(1, randomize=True), golden=cache)
+        b = Sweeper(httpd_image, app_name="httpd",
+                    config=_config(2, randomize=True), golden=cache)
+        assert not a.booted_from_golden
+        assert not b.booted_from_golden
+        assert len(cache) == 2
+        # Same config seed -> same layout -> fork.
+        twin = Sweeper(httpd_image, app_name="httpd",
+                       config=_config(1, randomize=True), golden=cache)
+        assert twin.booted_from_golden
+
+    def test_boot_layout_matches_process(self, httpd_image):
+        for config in (_config(3), _config(3, randomize=True)):
+            sweeper = Sweeper(httpd_image, app_name="httpd", config=config)
+            expected = boot_layout(config)
+            assert sweeper.process.layout.describe() == expected.describe()
+
+    def test_checkpoint_config_is_part_of_the_key(self, httpd_image):
+        cache = GoldenImageCache()
+        Sweeper(httpd_image, app_name="httpd", config=_config(1),
+                golden=cache)
+        other = SweeperConfig(seed=9, randomize_layout=False,
+                              checkpoint_interval_ms=30.0,
+                              enable_membug=False, enable_taint=False,
+                              enable_slicing=False,
+                              publish_antibodies=False)
+        second = Sweeper(httpd_image, app_name="httpd", config=other,
+                         golden=cache)
+        assert not second.booted_from_golden
+        assert len(cache) == 2
+
+
+class TestEligibility:
+    RAND_BOOT = """
+.text
+main:
+    sys rand                ; seed-dependent value baked into memory
+    mov r1, seedcell
+    st [r1], r0
+serve:
+    mov r0, reqbuf
+    mov r1, 64
+    sys recv
+    mov r0, ok_str
+    mov r1, 2
+    sys send
+    jmp serve
+.data
+seedcell: .word 0
+ok_str:   .asciiz "ok"
+reqbuf:   .space 64
+"""
+
+    def test_entropy_consuming_boot_refuses_to_donate(self):
+        """A boot that draws ``rand`` writes seed-dependent bytes into
+        memory; its golden image must refuse forks and every node must
+        boot eagerly."""
+        cache = GoldenImageCache()
+        first = Sweeper(self.RAND_BOOT, app_name="randboot",
+                        config=_config(1), golden=cache)
+        image = first.image
+        golden = cache.peek(cache.key_for(
+            image, first.process.layout,
+            first.config.checkpoint_interval_ms,
+            first.config.max_checkpoints))
+        assert golden is not None
+        assert golden.rand_draws == 1
+        assert not golden.forkable
+        second = Sweeper(image, app_name="randboot", config=_config(2),
+                         golden=cache)
+        assert not second.booted_from_golden
+        # And the eager boots genuinely differ in memory.
+        cell = second.process.symbols["seedcell"]
+        assert first.process.memory.read_word(cell) != \
+            second.process.memory.read_word(cell)

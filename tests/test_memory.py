@@ -288,3 +288,58 @@ class TestUnmapRegion:
         memory = make_memory()
         with pytest.raises(ReproError):
             memory.unmap_region("nope")
+
+
+class TestCleanIntervalSnapshotReuse:
+    """A snapshot of an interval that wrote nothing shares the previous
+    snapshot's page table (only dirty state costs anything)."""
+
+    def test_clean_snapshot_shares_page_table(self):
+        memory = make_memory()
+        memory.write(BASE, b"state")
+        first = memory.snapshot()
+        second = memory.snapshot()          # nothing written in between
+        assert second is not first
+        assert second.pages is first.pages
+        assert second.page_count == first.page_count
+
+    def test_write_forces_a_fresh_page_table(self):
+        memory = make_memory()
+        memory.write(BASE, b"state")
+        first = memory.snapshot()
+        memory.write(BASE, b"newer")        # COW-copies the page
+        second = memory.snapshot()
+        assert second.pages is not first.pages
+        assert first.pages != second.pages
+        assert memory.snapshot().pages is second.pages
+
+    def test_unmap_invalidates_reuse(self):
+        memory = make_memory()
+        memory.map_region("side", BASE + 8 * PAGE_SIZE, PAGE_SIZE)
+        memory.write(BASE + 8 * PAGE_SIZE, b"gone soon")
+        first = memory.snapshot()
+        memory.unmap_region("side")         # pops pages without dirtying
+        second = memory.snapshot()
+        assert second.pages is not first.pages
+        assert second.page_count == first.page_count - 1
+
+    def test_restore_rearms_reuse_against_the_restored_snapshot(self):
+        memory = make_memory()
+        memory.write(BASE, b"base")
+        snap = memory.snapshot()
+        memory.write(BASE, b"diverged")
+        memory.restore(snap)
+        assert memory.snapshot().pages is snap.pages
+        assert memory.read(BASE, 4) == b"base"
+
+    def test_shared_table_snapshots_restore_identically(self):
+        memory = make_memory()
+        memory.write(BASE, b"payload")
+        first = memory.snapshot()
+        second = memory.snapshot()
+        memory.write(BASE, b"clobber")
+        memory.restore(second)
+        assert memory.read(BASE, 7) == b"payload"
+        memory.write(BASE, b"again")
+        memory.restore(first)
+        assert memory.read(BASE, 7) == b"payload"
