@@ -1,0 +1,86 @@
+"""Fail CI when the emergent-ρ measurement drifts from its record.
+
+Compares the fresh ``benchmarks/results/BENCH_rho.json`` (written by
+``bench_rho.py``) against the *tracked* baseline
+``benchmarks/BENCH_rho.json``.  Every quantity in the record is
+seed-deterministic — per-seed executed trajectories, per-cohort
+trial/hit tallies, the reweighted estimator, the matched-ρ Gillespie
+realizations — so any drift means a layer of the ρ pipeline changed
+behaviour: a layout draw moved, a collision outcome flipped, the
+estimator's arithmetic changed, a sandbox verification altered the
+delivery path's virtual-time bookkeeping.
+
+Wall-clock fields are machine-dependent and excluded.
+
+Usage: ``PYTHONPATH=src python benchmarks/check_rho_regression.py``
+(after running the bench).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "BENCH_rho.json"
+FRESH_PATH = HERE / "results" / "BENCH_rho.json"
+
+EXCLUDED = {"wall_seconds"}
+
+REL_TOL = 1e-9
+
+
+def walk(base, fresh, path, failures):
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in sorted(set(base) | set(fresh)):
+            if key in EXCLUDED:
+                continue
+            if key not in base or key not in fresh:
+                failures.append(f"{path}.{key}: present in only one side")
+                continue
+            walk(base[key], fresh[key], f"{path}.{key}", failures)
+        return
+    if isinstance(base, list) and isinstance(fresh, list):
+        if len(base) != len(fresh):
+            failures.append(f"{path}: length {len(base)} != {len(fresh)}")
+            return
+        for index, (b, f) in enumerate(zip(base, fresh)):
+            walk(b, f, f"{path}[{index}]", failures)
+        return
+    if isinstance(base, float) and isinstance(fresh, float):
+        scale = max(abs(base), abs(fresh), 1.0)
+        if abs(base - fresh) > REL_TOL * scale:
+            failures.append(f"{path}: {base!r} != {fresh!r}")
+        return
+    if base != fresh:
+        failures.append(f"{path}: {base!r} != {fresh!r}")
+
+
+def main() -> int:
+    if not FRESH_PATH.exists():
+        print(f"no fresh results at {FRESH_PATH}; "
+              "run bench_rho.py first", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    fresh = json.loads(FRESH_PATH.read_text())
+    failures: list[str] = []
+    walk(baseline, fresh, "rho", failures)
+    if failures:
+        print("emergent-ρ measurement diverged from the recorded "
+              "deterministic baseline:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    low = baseline["low_entropy"]
+    print(f"rho measurement matches the recorded baseline "
+          f"(b={low['entropy_bits']}: {low['hits']}/{low['trials']} "
+          f"trials, measured {low['rho_measured']:.4f} vs "
+          f"analytic {low['rho_analytic']}; "
+          f"b={baseline['paper_entropy']['entropy_bits']} estimate "
+          f"{baseline['paper_entropy']['rho_estimate']!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,8 +29,8 @@ from repro.machine import Process, load_program
 from repro.machine.layout import (AddressSpaceLayout, ReferenceLayout,
                                   randomized_layout)
 from repro.runtime import Sweeper, SweeperConfig, VirtualClock
-from repro.antibody import (VSEF, CommunityBus, install_vsef,
-                            verify_antibody)
+from repro.antibody import (VSEF, CommunityBus, SandboxVerifier,
+                            install_vsef, verify_antibody)
 from repro.apps import (EXPLOITS, ExploitStream, TrafficStream,
                         benign_requests, build_cvsd, build_httpd,
                         build_squidp, apache1_exploit, apache2_exploit,
@@ -47,7 +47,8 @@ __all__ = [
     "assemble", "Image", "Process", "load_program",
     "AddressSpaceLayout", "ReferenceLayout", "randomized_layout",
     "Sweeper", "SweeperConfig", "VirtualClock",
-    "VSEF", "CommunityBus", "install_vsef", "verify_antibody",
+    "VSEF", "CommunityBus", "SandboxVerifier", "install_vsef",
+    "verify_antibody",
     "EXPLOITS", "ExploitStream", "TrafficStream", "benign_requests",
     "build_cvsd", "build_httpd", "build_squidp", "apache1_exploit",
     "apache2_exploit", "cvs_exploit", "squid_exploit",

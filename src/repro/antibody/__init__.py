@@ -19,7 +19,8 @@ from repro.antibody.signatures import (ExactSignature, TokenSignature,
                                        generate_exact, generate_token,
                                        SignatureSet)
 from repro.antibody.distribution import AntibodyBundle, CommunityBus
-from repro.antibody.verify import verify_antibody
+from repro.antibody.verify import (SandboxVerifier, VerificationResult,
+                                   verify_antibody)
 
 __all__ = [
     "VSEF", "CodeLoc", "InstalledVSEF", "install_vsef", "resolve_loc",
@@ -27,5 +28,5 @@ __all__ = [
     "ExactSignature", "TokenSignature", "generate_exact", "generate_token",
     "SignatureSet",
     "AntibodyBundle", "CommunityBus",
-    "verify_antibody",
+    "SandboxVerifier", "VerificationResult", "verify_antibody",
 ]

@@ -69,7 +69,8 @@ def ReferenceLayout(entropy_bits: int = DEFAULT_ENTROPY_BITS
 
 
 def randomized_layout(rng: random.Random | None = None,
-                      entropy_bits: int = DEFAULT_ENTROPY_BITS
+                      entropy_bits: int = DEFAULT_ENTROPY_BITS,
+                      pin: dict[str, int] | None = None
                       ) -> AddressSpaceLayout:
     """Draw an independent page slide for each region.
 
@@ -77,10 +78,23 @@ def randomized_layout(rng: random.Random | None = None,
     ``slide ∈ [0, 2**entropy_bits)``; an exploit targeting the reference
     layout succeeds only when the relevant slide is 0, i.e. with
     probability ``2**-entropy_bits`` — the paper's ``rho``.
+
+    ``pin`` forces specific region slides *after* the draws (stratified
+    layout-cohort sampling pins the exploit-critical region to its
+    stratum value).  Every region's slide is drawn from ``rng`` whether
+    or not it is pinned, so pinned and unpinned layouts with the same
+    rng state agree on every unpinned region.
     """
     rng = rng or random.Random()
     slides = {name: rng.randrange(2 ** entropy_bits)
               for name in ("code", "data", "heap", "lib", "stack")}
+    for name, slide in (pin or {}).items():
+        if name not in slides:
+            raise ValueError(f"unknown region {name!r} in layout pin")
+        if not 0 <= slide < 2 ** entropy_bits:
+            raise ValueError(f"pinned slide {slide} for {name!r} outside "
+                             f"[0, 2**{entropy_bits})")
+        slides[name] = slide
     return AddressSpaceLayout(
         code_base=REF_CODE_BASE + slides["code"] * PAGE_SIZE,
         data_base=REF_DATA_BASE + slides["data"] * PAGE_SIZE,

@@ -28,6 +28,14 @@ optimization for correctness.  ``time`` needs no gate: SYS_TIME reports
 independent of both the node seed and the Sweeper's virtual clock — so
 a boot that reads the time bakes the same value on every node, even
 when a restart re-boots mid-run at nonzero clock.
+
+Randomized-layout fleets keep the savings through **layout cohorts**:
+the cache key's layout component means nodes sharing one layout draw
+(``SweeperConfig.layout_seed``) share one golden image, so a fleet of
+randomized consumers pays one donor boot per *cohort* rather than per
+node — 2^entropy_bits distinct layouts would otherwise defeat the cache
+entirely.  ``stats()["layouts"]`` reports how many distinct layouts the
+cache actually holds.
 """
 
 from __future__ import annotations
@@ -205,6 +213,12 @@ class GoldenImageCache:
     def stats(self) -> dict:
         return {
             "images": len(self._images),
+            #: Distinct address-space layouts among the cached images —
+            #: with layout-cohort sharing this equals the number of
+            #: cohorts that booted, not the number of nodes, which is
+            #: what keeps golden forking alive for randomized-layout
+            #: fleets (one donor boot per cohort, every member forks).
+            "layouts": len({key[1] for key in self._images}),
             "hits": self.hits,
             "misses": self.misses,
             "forks": sum(g.forks for g in self._images.values()),

@@ -27,6 +27,7 @@ from repro.analysis.pipeline import AnalysisOutcome, AnalysisPipeline
 from repro.analysis.taint import TaintViolation
 from repro.antibody.distribution import AntibodyBundle, CommunityBus
 from repro.antibody.signatures import generate_exact
+from repro.antibody.verify import verify_antibody
 from repro.antibody.vsef import VSEF, InstalledVSEF, install_vsef
 from repro.errors import AttackDetected, RecoveryFailed, VMFault
 from repro.isa.assembler import Image, assemble
@@ -54,11 +55,20 @@ def boot_layout(config: "SweeperConfig",
     hands to :class:`~repro.machine.process.Process` exactly (a
     randomized layout draws from ``random.Random(seed)``, as the
     process loader would).
+
+    ``config.layout_seed`` (when set) overrides every other seed source
+    — including the restart path's ``seed + 1`` — so all members of one
+    layout cohort load the same layout and keep it across restarts,
+    which is what lets them share a single golden boot image.
     """
-    if seed is None:
+    if config.layout_seed is not None:
+        seed = config.layout_seed
+    elif seed is None:
         seed = config.seed
     if config.randomize_layout:
-        return randomized_layout(random.Random(seed))
+        return randomized_layout(random.Random(seed),
+                                 entropy_bits=config.entropy_bits,
+                                 pin=config.layout_pin)
     return ReferenceLayout()
 
 
@@ -87,6 +97,23 @@ class SweeperConfig:
     #: uses for susceptible consumer nodes so a worm's hijack genuinely
     #: lands instead of faulting.
     randomize_layout: bool = True
+    #: Layout-draw seed.  ``None`` draws from ``seed`` (a private layout
+    #: per node); a shared value puts several nodes in one layout
+    #: *cohort* — identical region slides, hence one shared golden boot
+    #: image — while each keeps its own process seed (rng, pid).
+    layout_seed: int | None = None
+    #: Forced region slides applied after the layout draw (see
+    #: :func:`~repro.machine.layout.randomized_layout`); how stratified
+    #: cohort sampling pins the exploit-critical slide to its stratum.
+    layout_pin: dict[str, int] | None = None
+    #: Verify foreign antibody bundles in a sandbox before installing
+    #: them (:meth:`Sweeper.apply_bundle`).  Bundles that carry their
+    #: exploit input replay it in a sandboxed fork of the clean program:
+    #: if nothing detects the attack the bundle is rejected and never
+    #: installed.  Bundles without the input yet (piecemeal early
+    #: stages) are applied immediately and verified when it arrives —
+    #: the paper's deferrable-verification discipline (§3.3).
+    verify_foreign: bool = True
 
 
 @dataclass
@@ -103,6 +130,33 @@ class SweeperEvent:
     kind: str
     detail: str = ""
     wall_seconds: float | None = None
+
+
+@dataclass
+class BundleOutcome:
+    """What :meth:`Sweeper.apply_bundle` did with one foreign bundle.
+
+    ``verified`` is tri-state: ``True`` — the bundle replayed in a
+    sandbox, its signatures matched its attack input and something
+    detected the attack; ``False`` — rejected (nothing detected the
+    input, or a signature failed to match it): no VSEF installed, no
+    signature added; ``None`` — not verifiable yet (no exploit input,
+    or verification disabled) and applied on the paper's
+    apply-now-verify-later discipline — though an unverifiable bundle's
+    *signatures* are withheld (filters can DoS benign traffic; VSEFs
+    cannot), so ``signatures`` counts only what was installed.
+    """
+
+    bundle_id: str
+    stage: str
+    verified: bool | None
+    vsefs: list[VSEF] = field(default_factory=list)   # newly installed
+    signatures: int = 0                               # filters added
+    detail: str = ""
+
+    @property
+    def rejected(self) -> bool:
+        return self.verified is False
 
 
 @dataclass
@@ -160,6 +214,7 @@ class Sweeper:
         self._inbox: deque = deque()        # scheduled, not-yet-served requests
         self.events: list[SweeperEvent] = []
         self.attacks: list[AttackRecord] = []
+        self.bundle_log: list[BundleOutcome] = []
         self.detections: list[Detection] = []
         self.antibodies: list[VSEF] = []
         self._installed: list[InstalledVSEF] = []
@@ -572,6 +627,73 @@ class Sweeper:
     def apply_foreign_vsefs(self, vsefs: list[VSEF]) -> list[VSEF]:
         """Apply antibodies received from the community (consumer role)."""
         return self._install_new(vsefs)
+
+    def apply_bundle(self, bundle: AntibodyBundle,
+                     verifier=None) -> BundleOutcome:
+        """Apply one community bundle, verifying it in a sandbox first.
+
+        The §3.3 consumer delivery path.  When ``config.verify_foreign``
+        is on and the bundle carries its exploit input, the bundle
+        replays in a sandboxed fork of the clean program (``verifier``,
+        a :class:`~repro.antibody.verify.SandboxVerifier`, shares one
+        boot across bundles and consumers; without one a throwaway
+        sandbox is booted).  A bundle whose input is *not* detected —
+        or whose signatures do not match its own attack input — is
+        rejected — logged, nothing installed, no signature added — so a
+        tampered bundle can neither plant a bogus filter (denial of
+        service on benign traffic) nor masquerade as protection.  Early
+        bundles without the input yet apply their VSEFs immediately (a
+        bogus VSEF only wastes cycles, §3.3) and verify when the input
+        arrives; any *signatures* such a bundle carries are withheld —
+        a filter cannot be validated without the attack it claims to
+        block, and the producer protocol always pairs signatures with
+        their input.
+
+        Verification runs off the service path (its cost is host wall
+        clock, not consumer virtual time), matching the paper's
+        "verify when convenient" discipline.
+        """
+        verified = None
+        signatures = list(bundle.signatures)
+        if self.config.verify_foreign:
+            if bundle.exploit_input is not None:
+                result = (verifier.verify(self.image, bundle)
+                          if verifier is not None
+                          else verify_antibody(self.image, bundle))
+                if not result.verified:
+                    outcome = BundleOutcome(
+                        bundle_id=bundle.bundle_id, stage=bundle.stage,
+                        verified=False, detail=result.detail)
+                    self.bundle_log.append(outcome)
+                    self._event("antibody:rejected",
+                                f"bundle "
+                                f"{bundle.bundle_id or '<unpublished>'} "
+                                f"failed sandbox verification: "
+                                f"{result.detail}")
+                    return outcome
+                verified = True
+                self._event("antibody:verified",
+                            f"bundle {bundle.bundle_id or '<unpublished>'} "
+                            f"detected by {result.detected_by} in sandbox")
+            elif signatures:
+                # No input means no verification: VSEFs still apply (a
+                # bogus one only wastes cycles) but a filter that cannot
+                # be checked against its attack is exactly the forged
+                # benign-traffic DoS, so the signatures are withheld.
+                signatures = []
+                self._event("antibody:signatures-withheld",
+                            f"bundle {bundle.bundle_id or '<unpublished>'} "
+                            f"carries signatures but no exploit input; "
+                            f"filters withheld pending a verifiable bundle")
+        applied = self.apply_foreign_vsefs(bundle.vsefs)
+        for signature in signatures:
+            self.proxy.signatures.add(signature)
+        outcome = BundleOutcome(
+            bundle_id=bundle.bundle_id, stage=bundle.stage,
+            verified=verified, vsefs=applied,
+            signatures=len(signatures))
+        self.bundle_log.append(outcome)
+        return outcome
 
     # -- introspection ------------------------------------------------------------------------
 

@@ -40,10 +40,35 @@ test of the executed system.  The ODE solution is compared with a loose
 tolerance (one stochastic realization at small N sits well off the
 continuum limit).
 
-Only the reactive regime ρ = 1 is executable today: susceptible
-consumers are unrandomized, so every landed contact owns them — the
-Slammer/Fig. 6 setting.  ρ < 1 would randomize consumer layouts and let
-the collision probability emerge from execution; that is an open item.
+**ρ < 1 is emergent, not assumed.**  With ``entropy_bits = 0`` (the
+default) susceptible consumers are unrandomized and every landed
+contact owns them — the reactive Slammer/Fig. 6 regime, ρ = 1.  With
+``entropy_bits = b > 0`` consumers load *randomized* layouts: the worm
+payload still embeds the reference-layout gadget address, so a hijack
+lands only on a consumer whose exploit-critical region slide happens to
+be 0 — probability 2^-b per layout, the paper's ρ — and faults
+(detected, recovered, host stays clean) everywhere else.  Nothing
+consults ρ to decide the outcome; the executed collision does.
+Consumers are grouped into *layout cohorts* that share one layout draw,
+so golden-image COW forking keeps working (one boot per cohort, not per
+node); ``layout_sampling="stratified"`` pins cohort k's critical slide
+to stratum k — stratum 0 is the colliding class — which both guarantees
+the rare stratum is populated (importance splitting: measure a 2^-12
+event without 2^12 nodes) and gives the reweighted estimator
+ρ̂ = 2^-b·ĥ₀ + (1-2^-b)·ĥ_rest with per-stratum binomial variance.
+Trials are *first* worm contacts per node (layouts are frozen at boot,
+so re-contacts replay the same outcome and are not independent
+evidence), delivered before the node holds any antibody.
+
+**Bundles are verified before installation.**  Consumers poll the bus
+and hand each bundle to :meth:`Sweeper.apply_bundle`: a bundle carrying
+its exploit input replays in a sandboxed fork (one shared
+:class:`~repro.antibody.verify.SandboxVerifier` boot per app, restored
+copy-on-write per trial) and is *rejected — logged, never installed —*
+unless something detects the attack; input-less early bundles apply
+immediately and verify when the input arrives (§3.3's deferrable
+verification).  Verification costs host wall clock only, never consumer
+virtual time, so the ρ = 1 trajectory is bit-identical with it on.
 
 **Scale.**  Fleets of hundreds of nodes pay three structural costs, all
 fixed here without changing a single popped-event order at any N:
@@ -70,11 +95,13 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
+import math
 import random
 import time
 from dataclasses import dataclass, field
 
 from repro.antibody.distribution import CommunityBus
+from repro.antibody.verify import SandboxVerifier
 from repro.apps.cvsd import build_cvsd
 from repro.apps.exploits import APP_EXPLOITS, EXPLOITS, ExploitStream
 from repro.apps.httpd import build_httpd
@@ -82,6 +109,7 @@ from repro.apps.squidp import build_squidp
 from repro.apps.workload import TrafficStream
 from repro.errors import ReproError
 from repro.machine.cpu import CPU_HZ
+from repro.machine.layout import randomized_layout
 from repro.machine.memory import PAGE_SIZE
 from repro.runtime.golden import GoldenImageCache
 from repro.runtime.sweeper import Sweeper, SweeperConfig, boot_layout
@@ -126,7 +154,31 @@ class FleetConfig:
                                                     ("cvsd", 2, 1))
     worm_exploit: str = "Apache1"       # must own an unrandomized host
     beta: float = 0.4                   # worm contacts/s per infected node
-    rho: float = 1.0                    # only the reactive regime executes
+    #: The analytic ρ the run is cross-validated against.  Not a free
+    #: knob: 1.0 (derived — the reactive regime at entropy_bits = 0, or
+    #: 2^-entropy_bits when entropy is set) or explicitly equal to
+    #: 2^-entropy_bits.  The *executed* outcome never consults it.
+    rho: float = 1.0
+    #: ρ < 1, executably.  0 keeps reference-layout consumers (every
+    #: landed contact owns the host).  b > 0 randomizes susceptible
+    #: consumers with b bits of per-region entropy, so a hijack lands
+    #: only via an executed layout collision — analytic ρ = 2^-b.
+    entropy_bits: int = 0
+    #: Layout cohorts across the susceptible consumers: one layout draw
+    #: — and one golden boot image — per cohort, nodes assigned
+    #: round-robin.  0 picks min(2^entropy_bits, susceptible nodes).
+    layout_cohorts: int = 0
+    #: "stratified": cohort k's exploit-critical slide is pinned to
+    #: stratum k (stratum 0 collides; non-zero strata sampled without
+    #: replacement when cohorts < 2^b) — the importance-splitting design
+    #: that populates the rare stratum by construction.  "iid": every
+    #: cohort draws all slides independently — plain sampling, which at
+    #: high entropy will usually miss the colliding stratum entirely.
+    layout_sampling: str = "stratified"
+    #: Sandbox-verify bundles on the consumer delivery path; rejected
+    #: bundles are logged and never installed.  Trajectory-neutral (the
+    #: sandbox spends host wall clock, not consumer virtual time).
+    verify_bundles: bool = True
     benign_rate: float = 0.3            # benign requests/s per node
     gamma2: float = 3.0                 # bus dissemination latency γ₂
     horizon: float = 60.0               # hard virtual-time stop
@@ -215,6 +267,32 @@ class ShardedEventQueue:
 
 
 @dataclass
+class LayoutCohort:
+    """One shared layout draw across a slice of susceptible consumers.
+
+    Members load the identical randomized layout (``layout_seed`` +
+    optional pinned critical slide), so they fork one golden boot image
+    — the COW savings survive randomization.  The cohort is also the
+    estimator's stratum: ``trials``/``hits`` tally each member's *first*
+    pre-immunity worm contact and whether it genuinely owned the host.
+    """
+
+    index: int
+    layout_seed: int
+    pin: dict[str, int] | None
+    critical_slide: int         # realized slide of the exploit-critical region
+    collides: bool              # slide == 0: the worm's address guess lands
+    nodes: int = 0
+    trials: int = 0
+    hits: int = 0
+
+    def report(self) -> dict:
+        return {"cohort": self.index, "critical_slide": self.critical_slide,
+                "collides": self.collides, "nodes": self.nodes,
+                "trials": self.trials, "hits": self.hits}
+
+
+@dataclass
 class FleetNode:
     """One executed node and its epidemic bookkeeping.
 
@@ -240,6 +318,9 @@ class FleetNode:
     responses: int = 0
     contacts: int = 0
     worm: ExploitStream | None = None   # armed when this node is infected
+    #: Layout cohort membership (emergent-ρ consumers only).
+    cohort: int | None = None
+    collides: bool | None = None
 
     def report(self) -> dict:
         sweeper = self.sweeper
@@ -255,6 +336,10 @@ class FleetNode:
             "detections": len(sweeper.detections),
             "antibodies": len(sweeper.antibodies),
             "requests_filtered": sweeper.proxy.filtered_count,
+            "bundles_verified": sum(1 for o in sweeper.bundle_log
+                                    if o.verified is True),
+            "bundles_rejected": sum(1 for o in sweeper.bundle_log
+                                    if o.verified is False),
             "virtual_time": sweeper.clock,
         }
 
@@ -268,6 +353,7 @@ class FleetNode:
             "benign_requests": 0, "benign_responses": 0,
             "worm_contacts": 0, "attacks_analyzed": 0, "detections": 0,
             "antibodies": 0, "requests_filtered": 0,
+            "bundles_verified": 0, "bundles_rejected": 0,
             "virtual_time": boot_clock,
         }
 
@@ -293,6 +379,10 @@ class FleetResult:
     contacts_to_producers: int
     contacts_blocked: int               # delivered to a consumer, defended
     contacts_wasted: int                # landed on an already-infected host
+    #: Hijacks defeated by an executed layout collision failure: the
+    #: exploit's address guess missed and the consumer faulted clean
+    #: (always 0 in the ρ = 1 regime).
+    contacts_faulted: int
     benign_sent: int
     benign_responses: int
     bundles_published: int
@@ -306,6 +396,11 @@ class FleetResult:
     #: Checkpoint/live page sharing across the fleet (bytes); excluded
     #: from regression gates, asserted sub-linear by the scale bench.
     memory: dict | None = None
+    #: Emergent-ρ accounting (None in the ρ = 1 regime): cohort design,
+    #: per-stratum trial/hit tallies and the reweighted estimator.
+    layout: dict | None = None
+    #: Sandbox bundle-verification accounting (None when disabled).
+    verification: dict | None = None
     nodes: list[dict] = field(default_factory=list)
     gillespie: dict | None = None       # matched-seed simulate_outbreak
     model: dict | None = None           # solve_outbreak (needs scipy)
@@ -315,11 +410,36 @@ class FleetResult:
 
 
 def _validate(config: FleetConfig):
-    if config.rho != 1.0:
-        raise ReproError(
-            "the executed fleet supports only rho = 1.0 (susceptible "
-            "consumers run unrandomized so worm contacts genuinely land); "
-            "rho < 1 needs layout-randomized consumers — see ROADMAP")
+    if config.entropy_bits < 0:
+        raise ReproError("entropy_bits must be >= 0")
+    # Checked in every regime so a typo staged at rho = 1 surfaces
+    # immediately, not when entropy_bits is later flipped on.
+    if config.layout_sampling not in ("iid", "stratified"):
+        raise ReproError(f"unknown layout_sampling "
+                         f"{config.layout_sampling!r} "
+                         "(expected 'iid' or 'stratified')")
+    if config.layout_cohorts < 0:
+        raise ReproError("layout_cohorts must be >= 0")
+    if config.entropy_bits == 0:
+        if config.rho != 1.0:
+            raise ReproError(
+                "rho is not a free knob: with entropy_bits = 0 the fleet "
+                "executes the reactive regime rho = 1.0 (susceptible "
+                "consumers run unrandomized so worm contacts genuinely "
+                "land); set entropy_bits = b to execute rho = 2^-b as "
+                "emergent layout collisions instead of assuming it")
+    else:
+        derived = 2.0 ** -config.entropy_bits
+        if config.rho not in (1.0, derived):
+            raise ReproError(
+                f"rho is derived from entropy_bits "
+                f"(2^-{config.entropy_bits} = {derived}); leave it at the "
+                f"default or set it to the derived value")
+        if config.layout_cohorts > 2 ** config.entropy_bits:
+            raise ReproError(
+                f"layout_cohorts = {config.layout_cohorts} exceeds the "
+                f"2^{config.entropy_bits} distinct strata of the critical "
+                f"slide — cohorts beyond that cannot be distinct")
     if config.producers < 1:
         raise ReproError("a community needs at least one producer")
     if config.producers >= config.vulnerable_nodes:
@@ -336,6 +456,12 @@ def _validate(config: FleetConfig):
             f"control-flow hijacks that succeed on an unrandomized layout "
             f"({', '.join(sorted(_OWNING_EXPLOITS))}) are executable as "
             f"infections — the others merely crash the target")
+    if config.entropy_bits > 0 and spec.hijack_region is None:
+        raise ReproError(
+            f"worm exploit {config.worm_exploit!r} embeds no absolute "
+            f"address guess (hijack_region is None), so randomization "
+            f"cannot attenuate it — emergent rho < 1 needs a layout-"
+            f"dependent hijack")
 
 
 class _FleetRun:
@@ -344,6 +470,12 @@ class _FleetRun:
     def __init__(self, config: FleetConfig):
         _validate(config)
         self.config = config
+        #: Emergent-ρ regime: consumer layouts randomized, ρ = 2^-b.
+        self.emergent = config.entropy_bits > 0
+        #: The analytic ρ cross-validation runs against — derived, never
+        #: steering an executed outcome.
+        self.rho = (2.0 ** -config.entropy_bits if self.emergent
+                    else config.rho)
         #: The epidemic rng — consumed in exactly simulate_outbreak's
         #: draw order so a fleet run is a matched Gillespie realization.
         self.rng_contacts = random.Random(config.seed)
@@ -351,9 +483,13 @@ class _FleetRun:
         self.detail = random.Random((config.seed << 16) ^ 0x5F1EE7)
         self.bus = CommunityBus(dissemination_latency=config.gamma2)
         self.golden = GoldenImageCache()
+        self.verifier = (SandboxVerifier() if config.verify_bundles
+                         else None)
         self.images: dict[str, object] = {}
         self.nodes: list[FleetNode] = []
         self.materialized = 0
+        self.cohorts: list[LayoutCohort] = \
+            self._plan_cohorts() if self.emergent else []
         self._build_nodes()
         self.v_producers = [n for n in self.nodes
                             if n.vulnerable and n.role == "producer"]
@@ -371,14 +507,69 @@ class _FleetRun:
         self.contacts_to_producers = 0
         self.contacts_blocked = 0
         self.contacts_wasted = 0
+        self.contacts_faulted = 0
         self.benign_sent = 0
         self.benign_responses = 0
 
     # -- construction -------------------------------------------------------
 
-    def _node_config(self, role: str, vulnerable: bool,
-                     seed: int) -> SweeperConfig:
+    def _plan_cohorts(self) -> list[LayoutCohort]:
+        """Draw the susceptible population's layout cohorts.
+
+        Each cohort is one concrete randomized layout; members fork one
+        golden boot image.  Stratified sampling pins cohort k's
+        exploit-critical slide to stratum value k — stratum 0 *is* the
+        colliding class, so the rare event is populated by construction
+        (the importance-splitting move); with fewer cohorts than strata
+        the non-zero strata are sampled without replacement from a
+        dedicated rng.  The layout draw itself mirrors
+        :func:`~repro.runtime.sweeper.boot_layout` exactly, so the
+        planned slide is the slide the booted node genuinely loads.
+        """
+        config = self.config
+        bits = config.entropy_bits
+        susceptible = config.vulnerable_nodes - config.producers
+        count = config.layout_cohorts or min(2 ** bits, susceptible)
+        count = max(1, min(count, susceptible))
+        region = EXPLOITS[config.worm_exploit].hijack_region
+        if config.layout_sampling == "stratified":
+            if count == 2 ** bits:
+                strata = list(range(count))
+            else:
+                picker = random.Random(config.seed ^ 0x57A7B17E)
+                strata = [0] + sorted(picker.sample(
+                    range(1, 2 ** bits), count - 1))
+        else:
+            strata = [None] * count
+        cohorts = []
+        for k, stratum in enumerate(strata):
+            layout_seed = config.seed * 4_900_019 + 1009 * k + 7
+            pin = {region: stratum} if stratum is not None else None
+            layout = randomized_layout(random.Random(layout_seed),
+                                       entropy_bits=bits, pin=pin)
+            slide = layout.slide_pages[region]
+            cohorts.append(LayoutCohort(
+                index=k, layout_seed=layout_seed, pin=pin,
+                critical_slide=slide, collides=slide == 0))
+        return cohorts
+
+    def _node_config(self, role: str, vulnerable: bool, seed: int,
+                     cohort: LayoutCohort | None = None,
+                     layout_seed: int | None = None) -> SweeperConfig:
         producer = role == "producer"
+        susceptible = vulnerable and not producer
+        if susceptible and cohort is not None:
+            # Emergent ρ: a randomized consumer on its cohort's layout.
+            randomize, entropy = True, self.config.entropy_bits
+            layout_seed, layout_pin = cohort.layout_seed, cohort.pin
+        else:
+            # Susceptible consumers in the ρ = 1 regime are the model's
+            # unprotected hosts: no address randomization, so the worm
+            # owns them.  Producers/riders randomize at full entropy
+            # (layout_seed shares producer cohort draws when set).
+            randomize, entropy = not susceptible, None
+            layout_pin = None
+        kwargs = {} if entropy is None else {"entropy_bits": entropy}
         return SweeperConfig(
             seed=seed,
             checkpoint_interval_ms=self.config.checkpoint_interval_ms,
@@ -386,9 +577,10 @@ class _FleetRun:
             enable_slicing=producer,
             publish_antibodies=producer,
             dissemination_latency=self.config.gamma2,
-            # Susceptible consumers are the unprotected hosts of the
-            # model: no address randomization, so the worm owns them.
-            randomize_layout=not (vulnerable and not producer))
+            randomize_layout=randomize,
+            layout_seed=layout_seed, layout_pin=layout_pin,
+            verify_foreign=self.config.verify_bundles,
+            **kwargs)
 
     def _build_nodes(self):
         """Build the roster as pure bookkeeping; no node boots here.
@@ -409,21 +601,44 @@ class _FleetRun:
             for i in range(consumers):
                 roster.append((app, "consumer", False))
         counters: dict[tuple[str, str], itertools.count] = {}
+        # Emergent mode shares layout draws: susceptible consumers join
+        # their round-robin cohort, and producers form layout cohorts of
+        # their own (capped at the consumer-cohort count) so randomized
+        # producers fork golden boot images too.
+        producer_cohorts = (min(config.producers, len(self.cohorts))
+                            if self.emergent else 0)
+        susceptible_seen = producers_seen = 0
         for index, (app, role, vulnerable) in enumerate(roster):
             if app not in self.images:
                 self.images[app] = _BUILDERS[app]()
             ordinal = next(counters.setdefault((app, role),
                                                itertools.count(1)))
+            cohort = producer_layout_seed = None
+            if self.emergent and vulnerable:
+                if role == "consumer":
+                    cohort = self.cohorts[susceptible_seen
+                                          % len(self.cohorts)]
+                    cohort.nodes += 1
+                    susceptible_seen += 1
+                else:
+                    producer_layout_seed = (
+                        config.seed * 7_700_011
+                        + 101 * (producers_seen % producer_cohorts) + 13)
+                    producers_seen += 1
             node = FleetNode(
                 index=index,
                 name=f"{app}-{role[0]}{ordinal}",
                 app=app, role=role, vulnerable=vulnerable,
                 config=self._node_config(role, vulnerable,
-                                         seed=config.seed * 31 + index),
+                                         seed=config.seed * 31 + index,
+                                         cohort=cohort,
+                                         layout_seed=producer_layout_seed),
                 traffic=TrafficStream(
                     app, seed=config.seed * 9_000_007 + index),
                 arrivals=random.Random(config.seed * 1_000_003
-                                       + 7919 * index + 11))
+                                       + 7919 * index + 11),
+                cohort=cohort.index if cohort is not None else None,
+                collides=cohort.collides if cohort is not None else None)
             self.bus.subscribe(node.name)
             self.nodes.append(node)
 
@@ -460,14 +675,16 @@ class _FleetRun:
 
     def _apply_bus(self, node: FleetNode, sweeper: Sweeper, t: float):
         """Antibodies available by ``t`` apply before the node serves its
-        next event — the consumer's poll-on-wake discipline."""
+        next event — the consumer's poll-on-wake discipline.  Each bundle
+        goes through the verified delivery path: replayed in a sandboxed
+        fork when it carries its exploit input, rejected (never
+        installed) when nothing detects the attack."""
         for bundle in self.bus.poll(node.name, t):
             if bundle.app != node.app:
                 continue
-            applied = sweeper.apply_foreign_vsefs(bundle.vsefs)
-            for signature in bundle.signatures:
-                sweeper.proxy.signatures.add(signature)
-            if (applied or bundle.signatures) and node.immune_at is None:
+            outcome = sweeper.apply_bundle(bundle, verifier=self.verifier)
+            if (outcome.vsefs or outcome.signatures) \
+                    and node.immune_at is None:
                 node.immune_at = t
 
     def _deliver(self, node: FleetNode, data: bytes, t: float) -> list[bytes]:
@@ -531,12 +748,32 @@ class _FleetRun:
                 self.t0 = t
             self._deliver_contact(target, self._worm_payload(), t)
         elif roll < n_producers + len(self.susceptible):
-            rng.random()                # the ρ draw (ρ = 1: always lands)
+            # The model's ρ draw is consumed to mirror its sequence, but
+            # never decides the outcome: at ρ = 1 every delivered hijack
+            # genuinely lands, and in the emergent regime the target's
+            # executed layout collision decides.
+            rng.random()
             target = self.susceptible[
                 self.detail.randrange(len(self.susceptible))]
+            first_contact = target.contacts == 0
             owned = self._deliver_contact(target, self._worm_payload(), t)
             if not owned:
-                self.contacts_blocked += 1
+                if target.immune_at is not None:
+                    self.contacts_blocked += 1
+                else:
+                    # Emergent layout defense: the address guess missed
+                    # and the consumer faulted clean.
+                    self.contacts_faulted += 1
+            if first_contact and target.cohort is not None and \
+                    (owned or target.immune_at is None):
+                # One estimator trial per node: its first worm contact,
+                # delivered before any antibody reached it.  Layouts are
+                # frozen at boot, so re-contacts replay the same outcome
+                # and are not independent evidence.
+                cohort = self.cohorts[target.cohort]
+                cohort.trials += 1
+                if owned:
+                    cohort.hits += 1
         else:
             # Contact on an already-infected host: wasted, like the
             # model's "else" bucket.  Not delivered — the process there
@@ -560,11 +797,24 @@ class _FleetRun:
                  _KIND_BENIGN, node.index) for node in self.nodes)
 
         # Patient zero (t = 0): an external attacker owns one consumer —
-        # the model's single initially-infected host.
+        # the model's single initially-infected host.  In the emergent
+        # regime the attacker's foothold is necessarily a host whose
+        # layout its exploit defeats, so patient zero is drawn from the
+        # colliding stratum (its forced contact never counts as a trial:
+        # trials are tallied only for scheduler-delivered contacts).
         attacker = ExploitStream(config.worm_exploit,
                                  seed=config.seed * 5_000_011 - 1)
-        patient = self.v_consumers[
-            self.detail.randrange(len(self.v_consumers))]
+        candidates = self.v_consumers
+        if self.emergent:
+            candidates = [n for n in self.v_consumers if n.collides]
+            if not candidates:
+                raise FleetDivergence(
+                    f"no susceptible consumer drew the colliding layout "
+                    f"(entropy_bits={config.entropy_bits}, "
+                    f"{len(self.cohorts)} {config.layout_sampling} "
+                    f"cohorts): patient zero cannot exist — stratified "
+                    f"sampling populates stratum 0 by construction")
+        patient = candidates[self.detail.randrange(len(candidates))]
         if not self._deliver_contact(patient, attacker.next_payload(), 0.0):
             raise FleetDivergence(
                 f"patient-zero exploit failed to own {patient.name}")
@@ -615,6 +865,82 @@ class _FleetRun:
             self._sweeper(node)
         return node.report(), node.sweeper.process.cpu.cycles
 
+    def _rho_report(self) -> dict | None:
+        """The emergent-ρ measurement: per-stratum tallies plus the
+        reweighted estimator.
+
+        ``rho_measured`` is the raw executed hijack ratio over trials —
+        under proportional (round-robin, equal-size cohort) allocation
+        it estimates ρ directly.  ``rho_estimate`` reweights per-stratum
+        rates by the strata's true probabilities, which is what makes
+        the importance-split design unbiased when the colliding stratum
+        is deliberately over-allocated: ρ̂ = w₀·ĥ₀ + (1-w₀)·ĥ_rest with
+        w₀ = 2^-b, and the stated variance is the per-stratum binomial
+        sum.  ``iid`` sampling has no design weights: estimate ==
+        measured, variance p̂(1-p̂)/T.
+        """
+        if not self.emergent:
+            return None
+        config = self.config
+        w0 = self.rho
+        trials = sum(c.trials for c in self.cohorts)
+        hits = sum(c.hits for c in self.cohorts)
+        colliding = [c for c in self.cohorts if c.collides]
+        rest = [c for c in self.cohorts if not c.collides]
+        n0 = sum(c.trials for c in colliding)
+        h0_hits = sum(c.hits for c in colliding)
+        nr = sum(c.trials for c in rest)
+        hr_hits = sum(c.hits for c in rest)
+        measured = hits / trials if trials else None
+        estimate = variance = None
+        if config.layout_sampling == "stratified":
+            if n0:
+                h0 = h0_hits / n0
+                hr = hr_hits / nr if nr else 0.0
+                estimate = w0 * h0 + (1.0 - w0) * hr
+                variance = w0 ** 2 * h0 * (1.0 - h0) / n0
+                if nr:
+                    variance += (1.0 - w0) ** 2 * hr * (1.0 - hr) / nr
+        elif trials:
+            estimate = measured
+            variance = measured * (1.0 - measured) / trials
+        return {
+            "entropy_bits": config.entropy_bits,
+            "sampling": config.layout_sampling,
+            "cohorts": len(self.cohorts),
+            "critical_region":
+                EXPLOITS[config.worm_exploit].hijack_region,
+            "colliding_nodes": sum(c.nodes for c in colliding),
+            "trials": trials,
+            "hits": hits,
+            "rho_analytic": w0,
+            "rho_measured": measured,
+            "rho_estimate": estimate,
+            "rho_stddev": (math.sqrt(variance)
+                           if variance is not None else None),
+            "per_cohort": [c.report() for c in self.cohorts],
+        }
+
+    def _verification_report(self) -> dict | None:
+        """Fleet-wide sandbox verification tallies (delivery path)."""
+        if self.verifier is None:
+            return None
+        verified = rejected = deferred = 0
+        for node in self.nodes:
+            if node.sweeper is None:
+                continue
+            for outcome in node.sweeper.bundle_log:
+                if outcome.verified is True:
+                    verified += 1
+                elif outcome.verified is False:
+                    rejected += 1
+                else:
+                    deferred += 1
+        return {"bundles_verified": verified,
+                "bundles_rejected": rejected,
+                "bundles_applied_unverified": deferred,
+                "sandbox": self.verifier.stats()}
+
     def _memory_stats(self) -> dict:
         """Fleet-wide page sharing: bytes held per node summed (what N
         private copies would cost) vs bytes held once across the fleet
@@ -660,6 +986,7 @@ class _FleetRun:
         memory = self._memory_stats()
         materialized = self.materialized
         golden_stats = self.golden.stats()
+        verification = self._verification_report()
         reports = []
         total_cycles = 0
         for node in self.nodes:
@@ -671,7 +998,7 @@ class _FleetRun:
             population=self.population,
             producers=len(self.v_producers),
             producer_ratio=len(self.v_producers) / self.population,
-            beta=config.beta, rho=config.rho, seed=config.seed,
+            beta=config.beta, rho=self.rho, seed=config.seed,
             total_nodes=len(self.nodes),
             t0=self.t0, availability=availability, gamma_measured=gamma,
             gamma1_first_vsef=gamma1,
@@ -681,6 +1008,7 @@ class _FleetRun:
             contacts_to_producers=self.contacts_to_producers,
             contacts_blocked=self.contacts_blocked,
             contacts_wasted=self.contacts_wasted,
+            contacts_faulted=self.contacts_faulted,
             benign_sent=self.benign_sent,
             benign_responses=self.benign_responses,
             bundles_published=len(self.bus.published),
@@ -691,6 +1019,8 @@ class _FleetRun:
             nodes_materialized=materialized,
             golden=golden_stats,
             memory=memory,
+            layout=self._rho_report(),
+            verification=verification,
             nodes=reports)
         self._cross_validate(result)
         return result
@@ -704,7 +1034,7 @@ class _FleetRun:
         sim = simulate_outbreak(
             beta=config.beta, population=result.population,
             producer_ratio=result.producer_ratio,
-            gamma=result.gamma_measured, rho=config.rho, seed=config.seed)
+            gamma=result.gamma_measured, rho=self.rho, seed=config.seed)
         result.gillespie = {
             "t0": sim.t0,
             "final_infected": sim.final_infected,
@@ -717,7 +1047,7 @@ class _FleetRun:
         ode = solve_outbreak(WormParams(
             beta=config.beta, population=result.population,
             producer_ratio=result.producer_ratio,
-            gamma=result.gamma_measured, rho=config.rho))
+            gamma=result.gamma_measured, rho=self.rho))
         result.model = {
             "t0": ode.t0,
             "infection_ratio": ode.infection_ratio,

@@ -5,7 +5,7 @@ import pytest
 from repro.antibody.distribution import AntibodyBundle, CommunityBus
 from repro.errors import ReproError
 from repro.antibody.signatures import generate_exact
-from repro.antibody.verify import verify_antibody
+from repro.antibody.verify import SandboxVerifier, verify_antibody
 from repro.antibody.vsef import VSEF, CodeLoc
 from repro.apps.cvsd import build_cvsd
 from repro.apps.exploits import cvs_exploit
@@ -239,6 +239,210 @@ class TestVerification:
                                 exploit_input=b"Entry main.c\n")
         result = verify_antibody(build_cvsd(), bundle, seed=17)
         assert not result.verified
+
+
+class TestSandboxVerifier:
+    """The delivery-path verifier: one boot per image, forked trials,
+    memoized verdicts."""
+
+    def _exploit_bundle(self):
+        return AntibodyBundle(
+            app="cvs",
+            vsefs=[VSEF(kind="double_free", params={"caller": None})],
+            exploit_input=cvs_exploit())
+
+    def test_one_boot_shared_across_bundles(self):
+        image = build_cvsd()
+        verifier = SandboxVerifier()
+        first = verifier.verify(image, self._exploit_bundle())
+        second = verifier.verify(image, self._exploit_bundle())
+        assert first.verified and second.verified
+        assert verifier.stats() == {"boots": 1, "trials": 2,
+                                    "cache_hits": 0}
+
+    def test_repeat_verify_is_memoized(self):
+        image = build_cvsd()
+        bundle = self._exploit_bundle()
+        verifier = SandboxVerifier()
+        first = verifier.verify(image, bundle)
+        again = verifier.verify(image, bundle)
+        assert again is first
+        assert verifier.stats() == {"boots": 1, "trials": 1,
+                                    "cache_hits": 1}
+
+    def test_trials_isolated_by_snapshot_restore(self):
+        """An attack run in the sandbox must not contaminate the next
+        trial: a benign-input bundle after an exploit trial still comes
+        back unverified, and the exploit still verifies after it."""
+        image = build_cvsd()
+        verifier = SandboxVerifier()
+        assert verifier.verify(image, self._exploit_bundle()).verified
+        benign = AntibodyBundle(app="cvs", vsefs=[],
+                                exploit_input=b"Entry main.c\n")
+        result = verifier.verify(image, benign)
+        assert not result.verified
+        assert "did not trigger" in result.detail
+        assert verifier.verify(image, self._exploit_bundle()).verified
+
+    def test_no_input_short_circuits_without_boot(self):
+        verifier = SandboxVerifier()
+        result = verifier.verify(build_cvsd(),
+                                 AntibodyBundle(app="cvs"))
+        assert not result.verified
+        assert "no exploit input" in result.detail
+        assert verifier.stats()["boots"] == 0
+
+    def test_matches_one_shot_verify_antibody(self):
+        """The forked-sandbox trial and the one-shot sandbox agree."""
+        image = build_cvsd()
+        for bundle in (self._exploit_bundle(),
+                       AntibodyBundle(app="cvs", vsefs=[],
+                                      exploit_input=b"Entry main.c\n")):
+            shared = SandboxVerifier(seed=1234).verify(image, bundle)
+            oneshot = verify_antibody(image, bundle, seed=1234)
+            assert shared.verified == oneshot.verified
+            assert shared.detected_by == oneshot.detected_by
+
+
+class TestVerifiedDelivery:
+    """Satellite: ``Sweeper.apply_bundle`` — the consumer delivery path
+    must sandbox-verify bundles before installing anything."""
+
+    def _consumer(self, **overrides):
+        from repro.runtime.sweeper import Sweeper, SweeperConfig
+
+        config = SweeperConfig(
+            seed=9, enable_membug=False, enable_taint=False,
+            enable_slicing=False, publish_antibodies=False,
+            randomize_layout=True, entropy_bits=4, **overrides)
+        return Sweeper(build_cvsd(), app_name="cvs", config=config)
+
+    def test_tampered_bundle_rejected_and_never_installed(self):
+        """A bundle whose 'exploit input' is benign traffic (with a
+        bogus signature that would filter that traffic — the DoS a
+        forged antibody could mount) must be rejected by a
+        randomized-layout consumer: nothing installed, no signature
+        added, the benign request still served."""
+        consumer = self._consumer()
+        benign = b"Entry main.c\n"
+        tampered = AntibodyBundle(
+            app="cvs",
+            vsefs=[VSEF(kind="double_free", params={"caller": None})],
+            signatures=[generate_exact(benign)],
+            exploit_input=benign)
+        outcome = consumer.apply_bundle(tampered,
+                                        verifier=SandboxVerifier())
+        assert outcome.rejected
+        assert outcome.verified is False
+        assert outcome.vsefs == []
+        assert outcome.signatures == 0
+        assert consumer.antibodies == []
+        assert [e.kind for e in consumer.events
+                if e.kind.startswith("antibody")] == ["antibody:rejected"]
+        # The bogus filter was never added: benign traffic still flows.
+        assert consumer.submit(benign)
+        assert consumer.proxy.filtered_count == 0
+
+    def test_valid_bundle_verifies_and_immunizes(self):
+        consumer = self._consumer()
+        bundle = AntibodyBundle(
+            app="cvs",
+            vsefs=[VSEF(kind="double_free", params={"caller": None})],
+            signatures=[generate_exact(cvs_exploit())],
+            exploit_input=cvs_exploit())
+        outcome = consumer.apply_bundle(bundle, verifier=SandboxVerifier())
+        assert outcome.verified is True
+        assert len(outcome.vsefs) == 1
+        assert outcome.signatures == 1
+        assert len(consumer.antibodies) == 1
+        assert "antibody:verified" in [e.kind for e in consumer.events]
+        # Immunized: the worm's next contact is filtered at the proxy,
+        # never reaching the process.
+        consumer.submit(cvs_exploit())
+        assert consumer.proxy.filtered_count == 1
+        assert consumer.attacks == []
+
+    def test_forged_filter_on_genuine_attack_input_rejected(self):
+        """The stronger forgery: a *genuine* attack input (the sandbox
+        really detects it) smuggling a bogus signature that matches
+        benign traffic.  Replaying the attack proves nothing about the
+        filter, so verification must also check every signature against
+        the bundle's own input — and reject on mismatch."""
+        consumer = self._consumer()
+        benign = b"Entry main.c\n"
+        forged = AntibodyBundle(
+            app="cvs",
+            signatures=[generate_exact(benign)],   # filters benign traffic
+            exploit_input=cvs_exploit())           # genuinely detected
+        outcome = consumer.apply_bundle(forged, verifier=SandboxVerifier())
+        assert outcome.rejected
+        assert outcome.signatures == 0
+        assert "does not match" in outcome.detail
+        # The bogus filter never landed: benign traffic still flows.
+        assert consumer.submit(benign)
+        assert consumer.proxy.filtered_count == 0
+
+    def test_forged_filter_rejected_by_one_shot_verify(self):
+        """Same forgery through the throwaway-sandbox path."""
+        forged = AntibodyBundle(
+            app="cvs", signatures=[generate_exact(b"Entry main.c\n")],
+            exploit_input=cvs_exploit())
+        result = verify_antibody(build_cvsd(), forged)
+        assert not result.verified
+        assert "does not match" in result.detail
+
+    def test_inputless_signatures_withheld(self):
+        """An input-less bundle's VSEFs apply now (bogus ones only
+        waste cycles) but its signatures — unverifiable filters — are
+        withheld, closing the same DoS via the deferred door."""
+        consumer = self._consumer()
+        benign = b"Entry main.c\n"
+        early = AntibodyBundle(
+            app="cvs",
+            vsefs=[VSEF(kind="double_free", params={"caller": None})],
+            signatures=[generate_exact(benign)])
+        outcome = consumer.apply_bundle(early, verifier=SandboxVerifier())
+        assert outcome.verified is None
+        assert not outcome.rejected
+        assert len(outcome.vsefs) == 1              # VSEF applied
+        assert outcome.signatures == 0              # filter withheld
+        assert "antibody:signatures-withheld" in [e.kind
+                                                  for e in consumer.events]
+        assert consumer.submit(benign)
+        assert consumer.proxy.filtered_count == 0
+
+    def test_inputless_bundle_applies_now_verifies_later(self):
+        """Piecemeal early bundles carry no exploit input yet; the
+        paper's discipline applies them immediately (a bogus VSEF can
+        only waste cycles) and verifies when the input arrives."""
+        consumer = self._consumer()
+        early = AntibodyBundle(
+            app="cvs",
+            vsefs=[VSEF(kind="double_free", params={"caller": None})])
+        outcome = consumer.apply_bundle(early, verifier=SandboxVerifier())
+        assert outcome.verified is None
+        assert not outcome.rejected
+        assert len(consumer.antibodies) == 1
+
+    def test_verification_can_be_disabled(self):
+        consumer = self._consumer(verify_foreign=False)
+        benign = b"Entry main.c\n"
+        tampered = AntibodyBundle(
+            app="cvs", signatures=[generate_exact(benign)],
+            exploit_input=benign)
+        outcome = consumer.apply_bundle(tampered)
+        assert outcome.verified is None          # applied, unverified
+        assert outcome.signatures == 1
+        consumer.submit(benign)
+        assert consumer.proxy.filtered_count == 1   # the DoS lands
+
+    def test_apply_bundle_without_shared_verifier(self):
+        """No fleet-shared verifier: apply_bundle boots a throwaway
+        sandbox via the one-shot path and still rejects."""
+        consumer = self._consumer()
+        tampered = AntibodyBundle(app="cvs",
+                                  exploit_input=b"Entry main.c\n")
+        assert consumer.apply_bundle(tampered).rejected
 
 
 class TestWireFormat:

@@ -4,6 +4,7 @@ Gillespie process it mirrors."""
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import itertools
 import random
@@ -14,8 +15,9 @@ import pytest
 from repro.apps.exploits import EXPLOITS
 from repro.apps.workload import benign_requests
 from repro.errors import ReproError
+from repro.machine.layout import randomized_layout
 from repro.runtime.clock import VirtualClock
-from repro.runtime.sweeper import Sweeper, SweeperConfig
+from repro.runtime.sweeper import Sweeper, SweeperConfig, boot_layout
 from repro.worm.fleet import FleetConfig, ShardedEventQueue, run_fleet
 
 #: Small-but-real fleet: 6 vulnerable httpd nodes (1 producer), no
@@ -260,6 +262,173 @@ class TestFleetAtScale:
         assert lazy_fleet.t0 == gillespie["t0"]
         assert lazy_fleet.infected_final == gillespie["final_infected"]
         assert lazy_fleet.contacts_blocked >= 1
+
+
+class TestEntropyThreading:
+    """Satellite: ``SweeperConfig.entropy_bits`` must genuinely thread
+    into the layout draw — the number of distinct region slides equals
+    2^entropy_bits, which is what makes ρ = 2^-b an executed quantity
+    rather than a label."""
+
+    REGIONS = ("code", "data", "heap", "lib", "stack")
+
+    def _slides(self, bits: int, seeds: int = 256) -> list[dict]:
+        return [boot_layout(SweeperConfig(seed=s, randomize_layout=True,
+                                          entropy_bits=bits)).slide_pages
+                for s in range(seeds)]
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_each_region_draws_exactly_2_pow_b_slides(self, bits):
+        draws = self._slides(bits)
+        for region in self.REGIONS:
+            values = {d[region] for d in draws}
+            assert values == set(range(2 ** bits))
+
+    def test_one_bit_yields_exactly_32_distinct_layouts(self):
+        layouts = {tuple(sorted(d.items())) for d in self._slides(1)}
+        assert len(layouts) == 2 ** (5 * 1)      # 2^b per region, 5 regions
+
+    def test_entropy_recorded_on_layout(self):
+        layout = boot_layout(SweeperConfig(seed=3, randomize_layout=True,
+                                           entropy_bits=5))
+        assert layout.entropy_bits == 5
+        assert layout.randomized
+
+    def test_layout_seed_overrides_node_seed_and_restart_path(self):
+        """Cohort members (different node seeds, one layout_seed) load
+        one layout and keep it across the restart path's seed + 1."""
+        a = SweeperConfig(seed=1, randomize_layout=True, entropy_bits=4,
+                          layout_seed=99)
+        b = SweeperConfig(seed=2, randomize_layout=True, entropy_bits=4,
+                          layout_seed=99)
+        assert boot_layout(a).slide_pages == boot_layout(b).slide_pages
+        assert boot_layout(a, seed=a.seed + 1).slide_pages == \
+            boot_layout(a).slide_pages
+
+    def test_pin_forces_only_the_pinned_region(self):
+        plain = randomized_layout(random.Random(5), entropy_bits=4)
+        pinned = randomized_layout(random.Random(5), entropy_bits=4,
+                                   pin={"code": 9})
+        assert pinned.slide_pages["code"] == 9
+        for region in self.REGIONS:
+            if region != "code":
+                assert pinned.slide_pages[region] == \
+                    plain.slide_pages[region]
+
+    def test_pin_validation(self):
+        with pytest.raises(ValueError, match="unknown region"):
+            randomized_layout(random.Random(0), entropy_bits=4,
+                              pin={"bss": 1})
+        with pytest.raises(ValueError, match="outside"):
+            randomized_layout(random.Random(0), entropy_bits=4,
+                              pin={"code": 16})
+
+
+class TestEmergentRho:
+    """ρ < 1 as an executed property: randomized-layout consumers,
+    layout cohorts sharing golden images, hijack success decided by the
+    collision, the verified delivery path riding along."""
+
+    #: b = 2 over 18 httpd nodes: four cohorts (stratum 0 collides),
+    #: enough contacts for faults, hits and an executed epidemic.
+    EMERGENT = FleetConfig(seed=0, vulnerable_nodes=18, producers=2,
+                           extra_apps=(), entropy_bits=2, beta=1.0,
+                           benign_rate=0.05, gamma2=4.0, horizon=120.0,
+                           post_immunity_slack=4.0)
+
+    @pytest.fixture(scope="class")
+    def emergent_fleet(self):
+        return run_fleet(self.EMERGENT)
+
+    def test_rho_is_derived_not_assumed(self, emergent_fleet):
+        assert emergent_fleet.rho == 0.25
+        layout = emergent_fleet.layout
+        assert layout is not None
+        assert layout["entropy_bits"] == 2
+        assert layout["rho_analytic"] == 0.25
+        assert layout["sampling"] == "stratified"
+        assert layout["cohorts"] == 4
+
+    def test_hijacks_land_only_via_layout_collisions(self, emergent_fleet):
+        layout = emergent_fleet.layout
+        colliding = [c for c in layout["per_cohort"] if c["collides"]]
+        rest = [c for c in layout["per_cohort"] if not c["collides"]]
+        assert len(colliding) == 1                # stratum 0, by design
+        assert all(c["critical_slide"] == 0 for c in colliding)
+        assert all(c["hits"] == 0 for c in rest)
+        assert sum(c["hits"] for c in colliding) >= 1
+        assert emergent_fleet.contacts_faulted >= 1
+
+    def test_faulted_hosts_stay_clean(self, emergent_fleet):
+        """Every infection is patient zero or a counted colliding-layout
+        hit: a faulted contact never owned anybody."""
+        assert emergent_fleet.infected_final == \
+            1 + sum(c["hits"] for c in emergent_fleet.layout["per_cohort"])
+
+    def test_stratified_estimator_is_exact_when_stratum_sampled(
+            self, emergent_fleet):
+        layout = emergent_fleet.layout
+        colliding_trials = sum(c["trials"]
+                               for c in layout["per_cohort"]
+                               if c["collides"])
+        assert colliding_trials >= 1
+        assert layout["rho_estimate"] == 0.25    # pure strata: exact
+        assert layout["rho_stddev"] == 0.0
+
+    def test_cohorts_share_golden_boot_images(self, emergent_fleet):
+        """Randomization must not defeat COW forking: distinct cached
+        layouts are bounded by cohorts (+ producer cohorts), not by
+        node count."""
+        golden = emergent_fleet.golden
+        assert golden["layouts"] <= \
+            emergent_fleet.layout["cohorts"] + self.EMERGENT.producers
+        assert golden["forks"] >= 1
+        assert emergent_fleet.nodes_materialized > golden["images"]
+
+    def test_verified_delivery_path_rode_along(self, emergent_fleet):
+        verification = emergent_fleet.verification
+        assert verification is not None
+        assert verification["bundles_rejected"] == 0   # honest producers
+        assert verification["bundles_verified"] >= 1
+        sandbox = verification["sandbox"]
+        assert sandbox["boots"] == 1                   # one app image
+        assert sandbox["cache_hits"] >= 1              # shared verdicts
+
+    def test_emergent_run_is_deterministic(self):
+        def run():
+            data = run_fleet(self.EMERGENT).to_dict()
+            data.pop("wall_seconds")
+            data.pop("aggregate_insns_per_second")
+            return data
+
+        assert run() == run()
+
+    def test_rho1_regime_is_unchanged(self, small_fleet):
+        """entropy_bits = 0 keeps the reactive regime: no layout
+        report, no faulted contacts, ρ stays 1."""
+        assert small_fleet.rho == 1.0
+        assert small_fleet.layout is None
+        assert small_fleet.contacts_faulted == 0
+
+    def test_emergent_validation(self):
+        with pytest.raises(ReproError, match="entropy_bits"):
+            run_fleet(FleetConfig(entropy_bits=-1))
+        with pytest.raises(ReproError, match="derived"):
+            run_fleet(FleetConfig(entropy_bits=2, rho=0.5))
+        with pytest.raises(ReproError, match="strata"):
+            run_fleet(FleetConfig(entropy_bits=2, layout_cohorts=5))
+        with pytest.raises(ReproError, match="layout_sampling"):
+            run_fleet(FleetConfig(entropy_bits=2,
+                                  layout_sampling="bogus"))
+        # Layout knobs are validated in every regime, so a typo staged
+        # at rho = 1 fails here, not when entropy is later flipped on.
+        with pytest.raises(ReproError, match="layout_sampling"):
+            run_fleet(FleetConfig(layout_sampling="stratifed"))
+        with pytest.raises(ReproError, match="layout_cohorts"):
+            run_fleet(FleetConfig(layout_cohorts=-5))
+        # The derived value is accepted explicitly.
+        assert run_fleet(dataclasses.replace(
+            self.EMERGENT, rho=0.25)).rho == 0.25
 
 
 class TestFleet:

@@ -1,0 +1,82 @@
+"""Docs link-check: every cross-reference in the front-door docs must
+resolve to a real file.
+
+Checks two classes of reference in README.md, ARCHITECTURE.md,
+ROADMAP.md and docs/*.md:
+
+- markdown links ``[text](target)`` with relative targets (anchors are
+  stripped; external ``http(s)://`` targets are skipped);
+- backticked repo paths like ``benchmarks/bench_rho.py`` or
+  ``worm/fleet.py`` — anything in backticks that looks like a path with
+  a file extension (``.py``, ``.json``, ``.md``).  The docs' idiom
+  writes source files package-relative (``machine/cpu.py``), so each
+  path may resolve against the repo root, ``src/repro/`` or the doc's
+  own directory.  Prose backticks (identifiers, flags, ``pkg/`` package
+  names) are ignored.
+
+A stale reference — a bench renamed, a doc moved — fails CI with the
+offending file, line and target.
+
+Usage: ``python tools/check_docs_links.py`` from the repo root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOCS = [ROOT / "README.md", ROOT / "ARCHITECTURE.md", ROOT / "ROADMAP.md",
+        *sorted((ROOT / "docs").glob("*.md"))]
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Backticked multi-segment paths ending in a checkable extension.
+TICK_PATH = re.compile(r"`([\w./-]+/[\w.-]+\.(?:py|json|md))`")
+
+
+def check_file(doc: Path) -> list[str]:
+    failures = []
+    for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+        targets = []
+        for match in MD_LINK.finditer(line):
+            target = match.group(1).split("#", 1)[0]
+            if not target or target.startswith(("http://", "https://",
+                                                "mailto:")):
+                continue
+            targets.append((target, [doc.parent / target]))
+        for match in TICK_PATH.finditer(line):
+            target = match.group(1)
+            # Scratch results/ paths are generated, not tracked.
+            if target.startswith("benchmarks/results/"):
+                continue
+            targets.append((target, [ROOT / target,
+                                     ROOT / "src" / "repro" / target,
+                                     doc.parent / target]))
+        for target, candidates in targets:
+            if not any(c.exists() for c in candidates):
+                failures.append(f"{doc.relative_to(ROOT)}:{lineno}: "
+                                f"broken reference {target!r}")
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    for doc in DOCS:
+        if not doc.exists():
+            failures.append(f"front-door doc missing: "
+                            f"{doc.relative_to(ROOT)}")
+            continue
+        failures.extend(check_file(doc))
+    if failures:
+        print("docs link-check failed:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"docs link-check ok ({len(DOCS)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
