@@ -1,0 +1,57 @@
+"""Shared baseline loading for the ``check_*_regression.py`` gates.
+
+Every gate compares a fresh ``benchmarks/results/*.json`` against a
+tracked ``benchmarks/*.json`` baseline.  When either file is missing or
+malformed (a half-written results file from an interrupted bench, a bad
+merge of the tracked baseline), the gates used to die with a raw
+``FileNotFoundError``/``JSONDecodeError`` traceback — technically a CI
+failure, but one that reads like a gate bug instead of what it is: a
+file that needs regenerating.  :func:`load_json` turns both cases into
+a one-line actionable error naming the file and the command that
+rebuilds it (see ``docs/reproduction.md``), and exits nonzero.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_json(path: Path, regenerate: str) -> dict:
+    """Parse ``path`` as JSON, or exit 2 with a one-line fix-it error.
+
+    ``regenerate`` is the shell command that recreates the file; it is
+    embedded in the error so a CI log (or a fresh checkout) is
+    self-explanatory without opening this repo's docs.
+    """
+    try:
+        text = path.read_text()
+    except OSError as err:
+        reason = err.strerror or err.__class__.__name__
+        _fail(f"{path}: cannot read baseline/results file ({reason}) — "
+              f"regenerate with: {regenerate}")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as err:
+        _fail(f"{path}: malformed JSON (line {err.lineno}: {err.msg}) — "
+              f"regenerate with: {regenerate}")
+
+
+def load_pair(baseline_path: Path, fresh_path: Path) -> tuple[dict, dict]:
+    """Load ``(baseline, fresh)`` for one gate, deriving the regeneration
+    commands from the conventional ``BENCH_<name>.json`` ↔
+    ``bench_<name>.py`` naming every bench in this directory follows.
+    """
+    stem = baseline_path.name.removeprefix("BENCH_").removesuffix(".json")
+    bench = f"PYTHONPATH=src python -m pytest -q benchmarks/bench_{stem}.py"
+    baseline = load_json(
+        baseline_path,
+        f"{bench} && cp benchmarks/results/{baseline_path.name} benchmarks/")
+    fresh = load_json(fresh_path, bench)
+    return baseline, fresh
+
+
+def _fail(message: str):
+    print(message, file=sys.stderr)
+    raise SystemExit(2)

@@ -1,0 +1,187 @@
+"""Per-request service latency under sustained benign load.
+
+The paper's production claim is *latency*-shaped, not just throughput:
+checkpoint/rollback protection must be cheap enough that an individual
+request does not notice it.  This bench drives a sustained seeded
+``TrafficStream`` through one Sweeper node and reports wall-clock
+p50/p99/p999 per-request service time in three deployments:
+
+- **unprotected** — checkpointing effectively disabled (interval far
+  beyond the run horizon): the floor set by guest execution itself.
+- **checkpointed** — an aggressive 2 ms interval plus modeled busy work
+  per request, so tens of checkpoints fire inside every request.  This
+  is the checkpoint-dominated configuration the delta-snapshot path is
+  judged on.
+- **analysis** — every request sampled (taint tracker attached), the
+  instrumented-execution deployment the instrumented cell tier serves.
+
+Wall-clock absolute numbers are machine-dependent; the gated record is
+the machine-normalized *tax* ratios (checkpointed/unprotected and
+analysis/unprotected p99) plus the ``pre_change`` block: the same
+scenarios measured on this PR's base commit on the same machine, kept
+in the tracked JSON so the claimed improvement stays auditable.
+
+Results go to ``benchmarks/results/BENCH_request_latency.json``; the
+recorded baseline lives at ``benchmarks/BENCH_request_latency.json``
+and is enforced by ``check_request_latency_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.apps.httpd import build_httpd
+from repro.apps.workload import TrafficStream
+from repro.runtime.sweeper import Sweeper, SweeperConfig
+
+from conftest import RESULTS_DIR, report
+
+APP = "httpd"
+TRAFFIC_SEED = 11
+
+#: Modeled per-request service work (cache lookups, disk, compression).
+#: 300k cycles = 150 ms of virtual time per request: at a 2 ms interval
+#: ~75 checkpoints fire inside each request, which is what makes the
+#: checkpointed scenario checkpoint-dominated.
+WORK_CYCLES = 300_000
+CHECKPOINT_INTERVAL_MS = 2.0
+#: An interval far beyond any request's virtual time: after the boot
+#: checkpoint, no further checkpoint ever becomes due.
+DISABLED_INTERVAL_MS = 1e9
+
+WARMUP = 20
+REQUESTS = 250
+ANALYSIS_WARMUP = 3
+ANALYSIS_REQUESTS = 40
+#: Each scenario runs this many times and the repetition with the
+#: lowest p99 is kept.  Tail latency on shared runners is dominated by
+#: host scheduling spikes that hit whichever scenario is executing when
+#: the machine hiccups; best-of-N suppresses those (the probability all
+#: N repetitions are hit falls off geometrically) while leaving every
+#: cost the guest actually pays — checkpoint takes, instrumentation —
+#: fully visible, since those recur identically in every repetition.
+REPEATS = 3
+
+#: The same three scenarios measured at this PR's *base* commit on the
+#: same container class (recorded when the PR introduced the bench, per
+#: the reproduction workflow).  The regression gate checks the tracked
+#: post-change record improves checkpointed p99 >= 2x over this.
+PRE_CHANGE = {
+    "note": "measured at this PR's base commit, same machine/config",
+    "unprotected": {"p50_us": 289.3, "p99_us": 468.1, "p999_us": 1300.9},
+    "checkpointed": {"p50_us": 1551.8, "p99_us": 4235.1, "p999_us": 4987.8},
+    "analysis": {"p50_us": 1049.0, "p99_us": 2129.0, "p999_us": 2129.0},
+}
+
+
+def _percentile(sorted_us: list[float], q: float) -> float:
+    index = min(len(sorted_us) - 1, int(q * len(sorted_us)))
+    return sorted_us[index]
+
+
+def _summarize(samples_s: list[float]) -> dict:
+    ordered = sorted(sample * 1e6 for sample in samples_s)
+    return {
+        "requests": len(ordered),
+        "mean_us": round(sum(ordered) / len(ordered), 1),
+        "p50_us": round(_percentile(ordered, 0.50), 1),
+        "p99_us": round(_percentile(ordered, 0.99), 1),
+        "p999_us": round(_percentile(ordered, 0.999), 1),
+    }
+
+
+def _run_scenario(interval_ms: float, sample_every: int, warmup: int,
+                  requests: int, work_cycles: int) -> dict:
+    config = SweeperConfig(seed=3, checkpoint_interval_ms=interval_ms,
+                           sample_every=sample_every)
+    sweeper = Sweeper(build_httpd(), app_name=APP, config=config)
+    stream = TrafficStream(APP, seed=TRAFFIC_SEED)
+    for _ in range(warmup):
+        sweeper.submit(stream.next_request())
+        if work_cycles:
+            sweeper.advance_busy(work_cycles)
+    samples: list[float] = []
+    for _ in range(requests):
+        data = stream.next_request()
+        start = time.perf_counter()
+        sweeper.submit(data)
+        if work_cycles:
+            sweeper.advance_busy(work_cycles)
+        samples.append(time.perf_counter() - start)
+    summary = _summarize(samples)
+    summary["checkpoints_taken"] = sweeper.checkpoints.total_taken
+    assert not sweeper.attacks, "benign traffic must not trip detection"
+    return summary
+
+
+def _best_of(repeats: int, *args) -> dict:
+    return min((_run_scenario(*args) for _ in range(repeats)),
+               key=lambda row: row["p99_us"])
+
+
+def _latency_matrix() -> dict:
+    return {
+        "unprotected": _best_of(REPEATS, DISABLED_INTERVAL_MS, 0, WARMUP,
+                                REQUESTS, WORK_CYCLES),
+        "checkpointed": _best_of(REPEATS, CHECKPOINT_INTERVAL_MS, 0, WARMUP,
+                                 REQUESTS, WORK_CYCLES),
+        "analysis": _best_of(REPEATS, DISABLED_INTERVAL_MS, 1,
+                             ANALYSIS_WARMUP, ANALYSIS_REQUESTS, 0),
+    }
+
+
+def test_request_latency(benchmark):
+    matrix = benchmark.pedantic(_latency_matrix, rounds=1, iterations=1)
+
+    lines = ["REQUEST LATENCY — wall microseconds per request", ""]
+    header = (f"{'scenario':>14s} {'p50':>10s} {'p99':>10s} {'p999':>10s} "
+              f"{'mean':>10s} {'ckpts':>7s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in matrix.items():
+        lines.append(
+            f"{name:>14s} {row['p50_us']:>10,.1f} {row['p99_us']:>10,.1f} "
+            f"{row['p999_us']:>10,.1f} {row['mean_us']:>10,.1f} "
+            f"{row['checkpoints_taken']:>7d}")
+    report("request_latency", lines)
+
+    ratios = {
+        "checkpoint_tax_p50": round(
+            matrix["checkpointed"]["p50_us"]
+            / matrix["unprotected"]["p50_us"], 3),
+        "checkpoint_tax_p99": round(
+            matrix["checkpointed"]["p99_us"]
+            / matrix["unprotected"]["p99_us"], 3),
+        "analysis_tax_p50": round(
+            matrix["analysis"]["p50_us"]
+            / matrix["unprotected"]["p50_us"], 3),
+        "analysis_tax_p99": round(
+            matrix["analysis"]["p99_us"]
+            / matrix["unprotected"]["p99_us"], 3),
+    }
+    payload = {
+        "unit": "wall_microseconds_per_request",
+        "app": APP,
+        "config": {
+            "traffic_seed": TRAFFIC_SEED,
+            "work_cycles_per_request": WORK_CYCLES,
+            "checkpoint_interval_ms": CHECKPOINT_INTERVAL_MS,
+            "requests": REQUESTS,
+            "analysis_requests": ANALYSIS_REQUESTS,
+        },
+        "scenarios": matrix,
+        "ratios": ratios,
+        "pre_change": PRE_CHANGE,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_request_latency.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    # Self-contained guards (machine-independent ratios): ~75 checkpoint
+    # takes per request must not multiply tail latency beyond a small
+    # factor of the unprotected floor once snapshots are O(dirty).
+    assert matrix["checkpointed"]["checkpoints_taken"] > \
+        matrix["unprotected"]["checkpoints_taken"]
+    if PRE_CHANGE["checkpointed"]["p99_us"] is not None:
+        assert ratios["checkpoint_tax_p99"] <= 6.0, ratios

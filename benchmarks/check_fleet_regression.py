@@ -26,9 +26,10 @@ Usage: ``PYTHONPATH=src python benchmarks/check_fleet_regression.py``
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
+
+from baseline_util import load_pair
 
 HERE = Path(__file__).resolve().parent
 BASELINE_PATH = HERE / "BENCH_fleet.json"
@@ -120,8 +121,7 @@ def _result_views(payload: dict) -> list[tuple[str, dict]]:
 
 def compare(baseline_path: Path, fresh_path: Path, label: str,
             excluded=EXCLUDED) -> int:
-    baseline = json.loads(baseline_path.read_text())
-    fresh = json.loads(fresh_path.read_text())
+    baseline, fresh = load_pair(baseline_path, fresh_path)
     failures: list[str] = []
     walk(baseline, fresh, label, failures, excluded)
     if failures:

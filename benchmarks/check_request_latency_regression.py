@@ -1,0 +1,109 @@
+"""Fail CI when per-request service latency regresses.
+
+Compares the fresh ``benchmarks/results/BENCH_request_latency.json``
+(written by ``bench_request_latency.py``) against the *tracked* baseline
+``benchmarks/BENCH_request_latency.json``.  Absolute microseconds are
+machine-dependent, so the gate is machine-normalized: it enforces the
+*tax* ratios — checkpointed/unprotected and analysis/unprotected
+latency on the same machine in the same run.  A regression on the
+request path (snapshots back to O(mapped pages), eager checkpoint
+materialization, analysis falling back to the interpreter) inflates a
+tax ratio regardless of runner speed.
+
+Two further checks are independent of the fresh run:
+
+- The tracked baseline must itself honour this PR's acceptance claim:
+  its recorded checkpointed p99 beats its recorded ``pre_change``
+  checkpointed p99 by at least ``MIN_IMPROVEMENT`` (2x) — so the
+  improvement stays auditable from the tracked file alone.
+- With ``REFERENCE_HW=1`` absolute p50/p99 are enforced within
+  ``TOLERANCE`` of the baseline (reference-class containers only).
+
+Usage: ``PYTHONPATH=src python benchmarks/check_request_latency_regression.py``
+(after running the bench).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+from baseline_util import load_json
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "BENCH_request_latency.json"
+FRESH_PATH = HERE / "results" / "BENCH_request_latency.json"
+
+BENCH_CMD = ("PYTHONPATH=src python -m pytest -q "
+             "benchmarks/bench_request_latency.py")
+BASELINE_CMD = (BENCH_CMD + " && cp benchmarks/results/"
+                "BENCH_request_latency.json benchmarks/")
+
+#: Wall-clock latency ratios jitter far more than throughput ratios on
+#: shared runners (the unprotected denominator is a few hundred
+#: microseconds), so the headroom is generous; the regression this gate
+#: exists to catch (the pre-change ~9x checkpoint tax vs the recorded
+#: ~2x) still clears it by a wide margin.
+TOLERANCE = 0.80
+
+#: Gated machine-normalized ratios.  ``analysis_tax_p99`` is reported
+#: but not gated: the analysis scenario's p99 over 40 requests is its
+#: max, too noisy to pin.
+GATED_RATIOS = ("checkpoint_tax_p50", "checkpoint_tax_p99",
+                "analysis_tax_p50")
+
+MIN_IMPROVEMENT = 2.0
+
+
+def main() -> int:
+    baseline = load_json(BASELINE_PATH, BASELINE_CMD)
+    fresh = load_json(FRESH_PATH, BENCH_CMD)
+    failures: list[str] = []
+
+    for key in GATED_RATIOS:
+        want = baseline["ratios"][key]
+        got = fresh["ratios"].get(key)
+        limit = want * (1 + TOLERANCE)
+        verdict = "ok" if got is not None and got <= limit else "FAIL"
+        print(f"{key:>20s}: baseline {want:6.2f}  fresh "
+              f"{got if got is not None else float('nan'):6.2f}  "
+              f"(limit {limit:6.2f})  [{verdict}]")
+        if verdict == "FAIL":
+            failures.append(f"{key}: {got} > {limit:.2f} "
+                            f"(baseline {want} + {TOLERANCE:.0%})")
+
+    # The acceptance claim, auditable from the tracked file alone.
+    recorded = baseline["scenarios"]["checkpointed"]["p99_us"]
+    pre = baseline["pre_change"]["checkpointed"]["p99_us"]
+    improvement = pre / recorded
+    verdict = "ok" if improvement >= MIN_IMPROVEMENT else "FAIL"
+    print(f"{'checkpointed p99':>20s}: pre-change {pre:,.1f}us -> recorded "
+          f"{recorded:,.1f}us = {improvement:.2f}x  [{verdict}]")
+    if verdict == "FAIL":
+        failures.append(
+            f"tracked baseline improves checkpointed p99 only "
+            f"{improvement:.2f}x over pre_change (< {MIN_IMPROVEMENT}x)")
+
+    if os.environ.get("REFERENCE_HW"):
+        for scenario, base_row in baseline["scenarios"].items():
+            fresh_row = fresh["scenarios"][scenario]
+            for key in ("p50_us", "p99_us"):
+                want, got = base_row[key], fresh_row[key]
+                if got > want * (1 + TOLERANCE):
+                    failures.append(
+                        f"{scenario} {key}: {got:,.1f}us > "
+                        f"{want * (1 + TOLERANCE):,.1f}us")
+
+    if failures:
+        print(f"\nrequest latency regression >{TOLERANCE:.0%} above the "
+              "recorded baseline:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno request-latency regression against the recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

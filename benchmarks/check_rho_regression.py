@@ -18,9 +18,10 @@ Usage: ``PYTHONPATH=src python benchmarks/check_rho_regression.py``
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
+
+from baseline_util import load_pair
 
 HERE = Path(__file__).resolve().parent
 BASELINE_PATH = HERE / "BENCH_rho.json"
@@ -58,12 +59,7 @@ def walk(base, fresh, path, failures):
 
 
 def main() -> int:
-    if not FRESH_PATH.exists():
-        print(f"no fresh results at {FRESH_PATH}; "
-              "run bench_rho.py first", file=sys.stderr)
-        return 2
-    baseline = json.loads(BASELINE_PATH.read_text())
-    fresh = json.loads(FRESH_PATH.read_text())
+    baseline, fresh = load_pair(BASELINE_PATH, FRESH_PATH)
     failures: list[str] = []
     walk(baseline, fresh, "rho", failures)
     if failures:

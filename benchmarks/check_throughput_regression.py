@@ -21,10 +21,11 @@ Usage: ``PYTHONPATH=src python benchmarks/check_throughput_regression.py``
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from pathlib import Path
+
+from baseline_util import load_pair
 
 TOLERANCE = 0.20
 
@@ -41,8 +42,8 @@ def _ratio(modes: dict, num: str, den: str) -> float:
 
 
 def main() -> int:
-    baseline = json.loads(BASELINE_PATH.read_text())["workloads"]
-    fresh = json.loads(FRESH_PATH.read_text())["workloads"]
+    baseline, fresh = load_pair(BASELINE_PATH, FRESH_PATH)
+    baseline, fresh = baseline["workloads"], fresh["workloads"]
     failures = []
     for workload, base_modes in baseline.items():
         fresh_modes = fresh.get(workload)

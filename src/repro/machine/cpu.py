@@ -46,7 +46,8 @@ from repro.isa.encoding import (OP_LENGTHS, Insn, block_leaders, decode,
 from repro.isa.opcodes import (ALU_FUNCS, ALU_OPS, CONTROL_TRANSFER_OPS, FP,
                                OP_SIGNATURES, PREDICATE_FUNCS, SP, Op,
                                to_signed, to_unsigned)
-from repro.machine.execcore import compile_cell, compile_trace
+from repro.machine.execcore import (compile_cell, compile_instrumented_cell,
+                                    compile_trace)
 from repro.machine.memory import PagedMemory
 
 #: Virtual CPU frequency: cycles per virtual second.  2 MHz is chosen so
@@ -98,6 +99,14 @@ class CPU:
         self.sf = False
         self.cf = False
         self.cycles = 0
+        #: Monotone counter bumped whenever architectural state (regs,
+        #: pc, flags, ring — anything but the cycle counter) may have
+        #: changed: at every ``run``/``step`` entry and on every
+        #: ``restore_state``.  Pure cycle charging (modeled busy work)
+        #: does not bump it, which lets checkpoint takes over quiet
+        #: intervals share one frozen cpu-state dict instead of
+        #: re-copying the register file and control ring each time.
+        self.state_version = 0
         self.control_ring: deque[ControlEvent] = deque(maxlen=CONTROL_RING_SIZE)
         #: Every address ever observed as a CALL target; used to tell
         #: function entries apart from local jump labels when symbolizing.
@@ -115,6 +124,11 @@ class CPU:
         self._decode_cache: dict[int, Insn] = {}
         #: Executable-form cells for the same addresses: pc -> closure.
         self._cells: dict[int, Callable] = {}
+        #: Instrumented-form cells, compiled lazily by the analysis-mode
+        #: loop (:meth:`_run_instrumented`): pc -> closure replicating
+        #: the full ``step()`` event contract with the per-step lookups
+        #: hoisted.  Invalidated together with ``_decode_cache``.
+        self._icells: dict[int, Callable] = {}
         #: Fused traces: head pc -> (supercell, insn count, end address,
         #: member (pc, insn) tuple).  Members are kept so invalidation
         #: can re-split a partially stale trace.
@@ -160,6 +174,7 @@ class CPU:
         # In place: execution cells capture the register file and the
         # control ring by identity, so those objects must survive a
         # rollback (only their contents rewind).
+        self.state_version += 1
         self.regs[:] = state["regs"]
         self.pc = state["pc"]
         self.zf = state["zf"]
@@ -252,6 +267,7 @@ class CPU:
         if start is None or end is None:
             self._decode_cache.clear()
             self._cells.clear()
+            self._icells.clear()
             self._traces.clear()
             self._hot.clear()
             return
@@ -260,6 +276,7 @@ class CPU:
         for pc in stale:
             self._decode_cache.pop(pc, None)
             self._cells.pop(pc, None)
+            self._icells.pop(pc, None)
             self._hot.pop(pc, None)
         for head in [h for h, t in self._traces.items()
                      if h < end and start < t[2]]:
@@ -346,6 +363,7 @@ class CPU:
         falls back here for natives, syscalls, HALT, writable-memory
         code, or while a tool is attached.
         """
+        self.state_version += 1
         pc = self.pc
         native = self.native_entries.get(pc)
         if native is not None:
@@ -378,6 +396,7 @@ class CPU:
         faults, syscall blocking and process exit propagate as
         exceptions.  With no budgets it runs until one of those.
         """
+        self.state_version += 1
         steps_left = max_steps
         cycle_cap = self.cycles + max_cycles if max_cycles is not None \
             else None
@@ -397,7 +416,22 @@ class CPU:
 
     def _run_instrumented(self, steps_left: int | None,
                           cycle_cap: int | None) -> str:
-        """One step() per instruction: every event reaches the tools."""
+        """The analysis-mode loop: every event reaches the tools.
+
+        Instead of paying the full ``step()`` per instruction (native
+        probe, decode probe, dispatch-table lookup, hook-sink fetch),
+        decode-cached read-only code runs through lazily compiled
+        *instrumented cells* (:func:`compile_instrumented_cell`) that
+        hoist those lookups while emitting the identical event stream —
+        so an analysis-mode guest costs closer to the fast tier than to
+        the interpreter.  Natives and writable-memory code still take
+        ``step()``, which is also what first decodes a pc into the
+        cache so its icell can be built on the next visit.
+        """
+        icells_get = self._icells.get
+        icells = self._icells
+        decode_get = self._decode_cache.get
+        native_entries = self.native_entries
         step = self.step
         done = 0
         while True:
@@ -405,7 +439,18 @@ class CPU:
                 return "cycles"
             if steps_left is not None and done >= steps_left:
                 return "steps"
-            step()
+            pc = self.pc
+            cell = icells_get(pc)
+            if cell is not None:
+                cell(self)
+            else:
+                insn = decode_get(pc)
+                if insn is not None and pc not in native_entries:
+                    cell = compile_instrumented_cell(self, pc, insn)
+                    icells[pc] = cell
+                    cell(self)
+                else:
+                    step()
             done += 1
 
     def _run_fused(self, steps_left: int | None,

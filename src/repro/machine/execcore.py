@@ -487,6 +487,46 @@ def _popr(cpu, pc, insn):
 COMPILABLE_OPS = frozenset(_FACTORIES)
 
 
+def compile_instrumented_cell(cpu, pc: int, insn: Insn):
+    """Compile the *instrumented* form of ``insn`` at ``pc``.
+
+    The analysis-mode counterpart of :func:`compile_cell`: where plain
+    cells strip every hook call, an instrumented cell keeps the full
+    ``step()`` event contract — the VSEF pre-check probe, the ``ins``
+    event, the one-cycle charge and the general-path dispatch (whose
+    handlers emit the per-operand ``mem_*``/``reg_write``/control
+    events) — but hoists the per-step lookups ``step()`` repeats every
+    instruction: the native-entry probe (instrumented cells exist only
+    for decode-cached read-only code, which native entries never are),
+    the decode-cache probe and the dispatch-table lookup.  Tools
+    observe a bit-identical event stream; only the per-instruction
+    dispatch overhead shrinks.
+
+    The closure captures the hook *manager* and the pre-check table by
+    identity and re-reads ``hooks.sink``/the pc's check list every
+    execution, so tools attaching or detaching and filters arming or
+    disarming mid-run behave exactly as on the step() path.  Unlike
+    plain cells, SYS and HALT compile too — their general-path handlers
+    re-enter the runtime just as step() would.
+    """
+    dispatch = cpu._dispatch[insn.op]
+    hooks = cpu.hooks
+    prechecks = cpu.pre_checks
+
+    def run(cpu):
+        if prechecks:
+            checks = prechecks.get(pc)
+            if checks:
+                for check in checks:
+                    check(cpu, insn)
+        hk = hooks.sink
+        hk.ins(pc, insn, cpu)
+        cpu.cycles += 1
+        dispatch(pc, insn, hk)
+
+    return run
+
+
 # ---------------------------------------------------------------------------
 # Trace fusion: supercells
 #

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import (FAULT_NULL, FAULT_PROT, FAULT_SEGV, ReproError,
                           VMFault)
@@ -46,7 +46,12 @@ class Region:
     writable: bool = True
 
 
-@dataclass
+#: Longest chain of delta snapshots before a full page table is taken
+#: again.  Bounds both the parent-chain walk at materialization time and
+#: how much history a long-lived delta chain can pin in memory.
+MAX_DELTA_DEPTH = 64
+
+
 class MemorySnapshot:
     """An immutable view of memory at checkpoint time.
 
@@ -54,15 +59,61 @@ class MemorySnapshot:
     snapshot was taken; :class:`PagedMemory` copies any such page before
     modifying it.  ``code_epoch`` records the memory's code-change epoch
     so a rollback knows whether instruction bytes have changed since.
+
+    A snapshot is stored either *full* (``parent is None``; ``delta``
+    holds the complete page table) or as a *delta*: a parent reference
+    plus only the pages dirtied since the parent was taken.  Taking a
+    delta costs O(dirty pages); the full table is materialized lazily —
+    and cached — only when something actually consumes :attr:`pages`
+    (rollback, analysis, introspection).  A clean interval is the
+    zero-delta degenerate case: its materialized table is the parent's
+    dict, shared by reference.
     """
 
-    pages: dict[int, bytearray]
-    regions: list[Region]
-    code_epoch: int = 0
-    page_count: int = field(init=False)
+    __slots__ = ("regions", "code_epoch", "page_count", "parent", "delta",
+                 "delta_depth", "_pages_full")
 
-    def __post_init__(self):
-        self.page_count = len(self.pages)
+    def __init__(self, pages: dict[int, bytearray] | None = None,
+                 regions: list[Region] | None = None, code_epoch: int = 0,
+                 parent: "MemorySnapshot | None" = None,
+                 delta: dict[int, bytearray] | None = None,
+                 page_count: int | None = None):
+        self.regions = list(regions) if regions is not None else []
+        self.code_epoch = code_epoch
+        self.parent = parent
+        if pages is not None:          # full-table construction
+            self.delta = pages
+            self._pages_full = pages
+            self.delta_depth = 0
+            self.page_count = len(pages)
+        else:
+            self.delta = delta if delta is not None else {}
+            self._pages_full = None
+            self.delta_depth = 0 if parent is None else \
+                parent.delta_depth + 1
+            self.page_count = page_count if page_count is not None else \
+                len(self.delta)
+
+    @property
+    def pages(self) -> dict[int, bytearray]:
+        """The complete page table at snapshot time (materialized lazily
+        for delta snapshots; cached along the chain, and shared with the
+        parent outright when the delta is empty)."""
+        full = self._pages_full
+        if full is not None:
+            return full
+        chain = [self]
+        node = self.parent
+        while node._pages_full is None:
+            chain.append(node)
+            node = node.parent
+        full = node._pages_full
+        for snap in reversed(chain):
+            if snap.delta:
+                full = dict(full)
+                full.update(snap.delta)
+            snap._pages_full = full
+        return full
 
 
 class PagedMemory:
@@ -357,23 +408,34 @@ class PagedMemory:
     def snapshot(self) -> MemorySnapshot:
         """Take a copy-on-write snapshot (the Rx shadow process).
 
-        Only dirty state costs anything: page *contents* are always
-        shared (first write copies), and when the interval since the
-        previous snapshot wrote nothing — checkpoints during modeled
-        busy-work, repeated snapshots of an idle node — the page
-        *table* is shared with the previous snapshot too, skipping the
-        O(mapped pages) dict copy.
+        Snapshots are *incremental*: with a previous snapshot to parent
+        on, the new one records only the pages dirtied since it — an
+        O(dirty) dict build instead of the O(mapped) page-table copy —
+        and the full table materializes lazily if rollback or analysis
+        ever selects this snapshot.  A clean interval (checkpoints
+        during modeled busy-work, repeated snapshots of an idle node)
+        is the zero-delta degenerate case and costs O(1).  A full table
+        is recorded when there is no parent, when the page *set* mutated
+        behind the dirty bitmap (region unmap), and every
+        ``MAX_DELTA_DEPTH`` snapshots to bound chain walks.
         """
-        if self._last_snapshot is not None and not self._dirty \
-                and not self._pages_mutated:
-            snap = MemorySnapshot(pages=self._last_snapshot.pages,
-                                  regions=list(self._regions),
-                                  code_epoch=self._code_epoch)
+        last = self._last_snapshot
+        if last is not None and not self._pages_mutated \
+                and last.delta_depth < MAX_DELTA_DEPTH:
+            dirty = self._dirty
+            snap = MemorySnapshot(
+                regions=self._regions, code_epoch=self._code_epoch,
+                parent=last,
+                delta={index: self._pages[index] for index in dirty},
+                page_count=len(self._pages))
+            if dirty:
+                self._frozen |= dirty
+                dirty.clear()
         else:
             self._frozen = set(self._pages)
             self._dirty.clear()
             snap = MemorySnapshot(pages=dict(self._pages),
-                                  regions=list(self._regions),
+                                  regions=self._regions,
                                   code_epoch=self._code_epoch)
         self._last_snapshot = snap
         self._pages_mutated = False
@@ -384,11 +446,13 @@ class PagedMemory:
 
         Container objects (page table, page-region index, dirty bitmap)
         are mutated in place: execution cells and fused supercells
-        capture them by identity.  Rolling back across a code-epoch
-        change — any unmap or read-only patch between the snapshot and
-        now, however many checkpoints back the snapshot is — flushes
-        predecoded state (decode cache, cells and fused traces) so
-        stale decodings cannot survive the rollback.
+        capture them by identity.  Restoring a delta snapshot
+        materializes its full table (walking the parent chain once;
+        the result is cached on the snapshot).  Rolling back across a
+        code-epoch change — any unmap or read-only patch between the
+        snapshot and now, however many checkpoints back the snapshot is
+        — flushes predecoded state (decode cache, cells and fused
+        traces) so stale decodings cannot survive the rollback.
         """
         if snap.code_epoch != self._code_epoch:
             self._code_epoch = snap.code_epoch
@@ -419,13 +483,18 @@ class PagedMemory:
     def dirty_pages_since(self, snap: MemorySnapshot) -> int:
         """How many pages differ from ``snap`` by identity (COW accounting).
 
-        For the most recent snapshot this equals ``dirty_page_count()``;
-        the identity walk remains for older snapshots still retained by
-        the checkpoint manager.
+        For the most recent snapshot this *is* the dirty bitmap — a
+        single identity check and a ``len`` instead of a walk over every
+        mapped page.  The identity walk (which materializes the
+        snapshot's page table) remains for older snapshots still
+        retained by the checkpoint manager.
         """
+        if snap is self._last_snapshot:
+            return len(self._dirty)
         dirty = 0
+        snap_pages = snap.pages
         for index, page in self._pages.items():
-            if snap.pages.get(index) is not page:
+            if snap_pages.get(index) is not page:
                 dirty += 1
         return dirty
 

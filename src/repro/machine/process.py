@@ -114,6 +114,14 @@ class Process:
         self.native_addresses: dict[str, int] = {}
         self._sys_pc = 0
 
+        # Checkpoint-path caches.  A take over a quiet interval (only
+        # modeled cycles charged, no instruction executed) reuses the
+        # previous take's frozen cpu-state dict and rng state instead of
+        # re-copying them; ``cpu.state_version`` guards the former, rand
+        # draws and restores invalidate the latter.
+        self._cpu_state_cache: tuple[int, dict] | None = None
+        self._rng_state_cache: object | None = None
+
         self._load()
         self.cpu.syscall_handler = self._syscall
 
@@ -261,8 +269,7 @@ class Process:
             result = self._replayable(SYS_TIME,
                                       lambda: int(cpu.virtual_time() * 1000))
         elif number == SYS_RAND:
-            result = self._replayable(SYS_RAND,
-                                      lambda: self.rng.getrandbits(32))
+            result = self._replayable(SYS_RAND, self._rand_draw)
         elif number == SYS_LOG:
             data = self.memory.read(args[0], args[1])
             self.debug_log.append(data)
@@ -278,6 +285,18 @@ class Process:
         hk.reg_write(pc, 0, cpu.regs[0])
         hk.syscall(pc, number, args, result)
         cpu.cycles += 8
+
+    def _rand_draw(self) -> int:
+        """Draw guest entropy, invalidating the cached rng state."""
+        self._rng_state_cache = None
+        return self.rng.getrandbits(32)
+
+    def set_rng_state(self, state):
+        """Install an rng state (rollback/golden fork), keeping the
+        checkpoint-path cache coherent.  All rng mutations outside the
+        SYS_RAND draw must go through here."""
+        self.rng.setstate(state)
+        self._rng_state_cache = state
 
     def _replayable(self, number: int, live_fn):
         if self.replay_mode:
@@ -344,14 +363,52 @@ class Process:
 
     # -- checkpoint / rollback ------------------------------------------------------------
 
+    def _checkpoint_cpu_state(self) -> dict:
+        """The cpu-state dict a checkpoint records, cached across quiet
+        intervals.  When no instruction ran since the last take (the
+        ``state_version`` guard) only the cycle counter can differ, so
+        the frozen register file and control ring are shared and at most
+        a small dict is rebuilt; consumers never mutate these dicts
+        (rollback copies contents out in place)."""
+        cpu = self.cpu
+        version = cpu.state_version
+        cached = self._cpu_state_cache
+        if cached is not None and cached[0] == version:
+            state = cached[1]
+            if state["cycles"] != cpu.cycles:
+                state = {**state, "cycles": cpu.cycles}
+                self._cpu_state_cache = (version, state)
+            return state
+        state = cpu.snapshot_state()
+        self._cpu_state_cache = (version, state)
+        return state
+
+    def snapshot_ingredients(self) -> tuple:
+        """The raw makings of a :class:`ProcessSnapshot`, captured now.
+
+        This is the cheap checkpoint-path primitive: the memory delta
+        snapshot *is* taken (pages must freeze at take time), but the
+        ``ProcessSnapshot`` wrapper itself can be assembled lazily —
+        see :class:`repro.runtime.checkpoint.Checkpoint`.
+        """
+        rng_state = self._rng_state_cache
+        if rng_state is None:
+            rng_state = self.rng.getstate()
+            self._rng_state_cache = rng_state
+        return (self.memory.snapshot(), self._checkpoint_cpu_state(),
+                rng_state, len(self.syscall_log), self.current_msg_id,
+                self.msg_cursor)
+
     def snapshot_full(self) -> ProcessSnapshot:
+        memory, cpu_state, rng_state, log_len, msg_id, cursor = \
+            self.snapshot_ingredients()
         return ProcessSnapshot(
-            memory=self.memory.snapshot(),
-            cpu_state=self.cpu.snapshot_state(),
-            rng_state=self.rng.getstate(),
-            syscall_log_len=len(self.syscall_log),
-            current_msg_id=self.current_msg_id,
-            msg_cursor=self.msg_cursor)
+            memory=memory,
+            cpu_state=cpu_state,
+            rng_state=rng_state,
+            syscall_log_len=log_len,
+            current_msg_id=msg_id,
+            msg_cursor=cursor)
 
     def restore_full(self, snap: ProcessSnapshot, keep_log: bool = True):
         """Roll back to ``snap``.
@@ -369,7 +426,10 @@ class Process:
         epoch_crossed = snap.memory.code_epoch != self.memory.code_epoch
         self.memory.restore(snap.memory)
         self.cpu.restore_state(snap.cpu_state)
-        self.rng.setstate(snap.rng_state)
+        # The restored state *is* the snapshot's: seed the checkpoint
+        # caches so an immediately following quiet take shares it.
+        self._cpu_state_cache = (self.cpu.state_version, snap.cpu_state)
+        self.set_rng_state(snap.rng_state)
         self.current_msg_id = snap.current_msg_id
         self.msg_cursor = snap.msg_cursor
         self.input_queue.clear()

@@ -12,7 +12,9 @@ cost model rather than being scripted.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from bisect import bisect_left, bisect_right
+from collections import deque
+from operator import attrgetter
 
 from repro.machine.cpu import CPU_HZ
 from repro.machine.process import Process, ProcessSnapshot
@@ -24,7 +26,6 @@ CHECKPOINT_PER_PAGE_CYCLES = 55
 #: Cost charged per page later copied on write (the deferred COW work).
 COW_COPY_CYCLES = 180
 
-@dataclass
 class Checkpoint:
     """One retained checkpoint.
 
@@ -35,19 +36,47 @@ class Checkpoint:
     stamped from the manager's injected virtual clock (``None`` when the
     manager runs clockless) — the timeline coordinate fleet tooling and
     event logs report.
+
+    The request path stores only a cheap delta *marker*: the raw
+    snapshot ingredients (memory delta snapshot, shared cpu-state dict,
+    rng state, log/cursor integers) captured by
+    :meth:`~repro.machine.process.Process.snapshot_ingredients`.  The
+    restorable :class:`ProcessSnapshot` is materialized — once, cached —
+    only when rollback or analysis actually reads :attr:`snapshot`.
+    Selection keys (``msg_cursor``, ``taken_at_cycles``) are plain
+    attributes so scanning retained checkpoints never materializes them.
     """
 
-    snapshot: ProcessSnapshot
-    seq: int = 0
-    virtual_time: float | None = None
+    __slots__ = ("seq", "virtual_time", "msg_cursor", "taken_at_cycles",
+                 "_snapshot", "_ingredients")
+
+    def __init__(self, snapshot: ProcessSnapshot | None = None,
+                 seq: int = 0, virtual_time: float | None = None,
+                 ingredients: tuple | None = None):
+        self.seq = seq
+        self.virtual_time = virtual_time
+        self._snapshot = snapshot
+        self._ingredients = ingredients
+        if snapshot is not None:
+            self.msg_cursor = snapshot.msg_cursor
+            self.taken_at_cycles = snapshot.taken_at_cycles
+        else:
+            self.msg_cursor = ingredients[5]
+            self.taken_at_cycles = ingredients[1]["cycles"]
 
     @property
-    def msg_cursor(self) -> int:
-        return self.snapshot.msg_cursor
-
-    @property
-    def taken_at_cycles(self) -> int:
-        return self.snapshot.taken_at_cycles
+    def snapshot(self) -> ProcessSnapshot:
+        snap = self._snapshot
+        if snap is None:
+            memory, cpu_state, rng_state, log_len, msg_id, cursor = \
+                self._ingredients
+            snap = ProcessSnapshot(
+                memory=memory, cpu_state=cpu_state, rng_state=rng_state,
+                syscall_log_len=log_len, current_msg_id=msg_id,
+                msg_cursor=cursor)
+            self._snapshot = snap
+            self._ingredients = None
+        return snap
 
 
 class CheckpointManager:
@@ -64,7 +93,11 @@ class CheckpointManager:
         self.interval_ms = interval_ms
         self.max_checkpoints = max_checkpoints
         self.clock = clock
-        self.checkpoints: list[Checkpoint] = []
+        #: Retained checkpoints, oldest first.  A deque: retention
+        #: eviction pops from the left in O(1) instead of the old
+        #: ``list.pop(0)`` shuffle, and ``seq``/``msg_cursor`` are both
+        #: monotone along it, so selection bisects instead of scanning.
+        self.checkpoints: deque[Checkpoint] = deque()
         self._seq = itertools.count(1)
         self._last_cp_cycles: int | None = None
         self._last_cow_copies = 0
@@ -104,7 +137,7 @@ class CheckpointManager:
         self.total_cost_cycles += cost
         self._last_cow_copies = memory.cow_copies
         self.last_dirty_pages = memory.dirty_page_count()
-        checkpoint = Checkpoint(snapshot=process.snapshot_full(),
+        checkpoint = Checkpoint(ingredients=process.snapshot_ingredients(),
                                 seq=next(self._seq),
                                 virtual_time=self.clock.now
                                 if self.clock is not None else None)
@@ -112,7 +145,7 @@ class CheckpointManager:
         self.total_taken += 1
         self._last_cp_cycles = process.cpu.cycles
         while len(self.checkpoints) > self.max_checkpoints:
-            self.checkpoints.pop(0)
+            self.checkpoints.popleft()
         return checkpoint
 
     def adopt_boot_checkpoint(self, process: Process,
@@ -150,22 +183,22 @@ class CheckpointManager:
     def before_message(self, msg_index: int) -> Checkpoint | None:
         """Newest checkpoint taken before the ``msg_index``-th delivered
         message was consumed — the rollback point for analyzing or
-        dropping that message."""
-        best = None
-        for checkpoint in self.checkpoints:
-            if checkpoint.msg_cursor <= msg_index:
-                best = checkpoint
-        return best
+        dropping that message.  ``msg_cursor`` is non-decreasing in take
+        order, so this bisects instead of scanning."""
+        index = bisect_right(self.checkpoints, msg_index,
+                             key=attrgetter("msg_cursor"))
+        return self.checkpoints[index - 1] if index > 0 else None
 
     def older_than(self, checkpoint: Checkpoint) -> Checkpoint | None:
         """The next-older retained checkpoint (for widening the replay
-        window when a fault does not reproduce)."""
-        previous = None
-        for candidate in self.checkpoints:
-            if candidate.seq == checkpoint.seq:
-                return previous
-            previous = candidate
-        return None
+        window when a fault does not reproduce).  ``seq`` is strictly
+        increasing in take order, so the anchor is found by bisection."""
+        index = bisect_left(self.checkpoints, checkpoint.seq,
+                            key=attrgetter("seq"))
+        if index >= len(self.checkpoints) or \
+                self.checkpoints[index].seq != checkpoint.seq:
+            return None
+        return self.checkpoints[index - 1] if index > 0 else None
 
     def after_rollback(self, process: Process):
         """Re-arm interval accounting after the process rolled back."""
@@ -174,6 +207,7 @@ class CheckpointManager:
 
     def discard_after(self, checkpoint: Checkpoint):
         """Drop checkpoints newer than ``checkpoint`` (their timeline was
-        rolled back away)."""
-        self.checkpoints = [c for c in self.checkpoints
-                            if c.seq <= checkpoint.seq]
+        rolled back away).  ``seq`` is monotone, so the discards are a
+        right-side pop run."""
+        while self.checkpoints and self.checkpoints[-1].seq > checkpoint.seq:
+            self.checkpoints.pop()

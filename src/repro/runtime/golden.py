@@ -108,7 +108,7 @@ class GoldenImage:
         assert self.forkable
         rng_state = process.rng.getstate()
         process.restore_full(self.snapshot, keep_log=False)
-        process.rng.setstate(rng_state)
+        process.set_rng_state(rng_state)
         process.syscall_log.records = list(self.boot_records)
         process.syscall_log.cursor = 0
         process.debug_log = list(self.boot_debug_log)

@@ -138,3 +138,72 @@ def test_seq_ordering_survives_discard_after():
     assert manager.older_than(checkpoints[1]) is checkpoints[0]
     # New checkpoints keep counting from where the manager left off.
     assert manager.take(process).seq == 5
+
+
+def test_selection_under_retention_pressure():
+    """Sustained takes far past ``max_checkpoints``: eviction keeps the
+    newest window, and the bisecting selectors (seq and msg_cursor are
+    both monotone along the deque) agree with a linear scan."""
+    process = make_process()
+    manager = CheckpointManager(max_checkpoints=5)
+    taken = []
+    for round_number in range(30):
+        if round_number % 3 == 2:            # bump msg_cursor now and then
+            process.feed(bytes([round_number]))
+            process.run(max_steps=100_000)
+        taken.append(manager.take(process))
+    assert len(manager.checkpoints) == 5
+    assert [c.seq for c in manager.checkpoints] == \
+        [c.seq for c in taken[-5:]]
+
+    retained = list(manager.checkpoints)
+    for msg_index in range(process.msg_cursor + 2):
+        expected = None
+        for checkpoint in retained:          # linear-scan oracle
+            if checkpoint.msg_cursor <= msg_index:
+                expected = checkpoint
+        assert manager.before_message(msg_index) is expected
+    for position, checkpoint in enumerate(retained):
+        expected = retained[position - 1] if position else None
+        assert manager.older_than(checkpoint) is expected
+    # Evicted checkpoints are no longer selectable anchors.
+    assert manager.older_than(taken[0]) is None
+
+    manager.discard_after(retained[2])
+    assert list(manager.checkpoints) == retained[:3]
+
+
+def test_checkpoint_materializes_snapshot_lazily_and_once():
+    process = make_process()
+    manager = CheckpointManager()
+    checkpoint = manager.take(process)
+    # Selection keys are readable without materializing anything.
+    assert checkpoint.msg_cursor == process.msg_cursor
+    assert checkpoint.taken_at_cycles == process.cpu.cycles
+    assert checkpoint._snapshot is None
+    first = checkpoint.snapshot
+    assert checkpoint.snapshot is first      # cached, built exactly once
+    process.feed(b"y")
+    process.run(max_steps=100_000)
+    process.restore_full(checkpoint.snapshot)
+    assert process.cpu.cycles == checkpoint.taken_at_cycles
+
+
+def test_quiet_interval_takes_share_cpu_state():
+    """Checkpoints separated only by modeled busy work (cycle charging,
+    no executed instructions) share one frozen register file; a take
+    after real execution gets a fresh one."""
+    process = make_process()
+    manager = CheckpointManager()
+    first = manager.take(process)
+    process.cpu.cycles += 10_000             # modeled work only
+    second = manager.take(process)
+    assert second.snapshot.cpu_state["regs"] is \
+        first.snapshot.cpu_state["regs"]
+    assert second.snapshot.cpu_state["cycles"] > \
+        first.snapshot.cpu_state["cycles"]
+    process.feed(b"z")
+    process.run(max_steps=100_000)           # real execution
+    third = manager.take(process)
+    assert third.snapshot.cpu_state["regs"] is not \
+        first.snapshot.cpu_state["regs"]

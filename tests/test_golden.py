@@ -86,6 +86,43 @@ class TestForkEqualsEager:
         assert any(fork_pages[i] is not donor_pages[i] for i in fork_pages)
         assert {i: bytes(p) for i, p in donor_pages.items()} == before
 
+    def test_adopted_boot_checkpoint_anchors_the_fork_delta_chain(
+            self, httpd_image):
+        """A fork's boot checkpoint is adopted, not taken — later delta
+        snapshots must still chain back to the golden shared page table,
+        and rollbacks through that chain must stay bit-identical to an
+        eagerly booted sibling's."""
+        cache = GoldenImageCache()
+        Sweeper(httpd_image, app_name="httpd", config=_config(1),
+                golden=cache)
+        fork = Sweeper(httpd_image, app_name="httpd", config=_config(7),
+                       golden=cache)
+        eager = Sweeper(httpd_image, app_name="httpd", config=_config(7))
+        boot = fork.checkpoints.checkpoints[0]
+        for request in benign_requests("httpd", 4, seed=9):
+            fork.submit(request)
+            eager.submit(request)
+        later = fork.checkpoints.take(fork.process)
+        eager_later = eager.checkpoints.take(eager.process)
+        node = later.snapshot.memory
+        while node.parent is not None:
+            node = node.parent
+        assert node is boot.snapshot.memory
+        # Roll back to boot, then forward to the delta checkpoint; the
+        # fork must match the eager sibling bit-for-bit at both points.
+        for fork_snap, eager_snap in (
+                (boot.snapshot, eager.checkpoints.checkpoints[0].snapshot),
+                (later.snapshot, eager_later.snapshot)):
+            fork.process.restore_full(fork_snap)
+            eager.process.restore_full(eager_snap)
+            assert fork.process.cpu.snapshot_state() == \
+                eager.process.cpu.snapshot_state()
+            fork_pages = fork.process.memory._pages
+            eager_pages = eager.process.memory._pages
+            assert fork_pages.keys() == eager_pages.keys()
+            assert all(bytes(fork_pages[i]) == bytes(eager_pages[i])
+                       for i in fork_pages)
+
     def test_fork_serves_distinct_seeded_randomness(self, httpd_image):
         """Forked nodes keep their own seed-derived identity."""
         cache = GoldenImageCache()

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ReproError, VMFault
-from repro.machine.memory import PAGE_SIZE, PagedMemory
+from repro.machine.memory import MAX_DELTA_DEPTH, PAGE_SIZE, PagedMemory
 
 BASE = 0x10000
 
@@ -343,3 +343,133 @@ class TestCleanIntervalSnapshotReuse:
         memory.write(BASE, b"again")
         memory.restore(first)
         assert memory.read(BASE, 7) == b"payload"
+
+
+class TestDeltaSnapshots:
+    """Incremental snapshots: O(dirty) deltas, lazy materialization."""
+
+    def test_delta_records_only_dirty_pages(self):
+        memory = make_memory()
+        memory.write(BASE, b"a")
+        memory.write(BASE + 2 * PAGE_SIZE, b"b")
+        first = memory.snapshot()
+        assert first.parent is None          # no prior snapshot: full
+        memory.write(BASE + 2 * PAGE_SIZE, b"c")
+        second = memory.snapshot()
+        assert second.parent is first
+        assert set(second.delta) == {(BASE + 2 * PAGE_SIZE) // PAGE_SIZE}
+        assert second.page_count == first.page_count
+
+    def test_delta_chain_restores_every_epoch(self):
+        memory = make_memory()
+        snaps = []
+        for value in range(5):
+            memory.write(BASE, bytes([value]))
+            snaps.append(memory.snapshot())
+        # Restore the oldest first: its table materializes through the
+        # whole chain; then every other epoch must still be intact.
+        for value in (0, 3, 1, 4, 2):
+            memory.restore(snaps[value])
+            assert memory.read(BASE, 1) == bytes([value])
+
+    def test_materialized_table_is_cached(self):
+        memory = make_memory()
+        memory.write(BASE, b"x")
+        memory.snapshot()
+        memory.write(BASE, b"y")
+        delta_snap = memory.snapshot()
+        assert delta_snap.pages is delta_snap.pages
+
+    def test_map_region_after_clean_snapshot(self):
+        memory = make_memory()
+        memory.write(BASE, b"old")
+        first = memory.snapshot()
+        memory.map_region("grown", BASE + 16 * PAGE_SIZE, PAGE_SIZE)
+        memory.write(BASE + 16 * PAGE_SIZE, b"new")
+        second = memory.snapshot()
+        memory.restore(first)
+        assert not memory.is_mapped(BASE + 16 * PAGE_SIZE)
+        memory.restore(second)
+        assert memory.read(BASE + 16 * PAGE_SIZE, 3) == b"new"
+
+    def test_unmap_after_clean_snapshot_forces_full_table(self):
+        """unmap pops pages without dirtying them; the ``_pages_mutated``
+        guard must force the next snapshot off the delta path or the
+        popped pages would resurrect at materialization time."""
+        memory = make_memory()
+        memory.map_region("side", BASE + 8 * PAGE_SIZE, PAGE_SIZE)
+        memory.write(BASE + 8 * PAGE_SIZE, b"doomed")
+        first = memory.snapshot()
+        second = memory.snapshot()           # clean: zero-delta
+        memory.unmap_region("side")
+        third = memory.snapshot()
+        assert second.parent is first
+        assert third.parent is None          # full table, not a delta
+        index = (BASE + 8 * PAGE_SIZE) // PAGE_SIZE
+        assert index not in third.pages
+        memory.restore(third)
+        with pytest.raises(VMFault):
+            memory.read(BASE + 8 * PAGE_SIZE, 1)
+        memory.restore(first)
+        assert memory.read(BASE + 8 * PAGE_SIZE, 6) == b"doomed"
+
+    def test_delta_chain_across_code_epoch_change(self):
+        """A loader patch into read-only memory bumps the code epoch but
+        keeps the delta path (pages go through the dirty bitmap); a
+        rollback across the patch must still rewind the epoch and tell
+        code listeners."""
+        memory = make_memory()
+        memory.map_region("code", BASE + 32 * PAGE_SIZE, PAGE_SIZE,
+                          writable=False)
+        memory.write_unchecked(BASE + 32 * PAGE_SIZE, b"v1")
+        first = memory.snapshot()
+        memory.write_unchecked(BASE + 32 * PAGE_SIZE, b"v2")
+        second = memory.snapshot()
+        assert second.parent is first        # patch stays on the delta path
+        assert second.code_epoch != first.code_epoch
+        heard = []
+        memory.add_code_listener(lambda start, end: heard.append((start, end)))
+        memory.restore(first)
+        assert heard                          # rollback crossed the patch
+        assert memory.read(BASE + 32 * PAGE_SIZE, 2) == b"v1"
+        heard.clear()
+        memory.restore(second)
+        assert heard
+        assert memory.read(BASE + 32 * PAGE_SIZE, 2) == b"v2"
+
+    def test_max_delta_depth_forces_periodic_full_tables(self):
+        memory = make_memory()
+        memory.write(BASE, b"seed")
+        root = memory.snapshot()
+        assert root.delta_depth == 0
+        snaps = []
+        for step in range(MAX_DELTA_DEPTH + 1):
+            memory.write(BASE, step.to_bytes(2, "little"))
+            snaps.append(memory.snapshot())
+        assert snaps[MAX_DELTA_DEPTH - 1].delta_depth == MAX_DELTA_DEPTH
+        rebased = snaps[MAX_DELTA_DEPTH]
+        assert rebased.parent is None and rebased.delta_depth == 0
+        memory.restore(snaps[0])
+        assert memory.read(BASE, 2) == (0).to_bytes(2, "little")
+
+    def test_dirty_pages_since_short_circuit_matches_identity_walk(self):
+        """The bitmap short-circuit for the newest snapshot must agree
+        with the identity walk it replaces."""
+        memory = make_memory(6 * PAGE_SIZE)
+        for page in range(3):
+            memory.write(BASE + page * PAGE_SIZE, b"warm")
+        older = memory.snapshot()
+        memory.write(BASE, b"mid")
+        newest = memory.snapshot()
+        memory.write(BASE + PAGE_SIZE, b"one")
+        memory.write(BASE + 5 * PAGE_SIZE, b"two")
+
+        def identity_walk(snap):
+            snap_pages = snap.pages
+            return sum(1 for index, page in memory._pages.items()
+                       if snap_pages.get(index) is not page)
+
+        assert memory.dirty_pages_since(newest) == 2
+        assert memory.dirty_pages_since(newest) == identity_walk(newest)
+        # Older snapshots take the walk; BASE's page also differs there.
+        assert memory.dirty_pages_since(older) == identity_walk(older) == 3
