@@ -121,7 +121,15 @@ def _result_views(payload: dict) -> list[tuple[str, dict]]:
 
 def compare(baseline_path: Path, fresh_path: Path, label: str,
             excluded=EXCLUDED) -> int:
-    baseline, fresh = load_pair(baseline_path, fresh_path)
+    return compare_payloads(*load_pair(baseline_path, fresh_path),
+                            label, excluded)
+
+
+def compare_payloads(baseline: dict, fresh: dict, label: str,
+                     excluded=EXCLUDED) -> int:
+    """Field-level walk + drift report over already-loaded payloads —
+    the comparison half of :func:`compare`, for gates that load their
+    files through :mod:`baseline_util` themselves."""
     failures: list[str] = []
     walk(baseline, fresh, label, failures, excluded)
     if failures:

@@ -115,6 +115,17 @@ class MemorySnapshot:
             snap._pages_full = full
         return full
 
+    def page_identities(self) -> set[int]:
+        """Identity set of this snapshot's page objects.
+
+        The fleet's memory accounting deduplicates pages across nodes and
+        checkpoints by object identity — COW-shared pages are one object,
+        so they count once however many snapshots reference them.  Going
+        through :attr:`pages` keeps the semantics of the materialized
+        full table (delta chains resolve to whatever page object is live
+        at this snapshot's depth)."""
+        return {id(page) for page in self.pages.values()}
+
 
 class PagedMemory:
     """Sparse paged memory for one guest process.
@@ -264,6 +275,13 @@ class PagedMemory:
     def mapped_page_count(self) -> int:
         """Number of pages currently spanned by mapped regions."""
         return sum((r.end - r.start) >> PAGE_SHIFT for r in self._regions)
+
+    def page_identities(self) -> set[int]:
+        """Identity set of the live page objects (see
+        :meth:`MemorySnapshot.page_identities`) — the process-side half
+        of the fleet's COW-sharing accounting, counting a golden-forked
+        or checkpoint-shared page once per distinct object."""
+        return {id(page) for page in self._pages.values()}
 
     # -- access ------------------------------------------------------------
 

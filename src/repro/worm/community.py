@@ -78,6 +78,48 @@ def figure8_data() -> dict[float, dict[float, float]]:
     return infection_ratio_grid(HITLIST_4K)
 
 
+def hybrid_fleet_config(scenario: Scenario, executed_nodes: int,
+                        producers: int, seed: int = 0,
+                        benign_rate: float = 0.01,
+                        horizon: float = 300.0,
+                        max_contacts: int = 250_000,
+                        workers: int = 0) -> "FleetConfig":
+    """Map a Fig. 6-8 scenario onto an executed-core + Gillespie-halo
+    fleet: ``executed_nodes`` real Sweeper guests embedded in the
+    scenario's full population as modeled hosts.
+
+    The epidemic population becomes ``scenario.population`` exactly —
+    the executed core supplies the producers (so α is realized by real
+    analysis pipelines publishing on a real bus) and the halo makes up
+    the difference, which is how a few hundred booted guests carry the
+    community claim at the paper's 10⁵-host scale.  Only ρ = 1
+    scenarios are executable today: the emergent-ρ regime derives ρ
+    from layout entropy per *executed* consumer, and a modeled host has
+    no layout to collide with.
+    """
+    from repro.worm.fleet import FleetConfig
+
+    if scenario.rho != 1.0:
+        raise ValueError(
+            f"scenario {scenario.name!r} assumes rho={scenario.rho}; the "
+            f"hybrid fleet executes rho=1 cores (emergent rho needs "
+            f"executed consumers, not modeled ones)")
+    if executed_nodes > scenario.population:
+        raise ValueError("executed core exceeds the scenario population")
+    return FleetConfig(
+        seed=seed,
+        vulnerable_nodes=executed_nodes,
+        producers=producers,
+        extra_apps=(),
+        beta=scenario.beta,
+        rho=scenario.rho,
+        benign_rate=benign_rate,
+        horizon=horizon,
+        max_contacts=max_contacts,
+        halo_hosts=scenario.population - executed_nodes,
+        workers=workers)
+
+
 def end_to_end_gamma(analysis_seconds: float,
                      dissemination_seconds: float = 3.0) -> float:
     """γ = γ₁ (detect+analyze, measured from the pipeline) + γ₂

@@ -113,7 +113,7 @@ from repro.machine.layout import randomized_layout
 from repro.machine.memory import PAGE_SIZE
 from repro.runtime.golden import GoldenImageCache
 from repro.runtime.sweeper import Sweeper, SweeperConfig, boot_layout
-from repro.worm.simulation import simulate_outbreak
+from repro.worm.simulation import GillespieHalo, simulate_outbreak
 
 _BUILDERS = {"httpd": build_httpd, "squidp": build_squidp, "cvsd": build_cvsd}
 
@@ -191,6 +191,20 @@ class FleetConfig:
     #: Event-queue shards; 0 picks ~√N automatically.  Any value yields
     #: the identical event order (the queue's push counter is global).
     scheduler_shards: int = 0
+    #: Shard worker *processes* hosting the executed nodes (0 = host
+    #: everything in this process).  Nodes map to workers by
+    #: ``index % workers``; the coordinator keeps every epidemic rng
+    #: draw and pops the queue in global push-counter order, so the
+    #: trajectory is bit-identical at any worker count (see
+    #: :mod:`repro.worm.parallel`).
+    workers: int = 0
+    #: Gillespie halo: modeled hosts surrounding the executed core.  The
+    #: epidemic population becomes ``vulnerable_nodes + halo_hosts``,
+    #: contacts cross the core↔halo boundary in both directions, and
+    #: conservation (no host in both tiers) is asserted per contact.
+    #: 0 runs the pure-executed fleet, bit-identical to before the halo
+    #: existed (the halo consumes no extra epidemic rng draws).
+    halo_hosts: int = 0
 
     @property
     def total_nodes(self) -> int:
@@ -401,12 +415,28 @@ class FleetResult:
     layout: dict | None = None
     #: Sandbox bundle-verification accounting (None when disabled).
     verification: dict | None = None
+    #: Gillespie-halo accounting (None without a halo): modeled-tier
+    #: counts, boundary crossings and the conservation check.
+    halo: dict | None = None
+    #: Worker-pool accounting (None in-process): per-worker node
+    #: ownership, events executed and peak RSS.  Topology-dependent, so
+    #: excluded from trajectory comparisons like ``memory``.
+    workers: dict | None = None
     nodes: list[dict] = field(default_factory=list)
     gillespie: dict | None = None       # matched-seed simulate_outbreak
     model: dict | None = None           # solve_outbreak (needs scipy)
 
     def to_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        # Absent features stay absent from the payload, so tracked
+        # baselines written before the halo/worker fields existed remain
+        # byte-stable and the regression gate's key walk never sees a
+        # one-sided key.
+        if self.halo is None:
+            data.pop("halo")
+        if self.workers is None:
+            data.pop("workers")
+        return data
 
 
 def _validate(config: FleetConfig):
@@ -462,185 +492,179 @@ def _validate(config: FleetConfig):
             f"address guess (hijack_region is None), so randomization "
             f"cannot attenuate it — emergent rho < 1 needs a layout-"
             f"dependent hijack")
+    if config.workers < 0 or config.workers > 64:
+        raise ReproError("workers must be between 0 (in-process) and 64")
+    if config.halo_hosts < 0:
+        raise ReproError("halo_hosts must be >= 0")
 
 
-class _FleetRun:
-    """One in-flight execution of :func:`run_fleet`."""
+# -- roster construction (shared with the parallel workers) ----------------
+#
+# Building the fleet roster is a pure function of the config: cohort
+# planning, node configs, traffic/arrival rngs, image construction —
+# no booting, no rng shared with the epidemic process.  Worker
+# processes (:mod:`repro.worm.parallel`) rebuild the identical roster
+# from the pickled config alone, which is what makes the coordinator ↔
+# worker protocol small: messages carry node *indices*, never node
+# state.
 
-    def __init__(self, config: FleetConfig):
-        _validate(config)
-        self.config = config
-        #: Emergent-ρ regime: consumer layouts randomized, ρ = 2^-b.
-        self.emergent = config.entropy_bits > 0
-        #: The analytic ρ cross-validation runs against — derived, never
-        #: steering an executed outcome.
-        self.rho = (2.0 ** -config.entropy_bits if self.emergent
-                    else config.rho)
-        #: The epidemic rng — consumed in exactly simulate_outbreak's
-        #: draw order so a fleet run is a matched Gillespie realization.
-        self.rng_contacts = random.Random(config.seed)
-        #: Node-identity rng: which concrete node within a drawn bucket.
-        self.detail = random.Random((config.seed << 16) ^ 0x5F1EE7)
-        self.bus = CommunityBus(dissemination_latency=config.gamma2)
-        self.golden = GoldenImageCache()
-        self.verifier = (SandboxVerifier() if config.verify_bundles
-                         else None)
-        self.images: dict[str, object] = {}
-        self.nodes: list[FleetNode] = []
-        self.materialized = 0
-        self.cohorts: list[LayoutCohort] = \
-            self._plan_cohorts() if self.emergent else []
-        self._build_nodes()
-        self.v_producers = [n for n in self.nodes
-                            if n.vulnerable and n.role == "producer"]
-        self.v_consumers = [n for n in self.nodes
-                            if n.vulnerable and n.role == "consumer"]
-        self.population = len(self.v_producers) + len(self.v_consumers)
-        self.susceptible = list(self.v_consumers)
-        self.infected: list[FleetNode] = []
+def plan_cohorts(config: FleetConfig) -> list[LayoutCohort]:
+    """Draw the susceptible population's layout cohorts.
 
-        shards = config.scheduler_shards or \
-            max(1, int(round(config.total_nodes ** 0.5)))
-        self.queue = ShardedEventQueue(shards)
-        self.t0: float | None = None
-        self.contacts = 0
-        self.contacts_to_producers = 0
-        self.contacts_blocked = 0
-        self.contacts_wasted = 0
-        self.contacts_faulted = 0
-        self.benign_sent = 0
-        self.benign_responses = 0
+    Each cohort is one concrete randomized layout; members fork one
+    golden boot image.  Stratified sampling pins cohort k's
+    exploit-critical slide to stratum value k — stratum 0 *is* the
+    colliding class, so the rare event is populated by construction
+    (the importance-splitting move); with fewer cohorts than strata
+    the non-zero strata are sampled without replacement from a
+    dedicated rng.  The layout draw itself mirrors
+    :func:`~repro.runtime.sweeper.boot_layout` exactly, so the
+    planned slide is the slide the booted node genuinely loads.
+    """
+    bits = config.entropy_bits
+    susceptible = config.vulnerable_nodes - config.producers
+    count = config.layout_cohorts or min(2 ** bits, susceptible)
+    count = max(1, min(count, susceptible))
+    region = EXPLOITS[config.worm_exploit].hijack_region
+    if config.layout_sampling == "stratified":
+        if count == 2 ** bits:
+            strata = list(range(count))
+        else:
+            picker = random.Random(config.seed ^ 0x57A7B17E)
+            strata = [0] + sorted(picker.sample(
+                range(1, 2 ** bits), count - 1))
+    else:
+        strata = [None] * count
+    cohorts = []
+    for k, stratum in enumerate(strata):
+        layout_seed = config.seed * 4_900_019 + 1009 * k + 7
+        pin = {region: stratum} if stratum is not None else None
+        layout = randomized_layout(random.Random(layout_seed),
+                                   entropy_bits=bits, pin=pin)
+        slide = layout.slide_pages[region]
+        cohorts.append(LayoutCohort(
+            index=k, layout_seed=layout_seed, pin=pin,
+            critical_slide=slide, collides=slide == 0))
+    return cohorts
 
-    # -- construction -------------------------------------------------------
 
-    def _plan_cohorts(self) -> list[LayoutCohort]:
-        """Draw the susceptible population's layout cohorts.
+def _node_config(config: FleetConfig, role: str, vulnerable: bool,
+                 seed: int, cohort: LayoutCohort | None = None,
+                 layout_seed: int | None = None) -> SweeperConfig:
+    producer = role == "producer"
+    susceptible = vulnerable and not producer
+    if susceptible and cohort is not None:
+        # Emergent ρ: a randomized consumer on its cohort's layout.
+        randomize, entropy = True, config.entropy_bits
+        layout_seed, layout_pin = cohort.layout_seed, cohort.pin
+    else:
+        # Susceptible consumers in the ρ = 1 regime are the model's
+        # unprotected hosts: no address randomization, so the worm
+        # owns them.  Producers/riders randomize at full entropy
+        # (layout_seed shares producer cohort draws when set).
+        randomize, entropy = not susceptible, None
+        layout_pin = None
+    kwargs = {} if entropy is None else {"entropy_bits": entropy}
+    return SweeperConfig(
+        seed=seed,
+        checkpoint_interval_ms=config.checkpoint_interval_ms,
+        enable_membug=producer, enable_taint=producer,
+        enable_slicing=producer,
+        publish_antibodies=producer,
+        dissemination_latency=config.gamma2,
+        randomize_layout=randomize,
+        layout_seed=layout_seed, layout_pin=layout_pin,
+        verify_foreign=config.verify_bundles,
+        **kwargs)
 
-        Each cohort is one concrete randomized layout; members fork one
-        golden boot image.  Stratified sampling pins cohort k's
-        exploit-critical slide to stratum value k — stratum 0 *is* the
-        colliding class, so the rare event is populated by construction
-        (the importance-splitting move); with fewer cohorts than strata
-        the non-zero strata are sampled without replacement from a
-        dedicated rng.  The layout draw itself mirrors
-        :func:`~repro.runtime.sweeper.boot_layout` exactly, so the
-        planned slide is the slide the booted node genuinely loads.
-        """
-        config = self.config
-        bits = config.entropy_bits
-        susceptible = config.vulnerable_nodes - config.producers
-        count = config.layout_cohorts or min(2 ** bits, susceptible)
-        count = max(1, min(count, susceptible))
-        region = EXPLOITS[config.worm_exploit].hijack_region
-        if config.layout_sampling == "stratified":
-            if count == 2 ** bits:
-                strata = list(range(count))
+
+def build_roster(config: FleetConfig
+                 ) -> tuple[list[FleetNode], dict[str, object],
+                            list[LayoutCohort]]:
+    """Build the fleet roster as pure bookkeeping; no node boots here.
+
+    Returns ``(nodes, images, cohorts)``.  Sweeper stacks materialize
+    on first delivered event (see :meth:`NodeHost._sweeper`), so a
+    512-node fleet only ever pays for the nodes the outbreak actually
+    touches.  Deterministic per config — coordinator and every worker
+    process build byte-identical rosters independently; the caller
+    subscribes the nodes it hosts to its own bus.
+    """
+    emergent = config.entropy_bits > 0
+    cohorts = plan_cohorts(config) if emergent else []
+    images: dict[str, object] = {}
+    nodes: list[FleetNode] = []
+    roster: list[tuple[str, str, bool]] = []
+    for i in range(config.producers):
+        roster.append((config.vulnerable_app, "producer", True))
+    for i in range(config.vulnerable_nodes - config.producers):
+        roster.append((config.vulnerable_app, "consumer", True))
+    for app, consumers, producers in config.extra_apps:
+        for i in range(producers):
+            roster.append((app, "producer", False))
+        for i in range(consumers):
+            roster.append((app, "consumer", False))
+    counters: dict[tuple[str, str], itertools.count] = {}
+    # Emergent mode shares layout draws: susceptible consumers join
+    # their round-robin cohort, and producers form layout cohorts of
+    # their own (capped at the consumer-cohort count) so randomized
+    # producers fork golden boot images too.
+    producer_cohorts = (min(config.producers, len(cohorts))
+                        if emergent else 0)
+    susceptible_seen = producers_seen = 0
+    for index, (app, role, vulnerable) in enumerate(roster):
+        if app not in images:
+            images[app] = _BUILDERS[app]()
+        ordinal = next(counters.setdefault((app, role),
+                                           itertools.count(1)))
+        cohort = producer_layout_seed = None
+        if emergent and vulnerable:
+            if role == "consumer":
+                cohort = cohorts[susceptible_seen % len(cohorts)]
+                cohort.nodes += 1
+                susceptible_seen += 1
             else:
-                picker = random.Random(config.seed ^ 0x57A7B17E)
-                strata = [0] + sorted(picker.sample(
-                    range(1, 2 ** bits), count - 1))
-        else:
-            strata = [None] * count
-        cohorts = []
-        for k, stratum in enumerate(strata):
-            layout_seed = config.seed * 4_900_019 + 1009 * k + 7
-            pin = {region: stratum} if stratum is not None else None
-            layout = randomized_layout(random.Random(layout_seed),
-                                       entropy_bits=bits, pin=pin)
-            slide = layout.slide_pages[region]
-            cohorts.append(LayoutCohort(
-                index=k, layout_seed=layout_seed, pin=pin,
-                critical_slide=slide, collides=slide == 0))
-        return cohorts
+                producer_layout_seed = (
+                    config.seed * 7_700_011
+                    + 101 * (producers_seen % producer_cohorts) + 13)
+                producers_seen += 1
+        nodes.append(FleetNode(
+            index=index,
+            name=f"{app}-{role[0]}{ordinal}",
+            app=app, role=role, vulnerable=vulnerable,
+            config=_node_config(config, role, vulnerable,
+                                seed=config.seed * 31 + index,
+                                cohort=cohort,
+                                layout_seed=producer_layout_seed),
+            traffic=TrafficStream(
+                app, seed=config.seed * 9_000_007 + index),
+            arrivals=random.Random(config.seed * 1_000_003
+                                   + 7919 * index + 11),
+            cohort=cohort.index if cohort is not None else None,
+            collides=cohort.collides if cohort is not None else None))
+    return nodes, images, cohorts
 
-    def _node_config(self, role: str, vulnerable: bool, seed: int,
-                     cohort: LayoutCohort | None = None,
-                     layout_seed: int | None = None) -> SweeperConfig:
-        producer = role == "producer"
-        susceptible = vulnerable and not producer
-        if susceptible and cohort is not None:
-            # Emergent ρ: a randomized consumer on its cohort's layout.
-            randomize, entropy = True, self.config.entropy_bits
-            layout_seed, layout_pin = cohort.layout_seed, cohort.pin
-        else:
-            # Susceptible consumers in the ρ = 1 regime are the model's
-            # unprotected hosts: no address randomization, so the worm
-            # owns them.  Producers/riders randomize at full entropy
-            # (layout_seed shares producer cohort draws when set).
-            randomize, entropy = not susceptible, None
-            layout_pin = None
-        kwargs = {} if entropy is None else {"entropy_bits": entropy}
-        return SweeperConfig(
-            seed=seed,
-            checkpoint_interval_ms=self.config.checkpoint_interval_ms,
-            enable_membug=producer, enable_taint=producer,
-            enable_slicing=producer,
-            publish_antibodies=producer,
-            dissemination_latency=self.config.gamma2,
-            randomize_layout=randomize,
-            layout_seed=layout_seed, layout_pin=layout_pin,
-            verify_foreign=self.config.verify_bundles,
-            **kwargs)
 
-    def _build_nodes(self):
-        """Build the roster as pure bookkeeping; no node boots here.
+class NodeHost:
+    """The node-hosting surface: materialize lazily, apply the bus,
+    deliver events.
 
-        Sweeper stacks materialize on first delivered event (see
-        :meth:`_sweeper`), so a 512-node fleet only ever pays for the
-        nodes the outbreak actually touches.
-        """
-        config = self.config
-        roster: list[tuple[str, str, bool]] = []
-        for i in range(config.producers):
-            roster.append((config.vulnerable_app, "producer", True))
-        for i in range(config.vulnerable_nodes - config.producers):
-            roster.append((config.vulnerable_app, "consumer", True))
-        for app, consumers, producers in config.extra_apps:
-            for i in range(producers):
-                roster.append((app, "producer", False))
-            for i in range(consumers):
-                roster.append((app, "consumer", False))
-        counters: dict[tuple[str, str], itertools.count] = {}
-        # Emergent mode shares layout draws: susceptible consumers join
-        # their round-robin cohort, and producers form layout cohorts of
-        # their own (capped at the consumer-cohort count) so randomized
-        # producers fork golden boot images too.
-        producer_cohorts = (min(config.producers, len(self.cohorts))
-                            if self.emergent else 0)
-        susceptible_seen = producers_seen = 0
-        for index, (app, role, vulnerable) in enumerate(roster):
-            if app not in self.images:
-                self.images[app] = _BUILDERS[app]()
-            ordinal = next(counters.setdefault((app, role),
-                                               itertools.count(1)))
-            cohort = producer_layout_seed = None
-            if self.emergent and vulnerable:
-                if role == "consumer":
-                    cohort = self.cohorts[susceptible_seen
-                                          % len(self.cohorts)]
-                    cohort.nodes += 1
-                    susceptible_seen += 1
-                else:
-                    producer_layout_seed = (
-                        config.seed * 7_700_011
-                        + 101 * (producers_seen % producer_cohorts) + 13)
-                    producers_seen += 1
-            node = FleetNode(
-                index=index,
-                name=f"{app}-{role[0]}{ordinal}",
-                app=app, role=role, vulnerable=vulnerable,
-                config=self._node_config(role, vulnerable,
-                                         seed=config.seed * 31 + index,
-                                         cohort=cohort,
-                                         layout_seed=producer_layout_seed),
-                traffic=TrafficStream(
-                    app, seed=config.seed * 9_000_007 + index),
-                arrivals=random.Random(config.seed * 1_000_003
-                                       + 7919 * index + 11),
-                cohort=cohort.index if cohort is not None else None,
-                collides=cohort.collides if cohort is not None else None)
-            self.bus.subscribe(node.name)
-            self.nodes.append(node)
+    Shared verbatim by the in-process fleet (:class:`_FleetRun`) and the
+    per-process worker harness (:class:`repro.worm.parallel`), so the
+    executed delivery semantics cannot drift between the sequential and
+    parallel paths.  A host provides ``images``, ``bus`` (the bus its
+    nodes poll), ``golden``, ``verifier`` and a ``materialized``
+    counter; producers publish to whatever :meth:`_node_bus` returns
+    (the real community bus in-process, a recording buffer in a
+    worker).
+    """
+
+    images: dict
+    golden: GoldenImageCache
+    materialized: int
+
+    def _node_bus(self, node: FleetNode):
+        return self.bus if node.role == "producer" else None
 
     def _sweeper(self, node: FleetNode) -> Sweeper:
         """The node's Sweeper stack, materializing it on first use.
@@ -654,24 +678,10 @@ class _FleetRun:
             node.sweeper = Sweeper(
                 self.images[node.app], app_name=node.app,
                 config=node.config,
-                bus=self.bus if node.role == "producer" else None,
+                bus=self._node_bus(node),
                 golden=self.golden)
             self.materialized += 1
         return node.sweeper
-
-    # -- scheduling ---------------------------------------------------------
-
-    def _push(self, t: float, kind: int, idx: int):
-        self.queue.push(t, kind, idx)
-
-    def _cutoff(self) -> float:
-        avail = self.bus.first_available_time(self.config.vulnerable_app)
-        if avail is None:
-            return self.config.horizon
-        return min(self.config.horizon,
-                   avail + self.config.post_immunity_slack)
-
-    # -- delivery -----------------------------------------------------------
 
     def _apply_bus(self, node: FleetNode, sweeper: Sweeper, t: float):
         """Antibodies available by ``t`` apply before the node serves its
@@ -696,12 +706,108 @@ class _FleetRun:
         sweeper.schedule(data)
         return sweeper.advance()
 
+
+class _FleetRun(NodeHost):
+    """One in-flight execution of :func:`run_fleet`."""
+
+    def __init__(self, config: FleetConfig):
+        _validate(config)
+        self.config = config
+        #: Emergent-ρ regime: consumer layouts randomized, ρ = 2^-b.
+        self.emergent = config.entropy_bits > 0
+        #: The analytic ρ cross-validation runs against — derived, never
+        #: steering an executed outcome.
+        self.rho = (2.0 ** -config.entropy_bits if self.emergent
+                    else config.rho)
+        #: Worker pool, forked *before* the coordinator builds any heavy
+        #: state so the child processes start from a near-empty image
+        #: and rebuild their rosters from the config alone.
+        self.pool = None
+        if config.workers:
+            from repro.worm.parallel import FleetWorkerPool
+            self.pool = FleetWorkerPool(config)
+        #: The epidemic rng — consumed in exactly simulate_outbreak's
+        #: draw order so a fleet run is a matched Gillespie realization.
+        self.rng_contacts = random.Random(config.seed)
+        #: Node-identity rng: which concrete node within a drawn bucket.
+        self.detail = random.Random((config.seed << 16) ^ 0x5F1EE7)
+        self.bus = CommunityBus(dissemination_latency=config.gamma2)
+        self.golden = GoldenImageCache()
+        #: In-process verification only: with a worker pool the real
+        #: sandboxes live in the workers, and the coordinator replays
+        #: their accounting logically (see parallel._VerifierReplay).
+        self.verifier = (SandboxVerifier()
+                         if config.verify_bundles and not config.workers
+                         else None)
+        self.materialized = 0
+        self.nodes, self.images, self.cohorts = build_roster(config)
+        for node in self.nodes:
+            self.bus.subscribe(node.name)
+        self.v_producers = [n for n in self.nodes
+                            if n.vulnerable and n.role == "producer"]
+        self.v_consumers = [n for n in self.nodes
+                            if n.vulnerable and n.role == "consumer"]
+        self.population = len(self.v_producers) + len(self.v_consumers)
+        self.susceptible = list(self.v_consumers)
+        self.infected: list[FleetNode] = []
+        #: The modeled tier: aggregate Gillespie state around the core.
+        self.halo = (GillespieHalo(config.halo_hosts, self.rho)
+                     if config.halo_hosts else None)
+        #: One payload stream for all halo attackers (a modeled attacker
+        #: has no per-node identity; the stream seed is disjoint from
+        #: every executed node's worm stream and from patient zero's).
+        self.halo_worm = (ExploitStream(config.worm_exploit,
+                                        seed=config.seed * 5_000_011 - 2)
+                          if self.halo else None)
+        self.total_population = self.population + config.halo_hosts
+        #: Core↔halo contact bookkeeping by (attacker tier, target tier).
+        self.boundary = {"core_to_core": 0, "core_to_halo": 0,
+                         "halo_to_core": 0, "halo_to_halo": 0}
+        if self.pool is not None:
+            self.pool.bind(self)
+
+        shards = config.scheduler_shards or \
+            max(1, int(round(config.total_nodes ** 0.5)))
+        self.queue = ShardedEventQueue(shards)
+        self.t0: float | None = None
+        self.contacts = 0
+        self.contacts_to_producers = 0
+        self.contacts_blocked = 0
+        self.contacts_wasted = 0
+        self.contacts_faulted = 0
+        self.benign_sent = 0
+        self.benign_responses = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _push(self, t: float, kind: int, idx: int):
+        self.queue.push(t, kind, idx)
+
+    def _cutoff(self) -> float:
+        avail = self.bus.first_available_time(self.config.vulnerable_app)
+        if avail is None:
+            return self.config.horizon
+        return min(self.config.horizon,
+                   avail + self.config.post_immunity_slack)
+
+    # -- delivery -----------------------------------------------------------
+
     def _deliver_contact(self, node: FleetNode, payload: bytes,
                          t: float) -> bool:
-        """Deliver one worm contact; returns True if the host was owned."""
-        responses = self._deliver(node, payload, t)
-        node.contacts += 1
-        owned = any(_INFECTION_MARKER in r for r in responses)
+        """Deliver one worm contact; returns True if the host was owned.
+
+        With a worker pool the guest execution happens on the node's
+        owning worker (a synchronous round-trip, since infection state
+        feeds the very next epidemic draw); all bookkeeping — infected
+        roster, susceptible list, the attacker's payload stream — stays
+        here on the coordinator either way."""
+        if self.pool is not None:
+            owned = self.pool.dispatch_contact(node, payload, t)
+            node.contacts += 1
+        else:
+            responses = self._deliver(node, payload, t)
+            node.contacts += 1
+            owned = any(_INFECTION_MARKER in r for r in responses)
         if owned and not node.infected:
             node.infected = True
             node.infected_at = t
@@ -713,20 +819,70 @@ class _FleetRun:
                 self.susceptible.remove(node)
         return owned
 
-    def _worm_payload(self) -> bytes:
-        attacker = self.infected[self.detail.randrange(len(self.infected))]
-        return attacker.worm.next_payload()
+    def _infected_total(self) -> int:
+        return len(self.infected) + \
+            (self.halo.infected if self.halo is not None else 0)
+
+    def _draw_attacker(self) -> tuple[bool, FleetNode | None]:
+        """Uniform attacker draw over *all* infected hosts, executed and
+        modeled: ``(from_halo, node)`` with ``node`` None for a halo
+        attacker.  With no halo this is exactly the historical
+        ``detail.randrange(len(infected))`` draw."""
+        executed = len(self.infected)
+        k = self.detail.randrange(self._infected_total())
+        if k < executed:
+            return False, self.infected[k]
+        return True, None
+
+    def _worm_payload(self) -> tuple[bytes, bool]:
+        """One worm payload and whether its attacker is a halo host."""
+        from_halo, attacker = self._draw_attacker()
+        if from_halo:
+            return self.halo_worm.next_payload(), True
+        return attacker.worm.next_payload(), False
+
+    def _count_boundary(self, from_halo: bool, to_halo: bool):
+        if self.halo is None:
+            return
+        self.boundary[f"{'halo' if from_halo else 'core'}_to_"
+                      f"{'halo' if to_halo else 'core'}"] += 1
+
+    def _assert_conservation(self):
+        """No host counted in both tiers, none lost: the executed core
+        partitions into producers/susceptible/infected and the halo into
+        susceptible/infected, summing to the combined population after
+        every contact."""
+        halo = self.halo
+        if halo is None:
+            return
+        core = len(self.v_producers) + len(self.susceptible) \
+            + len(self.infected)
+        if core != self.population \
+                or halo.susceptible + halo.infected != halo.hosts:
+            raise FleetDivergence(
+                f"core/halo conservation violated at contact "
+                f"{self.contacts}: core {core}/{self.population}, halo "
+                f"{halo.susceptible}+{halo.infected}/{halo.hosts}")
 
     # -- event handlers -----------------------------------------------------
 
     def _handle_benign(self, node: FleetNode, t: float):
         if node.infected:
             return                      # owned host: out of service
-        responses = self._deliver(node, node.traffic.next_request(), t)
-        node.requests += 1
-        node.responses += len(responses)
-        self.benign_sent += 1
-        self.benign_responses += len(responses)
+        if self.pool is not None:
+            # Fire-and-forget: a benign event publishes nothing and
+            # feeds no epidemic draw, so the coordinator never waits on
+            # it — this is where the wall-clock parallelism comes from.
+            # Response tallies are collected once, at finalize.
+            self.pool.dispatch_benign(node, t)
+            node.requests += 1
+            self.benign_sent += 1
+        else:
+            responses = self._deliver(node, node.traffic.next_request(), t)
+            node.requests += 1
+            node.responses += len(responses)
+            self.benign_sent += 1
+            self.benign_responses += len(responses)
         if self.config.benign_rate > 0:
             nxt = t + node.arrivals.expovariate(self.config.benign_rate)
             if nxt <= self._cutoff():
@@ -734,19 +890,25 @@ class _FleetRun:
 
     def _handle_contact(self, t: float):
         """One worm contact, mirroring simulate_outbreak's draws:
-        uniform roll over the population picks the bucket, a ρ draw is
-        consumed in the susceptible branch, and the realized outcome is
-        whatever the executed node does with the payload."""
+        uniform roll over the *combined* population picks the bucket, a
+        ρ draw is consumed in each susceptible branch, and the realized
+        outcome is whatever the executed node does with the payload —
+        or, in the halo bucket, what the model's ρ draw decides for a
+        modeled host.  With ``halo_hosts = 0`` the draw sequence is
+        byte-identical to the historical pure-executed one."""
         rng = self.rng_contacts
+        halo = self.halo
         self.contacts += 1
-        roll = rng.random() * self.population
+        roll = rng.random() * self.total_population
         n_producers = len(self.v_producers)
         if roll < n_producers:
             target = self.v_producers[self.detail.randrange(n_producers)]
             self.contacts_to_producers += 1
             if self.t0 is None:
                 self.t0 = t
-            self._deliver_contact(target, self._worm_payload(), t)
+            payload, from_halo = self._worm_payload()
+            self._count_boundary(from_halo, to_halo=False)
+            self._deliver_contact(target, payload, t)
         elif roll < n_producers + len(self.susceptible):
             # The model's ρ draw is consumed to mirror its sequence, but
             # never decides the outcome: at ρ = 1 every delivered hijack
@@ -756,7 +918,9 @@ class _FleetRun:
             target = self.susceptible[
                 self.detail.randrange(len(self.susceptible))]
             first_contact = target.contacts == 0
-            owned = self._deliver_contact(target, self._worm_payload(), t)
+            payload, from_halo = self._worm_payload()
+            self._count_boundary(from_halo, to_halo=False)
+            owned = self._deliver_contact(target, payload, t)
             if not owned:
                 if target.immune_at is not None:
                     self.contacts_blocked += 1
@@ -774,19 +938,41 @@ class _FleetRun:
                 cohort.trials += 1
                 if owned:
                     cohort.hits += 1
+        elif halo is not None and roll < n_producers \
+                + len(self.susceptible) + halo.susceptible:
+            # A modeled susceptible host.  Same draws as the executed
+            # susceptible branch — one ρ draw, one attacker-identity
+            # draw — so the combined process is one Gillespie
+            # realization whichever tier the roll lands in; here the ρ
+            # draw *decides* (there is no layout to collide with), and
+            # community immunity blocks exactly as it freezes the core.
+            draw = rng.random()
+            from_halo, _ = self._draw_attacker()
+            self._count_boundary(from_halo, to_halo=True)
+            avail = self.bus.first_available_time(
+                self.config.vulnerable_app)
+            halo.contact(draw, immune=avail is not None and t >= avail)
         else:
-            # Contact on an already-infected host: wasted, like the
-            # model's "else" bucket.  Not delivered — the process there
-            # is the worm now, not the server.
+            # Contact on an already-infected host (either tier): wasted,
+            # like the model's "else" bucket.  Not delivered — the
+            # process there is the worm now, not the server.
             self.contacts_wasted += 1
+        self._assert_conservation()
         if self.contacts < self.config.max_contacts:
-            gap = rng.expovariate(self.config.beta * len(self.infected))
+            gap = rng.expovariate(self.config.beta * self._infected_total())
             if t + gap <= self._cutoff():
                 self._push(t + gap, _KIND_CONTACT, -1)
 
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> FleetResult:
+        try:
+            return self._run()
+        finally:
+            if self.pool is not None:
+                self.pool.close()
+
+    def _run(self) -> FleetResult:
         config = self.config
         wall_start = time.perf_counter()
 
@@ -950,14 +1136,7 @@ class _FleetRun:
         for node in self.nodes:
             if node.sweeper is None:
                 continue
-            sweeper = node.sweeper
-            node_pages: set[int] = set()
-            page_maps = [sweeper.process.memory._pages]
-            page_maps += [c.snapshot.memory.pages
-                          for c in sweeper.checkpoints.checkpoints]
-            for pages in page_maps:
-                for page in pages.values():
-                    node_pages.add(id(page))
+            node_pages = node.sweeper.memory_page_identities()
             per_node_sum += len(node_pages)
             fleet_pages |= node_pages
         return {
@@ -967,43 +1146,79 @@ class _FleetRun:
                                if fleet_pages else 1.0),
         }
 
+    def _halo_report(self) -> dict | None:
+        if self.halo is None:
+            return None
+        core = len(self.v_producers) + len(self.susceptible) \
+            + len(self.infected)
+        halo_sum = self.halo.susceptible + self.halo.infected
+        return {**self.halo.report(),
+                "core_population": self.population,
+                "core_infected": len(self.infected),
+                "boundary": dict(self.boundary),
+                "conservation": {
+                    "core": core, "halo": halo_sum,
+                    "total": self.total_population,
+                    "ok": core == self.population
+                    and halo_sum == self.halo.hosts}}
+
     def _result(self, wall_seconds: float) -> FleetResult:
         config = self.config
         availability = self.bus.first_available_time(config.vulnerable_app)
         gamma = (availability - self.t0
                  if availability is not None and self.t0 is not None
                  else None)
-        gamma1 = None
-        for node in self.v_producers:
-            if node.sweeper is not None and node.sweeper.attacks:
-                record = node.sweeper.attacks[0]
-                if record.first_vsef_at is not None:
-                    gamma1 = record.first_vsef_at - record.detected_at
-                break
-        # Accounting snapshots *before* report synthesis, which may
-        # materialize golden-less untouched nodes just to read their
-        # boot state.
-        memory = self._memory_stats()
-        materialized = self.materialized
-        golden_stats = self.golden.stats()
-        verification = self._verification_report()
-        reports = []
-        total_cycles = 0
-        for node in self.nodes:
-            report, cycles = self._node_report(node)
-            reports.append(report)
-            total_cycles += cycles
-        infected_final = len(self.infected)
+        if self.pool is not None:
+            # Guest state lives in the workers: one finalize round-trip
+            # per worker collects node reports, cycle counts, memory
+            # identity sets and the per-worker accounting; golden and
+            # verification stats come from the coordinator's logical
+            # replay of the sequential pattern (see parallel.py).
+            summary = self.pool.collect()
+            gamma1 = summary["gamma1"]
+            memory = summary["memory"]
+            materialized = summary["materialized"]
+            golden_stats = summary["golden"]
+            verification = summary["verification"]
+            reports = summary["reports"]
+            total_cycles = summary["total_cycles"]
+            self.benign_responses = summary["benign_responses"]
+            workers_stats = summary["workers"]
+        else:
+            gamma1 = None
+            for node in self.v_producers:
+                if node.sweeper is not None and node.sweeper.attacks:
+                    record = node.sweeper.attacks[0]
+                    if record.first_vsef_at is not None:
+                        gamma1 = record.first_vsef_at - record.detected_at
+                    break
+            # Accounting snapshots *before* report synthesis, which may
+            # materialize golden-less untouched nodes just to read their
+            # boot state.
+            memory = self._memory_stats()
+            materialized = self.materialized
+            golden_stats = self.golden.stats()
+            verification = self._verification_report()
+            workers_stats = None
+            reports = []
+            total_cycles = 0
+            for node in self.nodes:
+                report, cycles = self._node_report(node)
+                reports.append(report)
+                total_cycles += cycles
+        infected_core = len(self.infected)
+        infected_final = infected_core + \
+            (self.halo.infected if self.halo is not None else 0)
         result = FleetResult(
-            population=self.population,
+            population=self.total_population,
             producers=len(self.v_producers),
-            producer_ratio=len(self.v_producers) / self.population,
+            producer_ratio=len(self.v_producers) / self.total_population,
             beta=config.beta, rho=self.rho, seed=config.seed,
             total_nodes=len(self.nodes),
             t0=self.t0, availability=availability, gamma_measured=gamma,
             gamma1_first_vsef=gamma1,
             infected_final=infected_final,
-            infection_ratio=infected_final / self.population,
+            infection_ratio=infected_final / self.total_population,
             contacts=self.contacts,
             contacts_to_producers=self.contacts_to_producers,
             contacts_blocked=self.contacts_blocked,
@@ -1021,6 +1236,8 @@ class _FleetRun:
             memory=memory,
             layout=self._rho_report(),
             verification=verification,
+            halo=self._halo_report(),
+            workers=workers_stats,
             nodes=reports)
         self._cross_validate(result)
         return result

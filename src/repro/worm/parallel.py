@@ -1,0 +1,502 @@
+"""Multi-core fleet execution: shard workers, bit-identical trajectory.
+
+The fleet's costs split cleanly in two.  The *epidemic process* — rng
+draws, event scheduling, infected/susceptible rosters — is cheap and
+inherently sequential: every contact outcome feeds the very next draw.
+The *guest execution* — booting Sweeper stacks, serving benign
+requests, running detection/analysis — is >95% of the wall clock and
+embarrassingly parallel across nodes.  So the coordinator (the
+:class:`~repro.worm.fleet._FleetRun` that owns the epidemic rng and the
+:class:`~repro.worm.fleet.ShardedEventQueue`) keeps every draw and
+every pop, and ships guest execution to ``config.workers`` forked
+processes, each hosting the nodes with ``index % workers == worker_id``.
+
+**Why the trajectory is bit-identical at any worker count.**  The
+coordinator pops events in global push-counter order and consumes the
+epidemic rng exactly as the sequential fleet does — workers are handed
+*decided* events, never decisions.  A worker's guest execution is
+deterministic given (a) the roster, which it rebuilds from the pickled
+config alone (:func:`~repro.worm.fleet.build_roster` is a pure function
+of it), (b) the sequence of events delivered to its nodes, which
+arrives FIFO in global event order, and (c) the sequence of published
+bundles, which the coordinator broadcasts to every worker in bus-publish
+order.  Contacts are synchronous round-trips (infection state feeds the
+next ``expovariate`` rate); benign events are fire-and-forget — that
+asymmetry is the entire speedup, and it is safe precisely because
+nothing downstream reads a benign response before finalize.
+
+**Producer publishes round-trip through the coordinator.**  A worker
+hosts its producers against a :class:`_RecordingBus`; bundles captured
+during a contact come back in the reply, the coordinator publishes them
+to the *real* :class:`~repro.antibody.distribution.CommunityBus` (which
+assigns ``ab-N`` ids in recorded order, exactly the sequential id
+sequence) and broadcasts the wire form to every worker's replica bus.
+Replica buses preserve the assigned id (``publish`` only stamps a falsy
+one), so every process agrees on bundle identity and availability.
+
+**Fleet-shared statistics are reconstructed, not summed.**  Golden-image
+and sandbox-verifier caches are per-process; summing per-worker stats
+would report a topology-dependent pattern (W donors per layout instead
+of one).  The coordinator instead *logically replays* the sequential
+cache traffic it can derive exactly: one golden get per first-touched
+node (its boot layout is a pure function of config), one per extra boot
+(restarts re-draw from ``seed + 1``), and one verifier trial per
+(app, bundle) delivery that passes the byte checks.  Both replays assume
+boots are forkable — true for every shipped app image — and the real
+per-worker stats are reported alongside under ``workers`` (excluded
+from trajectory comparisons, like ``memory``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import resource
+import traceback
+
+from repro.antibody.distribution import AntibodyBundle, CommunityBus
+from repro.antibody.verify import SandboxVerifier
+from repro.errors import ReproError
+from repro.machine.memory import PAGE_SIZE
+from repro.runtime.golden import GoldenImageCache, layout_key
+from repro.runtime.sweeper import boot_layout
+from repro.worm.fleet import (FleetDivergence, NodeHost, _INFECTION_MARKER,
+                              build_roster)
+
+#: Message kinds the coordinator waits on; only these may carry an
+#: error reply (answering an async message would race ahead of the
+#: coordinator's recv and jam the pipe).
+_SYNC_KINDS = frozenset({"contact", "materialize", "finalize"})
+
+
+class _RecordingBus:
+    """A producer-facing bus stand-in inside a worker: captures
+    publishes so the contact reply can ship them to the coordinator,
+    which owns the real bus (and the ``ab-N`` id counter)."""
+
+    def __init__(self):
+        self.pending: list[AntibodyBundle] = []
+
+    def publish(self, bundle: AntibodyBundle) -> AntibodyBundle:
+        self.pending.append(bundle)
+        return bundle
+
+    def drain(self) -> list[dict]:
+        batch = [bundle.to_dict() for bundle in self.pending]
+        self.pending.clear()
+        return batch
+
+
+class _LogicalGoldenCache:
+    """Coordinator-side replay of the sequential fleet's golden-cache
+    traffic.  Keys are ``(app, layout_key, interval, max_checkpoints)``
+    — the value-equality of the real cache's ``(id(image), …)`` keys,
+    derivable without holding any image.  First get per key is the
+    donor boot (miss); every later get forks (hit).  Matches
+    :meth:`~repro.runtime.golden.GoldenImageCache.stats` exactly as
+    long as boots are forkable (no entropy consumed — true for all
+    shipped apps; an unforkable image would miss on every get)."""
+
+    def __init__(self):
+        self._keys: set[tuple] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        if key in self._keys:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._keys.add(key)
+
+    def stats(self) -> dict:
+        return {"images": len(self._keys),
+                "layouts": len({key[1] for key in self._keys}),
+                "hits": self.hits, "misses": self.misses,
+                "forks": self.hits}
+
+
+class _LogicalVerifierReplay:
+    """Coordinator-side replay of the sequential
+    :class:`~repro.antibody.verify.SandboxVerifier` counters.  The
+    sequential fleet hands every consumer the *same* bundle object, so
+    its memo key ``(id(image), id(bundle))`` collapses to one trial per
+    (app, bundle_id) — which the coordinator can count exactly, byte
+    checks included, from the real bundles on its own bus."""
+
+    def __init__(self):
+        self._booted: set[str] = set()
+        self._tried: set[tuple[str, str]] = set()
+        self.trials = 0
+        self.cache_hits = 0
+
+    def replay(self, app: str, bundle: AntibodyBundle):
+        if bundle.exploit_input is None:
+            return                      # deferred: uncounted, like verify()
+        if any(not sig.matches(bundle.exploit_input)
+               for sig in bundle.signatures):
+            return                      # rejected before memo/boot
+        key = (app, bundle.bundle_id)
+        if key in self._tried:
+            self.cache_hits += 1
+            return
+        self._tried.add(key)
+        self._booted.add(app)
+        self.trials += 1
+
+    def stats(self) -> dict:
+        return {"boots": len(self._booted), "trials": self.trials,
+                "cache_hits": self.cache_hits}
+
+
+class _WorkerHarness(NodeHost):
+    """One worker process's node-hosting state.
+
+    Rebuilds the full roster from the config (cheap, deterministic) and
+    hosts the slice ``index % workers == worker_id``: those nodes'
+    Sweeper stacks, a replica :class:`CommunityBus` fed by coordinator
+    broadcasts, a private golden cache, and a private sandbox verifier.
+    Delivery semantics are inherited verbatim from :class:`NodeHost` —
+    the same code path the sequential fleet runs."""
+
+    def __init__(self, config, worker_id: int):
+        self.config = config
+        self.worker_id = worker_id
+        self.bus = CommunityBus(dissemination_latency=config.gamma2)
+        self.recorder = _RecordingBus()
+        self.golden = GoldenImageCache()
+        self.verifier = (SandboxVerifier() if config.verify_bundles
+                         else None)
+        self.materialized = 0
+        self.events_benign = 0
+        self.events_contact = 0
+        nodes, self.images, _ = build_roster(config)
+        self.own = {node.index: node for node in nodes
+                    if node.index % config.workers == worker_id}
+        for node in self.own.values():     # index order (dict is ordered)
+            self.bus.subscribe(node.name)
+
+    def _node_bus(self, node):
+        # Producers publish into the recording buffer; the coordinator
+        # owns the real bus and the bundle-id counter.
+        return self.recorder if node.role == "producer" else None
+
+    def handle(self, msg: tuple):
+        kind = msg[0]
+        if kind == "benign":
+            _, idx, t = msg
+            node = self.own[idx]
+            responses = self._deliver(node, node.traffic.next_request(), t)
+            node.requests += 1
+            node.responses += len(responses)
+            self.events_benign += 1
+            if self.recorder.pending:
+                raise ReproError(
+                    f"node {node.name} published during a benign event — "
+                    f"publishes must ride a synchronous contact reply")
+            return None
+        if kind == "contact":
+            _, idx, t, payload = msg
+            node = self.own[idx]
+            responses = self._deliver(node, payload, t)
+            node.contacts += 1
+            owned = any(_INFECTION_MARKER in r for r in responses)
+            if owned and not node.infected:
+                node.infected = True
+                node.infected_at = t
+            self.events_contact += 1
+            return ("contact", owned, node.immune_at, self.recorder.drain())
+        if kind == "bundle":
+            # Broadcast from the coordinator: id already assigned, and
+            # publish() preserves a non-empty one, so replica buses
+            # agree with the real bus on identity and availability.
+            self.bus.publish(AntibodyBundle.from_dict(msg[1]))
+            return None
+        if kind == "materialize":
+            node = self.own[msg[1]]
+            sweeper = self._sweeper(node)
+            return ("materialized", node.report(),
+                    sweeper.process.cpu.cycles, self._boot_stats())
+        if kind == "finalize":
+            return ("finalize", self._finalize())
+        raise ReproError(f"unknown worker message kind {kind!r}")
+
+    def _boot_stats(self) -> dict:
+        """Per-app layout-independent boot statistics from this worker's
+        golden cache — lets the coordinator synthesize untouched nodes'
+        reports without a round-trip per node."""
+        stats: dict[str, dict] = {}
+        for node in self.own.values():
+            if node.sweeper is None or node.app in stats:
+                continue
+            golden = self.golden.boot_stats(
+                self.images[node.app], node.config.checkpoint_interval_ms,
+                node.config.max_checkpoints)
+            if golden is not None:
+                stats[node.app] = golden.boot_stats_payload()
+        return stats
+
+    def _finalize(self) -> dict:
+        finals: dict[int, dict] = {}
+        unique_pages: set[int] = set()
+        per_node_page_sum = 0
+        for idx in sorted(self.own):
+            node = self.own[idx]
+            if node.sweeper is None:
+                continue
+            sweeper = node.sweeper
+            pages = sweeper.memory_page_identities()
+            unique_pages |= pages
+            per_node_page_sum += len(pages)
+            finals[idx] = {
+                "report": node.report(),
+                "cycles": sweeper.process.cpu.cycles,
+                "boots": sweeper.boot_count,
+                "bundles": sweeper.bundle_outcome_counts(),
+                "attack": sweeper.first_attack_latency(),
+            }
+        return {
+            "worker": self.worker_id,
+            "nodes_owned": len(self.own),
+            "nodes": finals,
+            "boot_stats": self._boot_stats(),
+            "events_benign": self.events_benign,
+            "events_contact": self.events_contact,
+            "materialized": self.materialized,
+            "golden": self.golden.stats(),
+            "sandbox": (self.verifier.stats()
+                        if self.verifier is not None else None),
+            "unique_pages": len(unique_pages),
+            "per_node_page_sum": per_node_page_sum,
+            "peak_rss_bytes":
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+        }
+
+
+def _worker_main(config, worker_id: int, in_q, out_q):
+    """Worker process entry: build the harness, then serve messages.
+
+    A failure (during build or any event) is latched and reported on
+    the *next synchronous* message — replying to fire-and-forget benign
+    events would race the coordinator's recv discipline."""
+    failure = None
+    harness = None
+    try:
+        harness = _WorkerHarness(config, worker_id)
+    except BaseException:
+        failure = traceback.format_exc()
+    while True:
+        msg = in_q.get()
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if failure is None:
+            try:
+                reply = harness.handle(msg)
+            except BaseException:
+                failure = traceback.format_exc()
+            else:
+                if reply is not None:
+                    out_q.put(reply)
+                continue
+        if kind in _SYNC_KINDS:
+            out_q.put(("error", failure))
+
+
+class FleetWorkerPool:
+    """The coordinator's handle on its forked shard workers.
+
+    Created *before* the coordinator builds its own roster so the
+    children fork from a near-empty image; bound to the
+    :class:`~repro.worm.fleet._FleetRun` afterwards.  All methods run on
+    the coordinator."""
+
+    def __init__(self, config):
+        self.config = config
+        self.workers = config.workers
+        ctx = multiprocessing.get_context("fork")
+        self._in = []
+        self._out = []
+        self._procs = []
+        for worker_id in range(config.workers):
+            in_q, out_q = ctx.SimpleQueue(), ctx.SimpleQueue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(config, worker_id, in_q, out_q),
+                name=f"fleet-worker-{worker_id}", daemon=True)
+            proc.start()
+            self._in.append(in_q)
+            self._out.append(out_q)
+            self._procs.append(proc)
+        self.run = None
+        self._touched: set[int] = set()
+        self._initial_keys: dict[int, tuple] = {}
+        self.logical_golden = _LogicalGoldenCache()
+        self.logical_verifier = (_LogicalVerifierReplay()
+                                 if config.verify_bundles else None)
+        self._closed = False
+
+    def bind(self, run):
+        self.run = run
+
+    def _owner(self, node) -> int:
+        return node.index % self.workers
+
+    def _logical_key(self, node, restart: bool = False) -> tuple:
+        layout = (boot_layout(node.config, node.config.seed + 1)
+                  if restart else boot_layout(node.config))
+        return (node.app, layout_key(layout),
+                node.config.checkpoint_interval_ms,
+                node.config.max_checkpoints)
+
+    def _mirror_deliver(self, node, t: float):
+        """The coordinator's shadow of one delivery: count the
+        materialization and golden get on first touch, and replay the
+        node's bus poll (the coordinator's bus carries the same
+        publishes at the same times, so the poll sequence — and with it
+        the verifier traffic — is the sequential one exactly)."""
+        if node.index not in self._touched:
+            self._touched.add(node.index)
+            self.run.materialized += 1
+            key = self._initial_keys.get(node.index)
+            if key is None:
+                key = self._initial_keys[node.index] = \
+                    self._logical_key(node)
+            self.logical_golden.get(key)
+        for bundle in self.run.bus.poll(node.name, t):
+            if bundle.app != node.app:
+                continue
+            if self.logical_verifier is not None:
+                self.logical_verifier.replay(node.app, bundle)
+
+    def _recv(self, worker_id: int):
+        reply = self._out[worker_id].get()
+        if reply[0] == "error":
+            raise FleetDivergence(
+                f"fleet worker {worker_id} failed:\n{reply[1]}")
+        return reply
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch_benign(self, node, t: float):
+        self._mirror_deliver(node, t)
+        self._in[self._owner(node)].put(("benign", node.index, t))
+
+    def dispatch_contact(self, node, payload: bytes, t: float) -> bool:
+        self._mirror_deliver(node, t)
+        owner = self._owner(node)
+        self._in[owner].put(("contact", node.index, t, payload))
+        _, owned, immune_at, publishes = self._recv(owner)
+        for data in publishes:
+            bundle = AntibodyBundle.from_dict(data)
+            self.run.bus.publish(bundle)      # assigns the ab-N id
+            wire = bundle.to_dict()           # now id-stamped
+            for queue in self._in:
+                queue.put(("bundle", wire))
+        node.immune_at = immune_at
+        return owned
+
+    # -- finalize ------------------------------------------------------------
+
+    def collect(self) -> dict:
+        """One finalize round-trip per worker, merged into exactly what
+        the sequential ``_result`` computes locally."""
+        run = self.run
+        materialized = run.materialized
+        for queue in self._in:
+            queue.put(("finalize",))
+        payloads = [self._recv(w)[1] for w in range(self.workers)]
+        finals: dict[int, dict] = {}
+        boot_stats: dict[str, dict] = {}
+        for payload in payloads:
+            finals.update(payload["nodes"])
+            for app, stats in payload["boot_stats"].items():
+                boot_stats.setdefault(app, stats)
+        # Restart boots re-enter the golden cache with the seed+1
+        # layout; replay them now (order-independent: each node's
+        # restart key is either its own cohort-pinned initial key or a
+        # per-node layout no other get can touch).
+        for idx in sorted(finals):
+            for _ in range(finals[idx]["boots"] - 1):
+                self.logical_golden.get(
+                    self._logical_key(run.nodes[idx], restart=True))
+        golden_stats = self.logical_golden.stats()
+        # Reports in node order: executed nodes verbatim, untouched
+        # nodes synthesized from any sibling image's boot stats, with a
+        # materialize round-trip only when no sibling ever booted
+        # (sequential does the same, after its stats snapshot).
+        reports = []
+        total_cycles = 0
+        benign_responses = 0
+        for node in run.nodes:
+            fin = finals.get(node.index)
+            if fin is not None:
+                report, cycles = fin["report"], fin["cycles"]
+            elif node.app in boot_stats:
+                stats = boot_stats[node.app]
+                report = node.boot_stub_report(stats["boot_clock_delta"])
+                cycles = stats["boot_cycles"]
+            else:
+                owner = self._owner(node)
+                self._in[owner].put(("materialize", node.index))
+                _, report, cycles, fresh = self._recv(owner)
+                for app, stats in fresh.items():
+                    boot_stats.setdefault(app, stats)
+            reports.append(report)
+            total_cycles += cycles
+            benign_responses += report["benign_responses"]
+        gamma1 = None
+        for node in run.v_producers:
+            fin = finals.get(node.index)
+            if fin is not None and fin["attack"] is not None:
+                detected_at, first_vsef_at = fin["attack"]
+                if first_vsef_at is not None:
+                    gamma1 = first_vsef_at - detected_at
+                break
+        if self.logical_verifier is not None:
+            verified = sum(f["bundles"][0] for f in finals.values())
+            rejected = sum(f["bundles"][1] for f in finals.values())
+            deferred = sum(f["bundles"][2] for f in finals.values())
+            verification = {"bundles_verified": verified,
+                            "bundles_rejected": rejected,
+                            "bundles_applied_unverified": deferred,
+                            "sandbox": self.logical_verifier.stats()}
+        else:
+            verification = None
+        # Workers share nothing across processes, so fleet-unique pages
+        # are the sum of per-worker-unique counts.
+        unique = sum(p["unique_pages"] for p in payloads)
+        per_node = sum(p["per_node_page_sum"] for p in payloads)
+        memory = {"page_bytes_unique": unique * PAGE_SIZE,
+                  "page_bytes_per_node_sum": per_node * PAGE_SIZE,
+                  "sharing_factor": per_node / unique if unique else 1.0}
+        workers = {"count": self.workers, "per_worker": [
+            {"worker": p["worker"], "nodes_owned": p["nodes_owned"],
+             "nodes_materialized": p["materialized"],
+             "events_benign": p["events_benign"],
+             "events_contact": p["events_contact"],
+             "golden": p["golden"], "sandbox": p["sandbox"],
+             "page_bytes_unique": p["unique_pages"] * PAGE_SIZE,
+             "peak_rss_bytes": p["peak_rss_bytes"]}
+            for p in payloads]}
+        return {"gamma1": gamma1, "memory": memory,
+                "materialized": materialized, "golden": golden_stats,
+                "verification": verification, "reports": reports,
+                "total_cycles": total_cycles,
+                "benign_responses": benign_responses, "workers": workers}
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._in:
+            try:
+                queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for queue in (*self._in, *self._out):
+            queue.close()

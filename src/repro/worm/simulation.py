@@ -72,3 +72,69 @@ def simulate_outbreak(beta: float, population: int, producer_ratio: float,
                             final_infected=infected,
                             infection_ratio=ratio,
                             contained=math.isfinite(t0))
+
+
+class GillespieHalo:
+    """The modeled tier of a hybrid outbreak: aggregate Gillespie state
+    for hosts that surround an executed core.
+
+    The executed fleet embeds its N real nodes in a population of
+    ``hosts`` modeled ones — same epidemic process, aggregate counts
+    instead of booted guests, which is what carries the community claim
+    from hundreds of executed nodes to the paper's 10⁵–10⁶-host Fig. 6–8
+    regimes.  The halo deliberately has **no rng of its own**: the
+    caller owns the epidemic rng and consumes it in exactly
+    :func:`simulate_outbreak`'s sequence (bucket roll, then one ρ draw
+    per susceptible contact), handing the ρ draw to :meth:`contact`.
+    With matched seeds the hybrid (core + halo) is therefore the same
+    stochastic realization as ``simulate_outbreak`` over the *combined*
+    population — the core executes its slice of the draws, the halo
+    tallies the rest.
+
+    Conservation is the correctness obligation hybrid tiers must check:
+    every modeled host is susceptible or infected, never both and never
+    a core host, so ``susceptible + infected == hosts`` at all times and
+    the combined population partitions exactly (see the fleet's
+    per-contact conservation assert).
+    """
+
+    def __init__(self, hosts: int, rho: float):
+        if hosts < 0:
+            raise ValueError("halo hosts must be >= 0")
+        self.hosts = hosts
+        self.rho = rho
+        self.susceptible = hosts
+        self.infected = 0
+        self.contacts = 0
+        self.infections = 0
+        #: Contacts on a modeled susceptible host after community
+        #: immunity: the halo's share of blocked contacts.
+        self.blocked = 0
+        #: ρ draws that failed: the modeled analogue of an executed
+        #: layout-collision miss.
+        self.resisted = 0
+
+    def contact(self, draw: float, immune: bool) -> bool:
+        """One worm contact landing on a modeled susceptible host.
+
+        ``draw`` is the epidemic rng's ρ draw, consumed by the caller in
+        the model's sequence; ``immune`` says whether community immunity
+        (bundle availability) has already reached this virtual time.
+        Returns True when the host was infected."""
+        self.contacts += 1
+        if immune:
+            self.blocked += 1
+            return False
+        if draw < self.rho:
+            self.susceptible -= 1
+            self.infected += 1
+            self.infections += 1
+            return True
+        self.resisted += 1
+        return False
+
+    def report(self) -> dict:
+        return {"hosts": self.hosts, "susceptible_final": self.susceptible,
+                "infected_final": self.infected, "contacts": self.contacts,
+                "infections": self.infections, "blocked": self.blocked,
+                "resisted": self.resisted}

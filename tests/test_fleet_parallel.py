@@ -1,0 +1,111 @@
+"""Parallel fleet execution: worker-pool trajectories are bit-identical
+to sequential at every worker count.
+
+The claim under test is the tentpole invariant of
+:mod:`repro.worm.parallel`: the coordinator keeps every epidemic rng
+draw and pops events in global push-counter order, workers only execute
+guest code — so ``FleetResult.to_dict()`` (minus wall-clock and
+topology-dependent blocks) must be *equal*, not approximately equal,
+across ``workers ∈ {0, 1, 2, 4}``.  That includes the logically
+reconstructed fleet-shared statistics (golden-cache pattern, sandbox
+verification tallies), which is what makes the equality a real test of
+the coordinator's replay and not just of the epidemic draws.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.worm.fleet import FleetConfig, run_fleet
+
+#: Fields that legitimately differ across runs/topologies: wall clock,
+#: derived throughput, per-process memory identity, worker accounting.
+NONDETERMINISTIC = {"wall_seconds", "aggregate_insns_per_second",
+                    "memory", "workers"}
+
+#: The tracked 26-node baseline the sequential bench gates on.
+BASELINE = Path(__file__).resolve().parent.parent \
+    / "benchmarks" / "BENCH_fleet.json"
+
+#: The fleet-scale bench's 128-node tier (producers at the bench's
+#: alpha, no riders, sparse benign traffic).
+SCALE_128 = FleetConfig(seed=7, vulnerable_nodes=128, producers=8,
+                        extra_apps=(), beta=0.6, benign_rate=0.01,
+                        gamma2=3.0, horizon=300.0,
+                        post_immunity_slack=4.0)
+
+
+def stripped(result_dict: dict) -> dict:
+    return {key: value for key, value in result_dict.items()
+            if key not in NONDETERMINISTIC}
+
+
+def run_stripped(config: FleetConfig, workers: int) -> dict:
+    import dataclasses
+    cfg = dataclasses.replace(config, workers=workers)
+    return stripped(run_fleet(cfg).to_dict())
+
+
+class TestParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def sequential_default(self):
+        return run_stripped(FleetConfig(), 0)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_default_config_bit_identical(self, sequential_default,
+                                          workers):
+        assert run_stripped(FleetConfig(), workers) == sequential_default
+
+    def test_scale_config_bit_identical(self):
+        sequential = run_stripped(SCALE_128, 0)
+        for workers in (2, 4):
+            assert run_stripped(SCALE_128, workers) == sequential
+
+    def test_parallel_matches_tracked_baseline(self):
+        """A workers=2 run reproduces the *recorded* sequential baseline
+        byte for byte — the parallel path cannot drift from history."""
+        recorded = stripped(json.loads(BASELINE.read_text())["result"])
+        fresh = run_stripped(FleetConfig(), 2)
+        assert fresh == recorded
+
+
+class TestWorkerAccounting:
+    @pytest.fixture(scope="class")
+    def parallel_result(self):
+        return run_fleet(FleetConfig(workers=2))
+
+    def test_workers_block(self, parallel_result):
+        block = parallel_result.workers
+        assert block is not None and block["count"] == 2
+        per = block["per_worker"]
+        assert [w["worker"] for w in per] == [0, 1]
+        assert sum(w["nodes_owned"] for w in per) == \
+            parallel_result.total_nodes
+        assert sum(w["nodes_materialized"] for w in per) >= \
+            parallel_result.nodes_materialized
+        assert sum(w["events_contact"] for w in per) > 0
+        assert all(w["peak_rss_bytes"] > 0 for w in per)
+
+    def test_memory_block_still_reported(self, parallel_result):
+        memory = parallel_result.memory
+        assert memory["page_bytes_unique"] > 0
+        assert memory["sharing_factor"] >= 1.0
+
+    def test_workers_block_absent_sequentially(self):
+        result = run_fleet(FleetConfig(seed=2, vulnerable_nodes=6,
+                                       producers=1, extra_apps=(),
+                                       beta=1.0, horizon=40.0))
+        assert result.workers is None
+        assert "workers" not in result.to_dict()
+
+
+class TestValidation:
+    def test_worker_count_bounds(self):
+        with pytest.raises(ReproError):
+            run_fleet(FleetConfig(workers=-1))
+        with pytest.raises(ReproError):
+            run_fleet(FleetConfig(workers=65))
