@@ -23,6 +23,14 @@ batched cell core (PR 1) reached ~1.8M and ~2.3M (≈5x); trace-fusion
 supercells (PR 2) reach ~3.5M and ~4.0M (a further ≈1.9x/1.7x).  The
 assertions below are self-contained regression guards rather than
 absolute-speed claims.
+
+CFG-driven trace extension (superblock fusion through unconditional
+jumps and into single-entry call targets, plus page-probe CSE within a
+trace) lifts the mixed workload further — the call/helper/ret cycle
+that used to cost three dispatch-loop iterations per request becomes
+one supercell, and its stack traffic hits the cached write page.  The
+ALU loop is unchanged by design: a tight conditional loop has no
+unconditional transfer to fuse through and no memory traffic to cache.
 """
 
 from __future__ import annotations
@@ -183,16 +191,24 @@ def test_exec_throughput(benchmark):
         "workloads": matrix,
         "reference": {
             "note": "seed = pre-refactor interpreter; pr1 = batched cell "
-                    "core before trace fusion (both measured on the "
-                    "reference container class)",
+                    "core before trace fusion; contiguous_fusion = "
+                    "block-bounded supercells before CFG-driven "
+                    "extension (all measured on the reference container "
+                    "class)",
             "seed_mixed_plain": 330_000,
             "seed_alu_plain": 470_000,
             "pr1_mixed_plain": 1_787_000,
             "pr1_alu_plain": 2_294_000,
+            "contiguous_fusion_mixed_plain": 3_495_000,
+            "contiguous_fusion_alu_plain": 4_034_000,
             "speedup_mixed_vs_seed": matrix["mixed"]["plain"] / 330_000,
             "speedup_alu_vs_seed": matrix["alu"]["plain"] / 470_000,
             "speedup_mixed_vs_pr1": matrix["mixed"]["plain"] / 1_787_000,
             "speedup_alu_vs_pr1": matrix["alu"]["plain"] / 2_294_000,
+            "speedup_mixed_vs_contiguous_fusion":
+                matrix["mixed"]["plain"] / 3_495_000,
+            "speedup_alu_vs_contiguous_fusion":
+                matrix["alu"]["plain"] / 4_034_000,
         },
     }
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -103,7 +103,9 @@ class CoreDumpAnalyzer:
             walk.frames.append(frame)
             code = memory.region_named("code")
             is_code = code.start <= ret_addr < code.end
-            if not is_code or not preceded_by_call(self._safe_fetch, ret_addr):
+            if not is_code or not preceded_by_call(
+                    self._safe_fetch, ret_addr, cfg=self._text_cfg(),
+                    code_base=process.layout.code_base):
                 walk.consistent = False
                 walk.problem = (f"return address {ret_addr:#010x} at "
                                 f"[{fp + 4:#010x}] is not a call site")
@@ -116,6 +118,17 @@ class CoreDumpAnalyzer:
 
     def _safe_fetch(self, addr: int, size: int) -> bytes:
         return self.process.memory.read(addr, size)
+
+    def _text_cfg(self):
+        """The image's recovered CFG, making the return-address check
+        exact at recovered boundaries (cached per analyzer)."""
+        if not hasattr(self, "_cfg"):
+            # Deferred import: the static submodule is standalone, but
+            # naming it at module import time would initialise
+            # repro.analysis mid-cycle.
+            from repro.analysis.static.cfg import recover_image_cfg
+            self._cfg = recover_image_cfg(self.process.image)
+        return self._cfg
 
     # -- heap ----------------------------------------------------------------
 

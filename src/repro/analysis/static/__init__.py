@@ -1,0 +1,31 @@
+"""Static guest-binary analysis: CFG recovery and dataflow.
+
+The paper's analysis pipeline is dynamic (taint, slicing, replayed
+trials); this package adds the *static* counterpart over assembled
+images and predecoded instruction streams:
+
+- :mod:`repro.analysis.static.cfg` — recursive-descent disassembly,
+  basic-block control-flow graphs with successor/predecessor edges and
+  dominator trees, over either an :class:`~repro.isa.assembler.Image`
+  (offset space, relocation-aware) or a CPU predecode stream (absolute
+  addresses, relocations already patched);
+- :mod:`repro.analysis.static.dataflow` — reaching definitions and a
+  conservative static-taint pass seeded at input-reading syscalls.
+
+Consumers: the static antibody audit (:mod:`repro.antibody.audit`),
+CFG-driven superblock fusion (:meth:`repro.machine.cpu.CPU.predecode`),
+and the guest linter (``tools/asmlint.py``).
+"""
+
+from repro.analysis.static.cfg import (CFG, BasicBlock, build_cfg,
+                                       cfg_from_stream, imm_field_offset,
+                                       recover_image_cfg)
+from repro.analysis.static.dataflow import (ReachingDefs, TaintResult,
+                                            reaching_definitions,
+                                            static_taint)
+
+__all__ = [
+    "CFG", "BasicBlock", "build_cfg", "cfg_from_stream",
+    "imm_field_offset", "recover_image_cfg",
+    "ReachingDefs", "TaintResult", "reaching_definitions", "static_taint",
+]

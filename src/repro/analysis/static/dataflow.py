@@ -1,0 +1,269 @@
+"""Dataflow over recovered CFGs: reaching definitions and static taint.
+
+Both passes are forward, block-level, meet-is-union fixpoints over the
+graphs produced by :mod:`repro.analysis.static.cfg`.  They are
+deliberately conservative: any call (guest, native or indirect) clobbers
+every register to an unknown definition, indirect control flow
+contributes no edges, and memory is modelled as a single "has tainted
+bytes" bit rather than per-address.  Conservatism errs toward *more*
+definitions and *more* taint, which is the safe direction for the two
+consumers — the antibody audit only rejects a ``CodeLoc`` when it is
+provably outside any input-reachable path, and asmlint only reports a
+store-to-code when the address provably comes from a code-pointer
+constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.static.cfg import CFG
+from repro.isa.opcodes import ALU_OPS, NUM_REGS, OP_SIGNATURES, Op
+
+#: Syscall numbers whose return materializes external input in r0 and
+#: guest memory (``recv`` writes the payload into the supplied buffer).
+INPUT_SYSCALLS = frozenset({1})      # SYSCALL_NAMES["recv"]
+
+_LOADS = frozenset({Op.LDW, Op.LDB})
+_CALLS = frozenset({Op.CALLI, Op.CALLR})
+
+#: Sentinel definition site for values of unknown provenance
+#: (function entry, post-call clobbers).
+UNKNOWN = -1
+
+
+def defined_reg(insn) -> int | None:
+    """The register ``insn`` writes, or None.
+
+    Calls and SYS are handled separately by the transfer functions
+    (they clobber more than one architectural destination).  ALU ops
+    are two-address — ``rd <- rd OP src`` — so the destination is also
+    a source; callers that care (taint) consult the signature.
+    """
+    op = insn.op
+    if op in ALU_OPS or op in _LOADS:
+        return insn.operands[0]
+    if op is Op.MOVRR or op is Op.MOVRI or op is Op.POPR:
+        return insn.operands[0]
+    return None
+
+
+@dataclass
+class ReachingDefs:
+    """Reaching definitions at *instruction entry*.
+
+    ``at(pc)`` maps each register to the set of definition-site pcs that
+    may reach the instruction at ``pc`` before it executes;
+    :data:`UNKNOWN` marks values the analysis cannot attribute (function
+    entry, call clobbers, syscall returns).
+    """
+
+    cfg: CFG
+    block_in: dict[int, tuple[frozenset[int], ...]]
+
+    def at(self, pc: int) -> tuple[frozenset[int], ...] | None:
+        """Per-register reaching-def sets on entry to ``pc``."""
+        block = self.cfg.block_at(pc)
+        if block is None:
+            return None
+        state = list(self.block_in[block.start])
+        for member in block.pcs:
+            if member == pc:
+                return tuple(state)
+            _rd_transfer(state, member, self.cfg.insns[member])
+        return None
+
+    def sole_def(self, pc: int, reg: int):
+        """The unique defining instruction of ``reg`` at ``pc`` as a
+        ``(def_pc, insn)`` pair, or None when the definition is merged,
+        unknown, or absent."""
+        state = self.at(pc)
+        if state is None:
+            return None
+        defs = state[reg]
+        if len(defs) != 1:
+            return None
+        (site,) = defs
+        if site == UNKNOWN:
+            return None
+        return site, self.cfg.insns[site]
+
+
+def _rd_transfer(state: list, pc: int, insn) -> None:
+    op = insn.op
+    if op in _CALLS:
+        # Any call may clobber every register (guest callees are not
+        # summarized; natives write results into r0 and scratch regs).
+        for reg in range(len(state)):
+            state[reg] = frozenset([UNKNOWN])
+        return
+    if op is Op.SYS:
+        state[0] = frozenset([UNKNOWN])
+        return
+    reg = defined_reg(insn)
+    if reg is not None:
+        state[reg] = frozenset([pc])
+
+
+def reaching_definitions(cfg: CFG) -> ReachingDefs:
+    """Block-level reaching definitions over ``cfg``.
+
+    Roots (and blocks with no predecessors) start with every register
+    bound to :data:`UNKNOWN` — arguments and caller state.
+    """
+    unknown = tuple(frozenset([UNKNOWN]) for _ in range(NUM_REGS))
+    empty = tuple(frozenset() for _ in range(NUM_REGS))
+    block_in: dict[int, tuple[frozenset[int], ...]] = {}
+    for start in cfg.blocks:
+        preds = cfg.preds.get(start, ())
+        block_in[start] = unknown if (start in cfg.roots or not preds) \
+            else empty
+
+    def flow(start: int) -> tuple[frozenset[int], ...]:
+        state = list(block_in[start])
+        for pc in cfg.blocks[start].pcs:
+            _rd_transfer(state, pc, cfg.insns[pc])
+        return tuple(state)
+
+    changed = True
+    order = sorted(cfg.blocks)
+    while changed:
+        changed = False
+        for start in order:
+            out = flow(start)
+            for succ in cfg.succs.get(start, ()):
+                merged = tuple(a | b for a, b in zip(block_in[succ], out))
+                if merged != block_in[succ]:
+                    block_in[succ] = merged
+                    changed = True
+    return ReachingDefs(cfg=cfg, block_in=block_in)
+
+
+# ---------------------------------------------------------------------------
+# Static taint
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaintResult:
+    """Which code a guest's external input can statically influence.
+
+    ``reg_in`` maps a block start to the registers that may hold
+    input-derived values on entry; ``mem_in`` says whether guest memory
+    may already contain input bytes there (one bit — ``recv`` writes
+    through a pointer the pass does not track, so after the first
+    reaching receive every load may observe input).  ``input_reachable``
+    is the set of blocks on some path from an input-receiving syscall —
+    the audit's notion of "reachable from input dispatch".
+    """
+
+    cfg: CFG
+    reg_in: dict[int, frozenset[int]]
+    mem_in: dict[int, bool]
+    seed_blocks: frozenset[int]
+    input_reachable: frozenset[int]
+
+    def reaches(self, pc: int) -> bool:
+        """May the instruction at ``pc`` execute downstream of input?"""
+        block = self.cfg.block_at(pc)
+        return block is not None and block.start in self.input_reachable
+
+
+def _taint_transfer(regs: set[int], mem: bool, pc: int, insn,
+                    seeds: frozenset[int]) -> bool:
+    op = insn.op
+    if op is Op.SYS:
+        if pc in seeds:
+            # recv: return value (byte count) and the target buffer.
+            regs.add(0)
+            return True
+        regs.discard(0)
+        return mem
+    if op in _CALLS:
+        # Callee effects are unknown; the one monotone fact is that a
+        # callee can read tainted memory into its return register.
+        regs.clear()
+        if mem:
+            regs.add(0)
+        return mem
+    if op in _LOADS or op is Op.POPR:
+        if mem:
+            regs.add(insn.operands[0])
+        else:
+            regs.discard(insn.operands[0])
+        return mem
+    if op is Op.MOVRR:
+        if insn.operands[1] in regs:
+            regs.add(insn.operands[0])
+        else:
+            regs.discard(insn.operands[0])
+        return mem
+    if op in ALU_OPS:
+        # Two-address: rd <- rd OP src; for the "rr" form the source is
+        # a register, for "ri" it is an immediate.
+        rd = insn.operands[0]
+        tainted = rd in regs
+        if OP_SIGNATURES[op] == "rr" and insn.operands[1] in regs:
+            tainted = True
+        if tainted:
+            regs.add(rd)
+        else:
+            regs.discard(rd)
+        return mem
+    if op is Op.MOVRI:
+        regs.discard(insn.operands[0])
+        return mem
+    if op is Op.STW or op is Op.STB:
+        # "rir": base, displacement, source value.
+        if insn.operands[2] in regs:
+            return True
+        return mem
+    if op is Op.PUSHR:
+        if insn.operands[0] in regs:
+            return True
+        return mem
+    return mem
+
+
+def static_taint(cfg: CFG, seed_pcs=None) -> TaintResult:
+    """Propagate taint from input-reading syscalls through ``cfg``.
+
+    ``seed_pcs`` defaults to every ``SYS`` site whose number is in
+    :data:`INPUT_SYSCALLS`.  Returns per-block entry states plus the
+    reachability closure the antibody audit consumes.
+    """
+    if seed_pcs is None:
+        seeds = frozenset(pc for pc, num in cfg.syscalls.items()
+                          if num in INPUT_SYSCALLS)
+    else:
+        seeds = frozenset(seed_pcs)
+
+    reg_in: dict[int, frozenset[int]] = {s: frozenset() for s in cfg.blocks}
+    mem_in: dict[int, bool] = {s: False for s in cfg.blocks}
+
+    def flow(start: int) -> tuple[frozenset[int], bool]:
+        regs = set(reg_in[start])
+        mem = mem_in[start]
+        for pc in cfg.blocks[start].pcs:
+            mem = _taint_transfer(regs, mem, pc, cfg.insns[pc], seeds)
+        return frozenset(regs), mem
+
+    changed = True
+    order = sorted(cfg.blocks)
+    while changed:
+        changed = False
+        for start in order:
+            regs_out, mem_out = flow(start)
+            for succ in cfg.succs.get(start, ()):
+                merged = reg_in[succ] | regs_out
+                mem_merged = mem_in[succ] or mem_out
+                if merged != reg_in[succ] or mem_merged != mem_in[succ]:
+                    reg_in[succ] = merged
+                    mem_in[succ] = mem_merged
+                    changed = True
+
+    seed_blocks = frozenset(cfg.owner[pc] for pc in seeds
+                            if pc in cfg.owner)
+    input_reachable = frozenset(cfg.reachable_from(seed_blocks))
+    return TaintResult(cfg=cfg, reg_in=reg_in, mem_in=mem_in,
+                       seed_blocks=seed_blocks,
+                       input_reachable=input_reachable)

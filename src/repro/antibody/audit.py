@@ -1,0 +1,245 @@
+"""Static antibody audit: screen bundles against the guest's CFG.
+
+The sandbox trial answers one question — "does the bundle's exploit
+input get detected with its VSEFs installed?" — by *running* the
+attack.  Two forgeries slip past it at different costs:
+
+- A **forged patch offset**: a bundle whose VSEF ``CodeLoc``\\ s point
+  into the middle of instructions or at code no input can reach.  The
+  trial still verifies (the genuine VSEFs or the crash monitor catch
+  the replayed attack), but the bogus check burns cycles on every
+  consumer that installs it — and the sandbox boot spent deciding
+  "harmless" is pure waste.
+- An **overly broad signature**: a genuine attack paired with a token
+  filter that also matches benign traffic.  The byte check in
+  :mod:`repro.antibody.verify` only asks that signatures match the
+  bundle's own exploit input — a censoring filter does.  The replay
+  cannot expose it either; only an argument about what *else* the
+  filter shadows can.
+
+This module makes both arguments statically, before any sandbox boot:
+it recovers the application's CFG once per image
+(:func:`repro.analysis.static.recover_image_cfg`), checks every VSEF
+``CodeLoc`` decodes at a real instruction boundary on a path reachable
+from input dispatch (the static-taint closure seeded at ``recv``), and
+flags token signatures whose every token also matches a *benign
+dispatch literal* — a data-section string the program itself compares
+requests against on input-reachable paths that are not dominated by the
+bundle's own guarded code.  Such a filter shadows benign-only traffic:
+requests the program would dispatch normally, nowhere near the
+vulnerability, still match the signature.
+
+Exact-match signatures are never flagged — they match exactly one
+payload, the bundle's own exploit input, which the byte check already
+pins.  Genuine fleet bundles carry exact signatures (or tokens derived
+from real polymorphic variants, which retain exploit structure no
+dispatch literal contains), so the audit is a pure win: forged bundles
+die without a boot, genuine ones pay one cached CFG lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.antibody.signatures import TokenSignature
+from repro.antibody.vsef import CodeLoc
+from repro.isa.opcodes import Op
+from repro.machine.natives import NATIVE_OFFSETS
+
+#: Native routines the apps use to dispatch on request content; a
+#: data literal fed to one of these on an input-reachable path is a
+#: string benign requests legitimately contain.
+_COMPARE_NATIVES = frozenset({"strcmp", "strncmp", "strstr", "strchr"})
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One reason a bundle failed (or was flagged by) the audit."""
+
+    code: str        # "bad-boundary" | "unreachable" | "unknown-native"
+                     # | "broad-signature"
+    detail: str
+
+
+@dataclass
+class AuditReport:
+    """Outcome of statically screening one bundle against one image."""
+
+    ok: bool
+    findings: list[AuditFinding] = field(default_factory=list)
+    locs_checked: int = 0
+
+    @property
+    def detail(self) -> str:
+        return "; ".join(f.detail for f in self.findings)
+
+
+def _code_locs(vsef):
+    """Every CodeLoc a VSEF's installer would resolve, as
+    ``(param_name, CodeLoc)`` pairs — mirrors ``_INSTALLERS``."""
+    params = vsef.params
+    out = []
+    for key in ("pc", "caller", "entry"):
+        loc = params.get(key)
+        if isinstance(loc, CodeLoc):
+            out.append((key, loc))
+    for key in ("pcs", "sinks"):
+        for loc in params.get(key, ()):
+            if isinstance(loc, CodeLoc):
+                out.append((key, loc))
+    return out
+
+
+class _ImageAnalysis:
+    """Per-image static facts the audit needs, computed once."""
+
+    def __init__(self, image):
+        # Imported here, not at module top: repro.analysis.__init__
+        # pulls the dynamic pipeline, whose runtime imports circle back
+        # into repro.antibody.  The static submodules themselves only
+        # depend on isa/.
+        from repro.analysis.static import recover_image_cfg, static_taint
+        self.image = image
+        self.cfg = recover_image_cfg(image)
+        self.taint = static_taint(self.cfg)
+        entry = image.symbols.get(image.entry)
+        self.entry_block = None
+        self.dominators: dict = {}
+        if entry is not None and entry[1] in self.cfg.owner:
+            self.entry_block = self.cfg.owner[entry[1]]
+            self.dominators = self.cfg.dominators(self.entry_block)
+        self.dispatch_literals = self._dispatch_literals()
+
+    def _dispatch_literals(self):
+        """(call-site block, literal) pairs: data-section strings the
+        program compares input against on input-reachable paths."""
+        from repro.analysis.static import reaching_definitions
+        cfg = self.cfg
+        rdefs = reaching_definitions(cfg)
+        literals: list[tuple[int, bytes]] = []
+        for pc, native in cfg.native_calls.items():
+            if native not in _COMPARE_NATIVES:
+                continue
+            if not self.taint.reaches(pc):
+                continue
+            block = cfg.owner[pc]
+            for reg in (0, 1):
+                sole = rdefs.sole_def(pc, reg)
+                if sole is None:
+                    continue
+                def_pc, insn = sole
+                if insn.op is not Op.MOVRI:
+                    continue
+                target = cfg.imm_targets.get(def_pc)
+                if target is None or target[0] != "data":
+                    continue
+                literal = self._cstring(int(target[1]))
+                if literal:
+                    literals.append((block, literal))
+        return literals
+
+    def _cstring(self, offset: int) -> bytes:
+        data = self.image.data
+        end = data.find(b"\x00", offset)
+        if end < 0:
+            end = len(data)
+        return data[offset:end]
+
+
+class StaticAuditor:
+    """Audit bundles against per-image CFG analyses, with caching.
+
+    Analyses are cached per image identity (the image reference is
+    retained so a recycled ``id`` can never alias, mirroring
+    ``SandboxVerifier``'s sandbox cache); audit verdicts are cached per
+    (image, bundle) identity — both are deterministic, so the cache is
+    semantics-free sharing.
+    """
+
+    def __init__(self):
+        self._analyses: dict[int, tuple] = {}
+        self._reports: dict[tuple[int, int], tuple] = {}
+
+    def analysis(self, image) -> _ImageAnalysis:
+        entry = self._analyses.get(id(image))
+        if entry is not None and entry[0] is image:
+            return entry[1]
+        analysis = _ImageAnalysis(image)
+        self._analyses[id(image)] = (image, analysis)
+        return analysis
+
+    def audit(self, image, bundle) -> AuditReport:
+        key = (id(image), id(bundle))
+        cached = self._reports.get(key)
+        if cached is not None and cached[0] is image and cached[1] is bundle:
+            return cached[2]
+        report = self._audit(self.analysis(image), bundle)
+        self._reports[key] = (image, bundle, report)
+        return report
+
+    def _audit(self, analysis: _ImageAnalysis, bundle) -> AuditReport:
+        cfg = analysis.cfg
+        taint = analysis.taint
+        findings: list[AuditFinding] = []
+        checked = 0
+        vsef_blocks: set[int] = set()
+
+        for vsef in bundle.vsefs:
+            native = vsef.params.get("native")
+            if native is not None and str(native) not in NATIVE_OFFSETS:
+                findings.append(AuditFinding(
+                    "unknown-native",
+                    f"{vsef.vsef_id}: no native named {native!r}"))
+            for name, loc in _code_locs(vsef):
+                checked += 1
+                if loc.space == "lib":
+                    if str(loc.value) not in NATIVE_OFFSETS:
+                        findings.append(AuditFinding(
+                            "unknown-native",
+                            f"{vsef.vsef_id}.{name}: no native named "
+                            f"{loc.value!r}"))
+                    continue
+                offset = int(loc.value)
+                if offset not in cfg.insns:
+                    findings.append(AuditFinding(
+                        "bad-boundary",
+                        f"{vsef.vsef_id}.{name}: {loc} is not an "
+                        f"instruction boundary — forged patch offset"))
+                    continue
+                if not taint.reaches(offset):
+                    findings.append(AuditFinding(
+                        "unreachable",
+                        f"{vsef.vsef_id}.{name}: {loc} is unreachable "
+                        f"from input dispatch — check can never fire"))
+                    continue
+                vsef_blocks.add(cfg.owner[offset])
+
+        findings.extend(self._screen_signatures(analysis, bundle,
+                                                vsef_blocks))
+        return AuditReport(ok=not findings, findings=findings,
+                           locs_checked=checked)
+
+    def _screen_signatures(self, analysis: _ImageAnalysis, bundle,
+                           vsef_blocks: set[int]):
+        """Flag token signatures whose every token also matches a
+        benign dispatch literal compared *outside* the bundle's own
+        guarded region (call sites dominated by a VSEF block sit on the
+        vulnerable path — literals there may legitimately share bytes
+        with the exploit)."""
+        benign = [literal for block, literal in analysis.dispatch_literals
+                  if not (analysis.dominators.get(block, frozenset())
+                          & vsef_blocks)]
+        findings = []
+        for signature in bundle.signatures:
+            if not isinstance(signature, TokenSignature):
+                continue
+            if not signature.tokens:
+                continue
+            if all(any(token in literal for literal in benign)
+                   for token in signature.tokens):
+                findings.append(AuditFinding(
+                    "broad-signature",
+                    f"{signature.sig_id}: every token matches a benign "
+                    f"dispatch literal — filter would censor legitimate "
+                    f"traffic"))
+        return findings

@@ -19,6 +19,14 @@ attack it claims to block is unverifiable by construction — replaying
 the attack says nothing about what else it filters — and the bundle is
 rejected without booting a sandbox.
 
+After the byte check, a **static audit** (:mod:`repro.antibody.audit`)
+screens the bundle against the application's recovered CFG: VSEF code
+locations must decode at real instruction boundaries on input-reachable
+paths, and token filters must not be satisfiable by benign dispatch
+literals alone.  Both forgeries the replay trial cannot expose — a
+wasted-cycles patch offset and a censoring filter — die here, still
+without booting a sandbox.
+
 Two entry points share the same trial:
 
 - :func:`verify_antibody` — one-shot: boot a fresh sandbox, run the
@@ -42,6 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import AttackDetected, VMFault
+from repro.antibody.audit import StaticAuditor
 from repro.antibody.distribution import AntibodyBundle
 from repro.antibody.vsef import install_vsef
 from repro.machine.process import Process
@@ -112,6 +121,10 @@ def verify_antibody(image, bundle: AntibodyBundle,
             False, "none",
             f"signature {bogus.sig_id} does not match the bundle's own "
             f"exploit input — unverifiable filter, likely forged")
+    report = StaticAuditor().audit(image, bundle)
+    if not report.ok:
+        return VerificationResult(
+            False, "none", f"static audit rejected bundle: {report.detail}")
     sandbox = Process(image, seed=seed, name="sandbox")
     # Let the server initialize, then feed only the exploit.
     sandbox.run(max_steps=_SANDBOX_STEP_BUDGET)
@@ -139,9 +152,12 @@ class SandboxVerifier:
         self._sandboxes: dict[int, tuple] = {}
         #: (id(image), id(bundle)) -> (image, bundle, result).
         self._verdicts: dict[tuple[int, int], tuple] = {}
+        self.auditor = StaticAuditor()
         self.boots = 0
         self.trials = 0
         self.cache_hits = 0
+        self.audit_screens = 0
+        self.audit_rejects = 0
 
     def verify(self, image, bundle: AntibodyBundle) -> VerificationResult:
         if bundle.exploit_input is None:
@@ -152,6 +168,13 @@ class SandboxVerifier:
                 False, "none",
                 f"signature {bogus.sig_id} does not match the bundle's own "
                 f"exploit input — unverifiable filter, likely forged")
+        self.audit_screens += 1
+        report = self.auditor.audit(image, bundle)
+        if not report.ok:
+            self.audit_rejects += 1
+            return VerificationResult(
+                False, "none",
+                f"static audit rejected bundle: {report.detail}")
         key = (id(image), id(bundle))
         cached = self._verdicts.get(key)
         if cached is not None and cached[0] is image and cached[1] is bundle:
@@ -177,4 +200,6 @@ class SandboxVerifier:
 
     def stats(self) -> dict:
         return {"boots": self.boots, "trials": self.trials,
-                "cache_hits": self.cache_hits}
+                "cache_hits": self.cache_hits,
+                "audit_screens": self.audit_screens,
+                "audit_rejects": self.audit_rejects}

@@ -48,13 +48,31 @@ def disassemble(fetch, addr: int, count: int = 1,
     return out
 
 
-def preceded_by_call(fetch, ret_addr: int, max_back: int = 16) -> bool:
+def preceded_by_call(fetch, ret_addr: int, max_back: int = 16,
+                     cfg=None, code_base: int = 0) -> bool:
     """Heuristic: is ``ret_addr`` plausibly a return address?
 
-    Checks whether some CALL instruction ends exactly at ``ret_addr``.
-    CALLI and CALLR have fixed lengths, so only two offsets need checking;
-    ``max_back`` is retained for API symmetry with real unwinders.
+    Byte scan: checks whether some CALL instruction ends exactly at
+    ``ret_addr``.  CALLI and CALLR have fixed lengths, so only two
+    offsets need checking; ``max_back`` is retained for API symmetry
+    with real unwinders.
+
+    Given a recovered ``cfg`` (see
+    :func:`repro.analysis.static.recover_image_cfg`) and the
+    ``code_base`` its image is loaded at, the answer is exact wherever
+    the CFG has coverage: the preceding call must sit at a *recovered
+    instruction boundary*, so a call opcode that merely appears inside
+    another instruction's immediate bytes no longer qualifies.
+    Addresses outside the recovered view (self-patched or writable
+    code) keep the byte-scan fallback.
     """
+    if cfg is not None and (ret_addr - code_base) in cfg.insns:
+        offset = ret_addr - code_base
+        for op in (Op.CALLI, Op.CALLR):
+            insn = cfg.insns.get(offset - insn_length(op))
+            if insn is not None and insn.op is op:
+                return True
+        return False
     for op in (Op.CALLI, Op.CALLR):
         length = insn_length(op)
         if length > max_back:

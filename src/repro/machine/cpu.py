@@ -220,26 +220,76 @@ class CPU:
         (branch/call target, post-call return address), at any control
         transfer (which joins the trace as its tail), at SYS/HALT
         (which never compile), and at ``FUSION_LIMIT``; runs shorter
-        than 2 stay per-cell."""
+        than 2 stay per-cell.  Collected runs are then extended along
+        the recovered CFG (:meth:`_extend_runs`) before installation."""
         if not stream:
             return
         leaders = block_leaders(stream)
+        runs: list[list[tuple[int, Insn]]] = []
         run: list[tuple[int, Insn]] = []
         for pc in sorted(stream):
             insn = stream[pc]
             if run and (pc in leaders or pc != run[-1][0] + run[-1][1].length):
-                self._install_traces(run)
+                runs.append(run)
                 run = []
             if insn.fusible:
                 run.append((pc, insn))
             elif insn.op in CONTROL_TRANSFER_OPS:
                 run.append((pc, insn))
-                self._install_traces(run)
+                runs.append(run)
                 run = []
             else:                         # SYS/HALT: runtime re-entry
-                self._install_traces(run)
+                runs.append(run)
                 run = []
-        self._install_traces(run)
+        runs.append(run)
+        runs = [r for r in runs if r]
+        self._extend_runs(stream, runs)
+        for run in runs:
+            self._install_traces(run)
+
+    def _extend_runs(self, stream: dict[int, Insn],
+                     runs: list[list[tuple[int, Insn]]]):
+        """CFG-driven trace extension: splice a run's control-flow
+        successor into the run when the successor is statically unique.
+
+        A run ending in an unconditional immediate jump always
+        continues into the jump target's run (the target is the only
+        possible successor).  A run ending in a direct call continues
+        into the callee when the stream CFG proves the callee
+        single-entry — it heads its own block, has exactly one
+        predecessor edge, and its address is never taken — so inlining
+        it cannot duplicate code another caller reaches.  Extension
+        fills up to ``FUSION_LIMIT`` (partial target slices allowed:
+        the trace then falls off mid-run onto the target's cells);
+        target runs keep their own standalone traces for entries that
+        bypass the extended head.
+        """
+        # Lazy import: repro.analysis pulls the dynamic-analysis
+        # pipeline whose runtime imports circle back into machine/.
+        # By predecode time every module is fully initialised.
+        from repro.analysis.static.cfg import cfg_from_stream
+        cfg = cfg_from_stream(stream)
+        by_head = {run[0][0]: run for run in runs}
+        for run in runs:
+            visited = {run[0][0]}
+            while len(run) < FUSION_LIMIT:
+                last_insn = run[-1][1]
+                op = last_insn.op
+                if op is Op.JMPI:
+                    target = last_insn.operands[0]
+                elif op is Op.CALLI:
+                    target = last_insn.operands[0]
+                    if (cfg.owner.get(target) != target
+                            or len(cfg.preds.get(target, ())) != 1
+                            or target in cfg.address_taken):
+                        break
+                else:
+                    break
+                nxt = by_head.get(target)
+                if nxt is None or target in visited:
+                    break
+                visited.add(target)
+                run.extend(nxt[:FUSION_LIMIT - len(run)])
 
     def _install_traces(self, run: list[tuple[int, Insn]]):
         for base in range(0, len(run), FUSION_LIMIT):
@@ -279,26 +329,32 @@ class CPU:
             self._icells.pop(pc, None)
             self._hot.pop(pc, None)
         for head in [h for h, t in self._traces.items()
-                     if h < end and start < t[2]]:
-            _fn, _count, _tend, members = self._traces.pop(head)
+                     if any(m_pc < end and m_pc + m_insn.length > start
+                            for m_pc, m_insn in t[3])]:
+            members = self._traces.pop(head)[3]
             self._hot.pop(head, None)
             cell = self._cells.get(head)
             if cell is not None:
                 self._hot[head] = (cell, 1)
-            prefix: list[tuple[int, Insn]] = []
+            # Re-split into maximal still-valid chains: members whose
+            # cells survived, linked either by address contiguity or by
+            # a jump/call whose immediate target is the next member (a
+            # CFG-extended splice).  For a contiguous trace this is
+            # exactly the classic prefix + suffix around the patch.
+            chain: list[tuple[int, Insn]] = []
             for m_pc, m_insn in members:
-                if m_pc + m_insn.length > start or m_pc not in self._cells:
-                    break
-                prefix.append((m_pc, m_insn))
-            self._install_traces(prefix)
-            suffix: list[tuple[int, Insn]] = []
-            for m_pc, m_insn in members:
-                if m_pc < end:
-                    continue
-                if m_pc not in self._cells:   # keep the run contiguous
-                    break
-                suffix.append((m_pc, m_insn))
-            self._install_traces(suffix)
+                alive = m_pc in self._cells
+                prev = chain[-1] if chain else None
+                linked = (prev is None
+                          or prev[0] + prev[1].length == m_pc
+                          or (prev[1].op in (Op.JMPI, Op.CALLI)
+                              and prev[1].operands[0] == m_pc))
+                if alive and linked:
+                    chain.append((m_pc, m_insn))
+                else:
+                    self._install_traces(chain)
+                    chain = [(m_pc, m_insn)] if alive else []
+            self._install_traces(chain)
 
     def adopt_decoded(self, pcs):
         """Decode (and compile) every pc in ``pcs`` not yet decoded.

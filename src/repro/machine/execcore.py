@@ -612,6 +612,20 @@ class _TraceCompiler:
         self._bound: set[int] = set()     # guest regs with a live local
         self._written: set[int] = set()   # locals differing from _regs
         self._flags_local = False         # a CMP put flags in locals
+        # Page-probe CSE: cache the last written (writable, dirty) page
+        # in `_wi`/`_wp` locals so repeated traffic to the same page —
+        # stack pushes, struct fills — skips the region probe and the
+        # dirty-bitmap check.  Only worth the init + compare when the
+        # trace has enough memory traffic for a second access to hit.
+        writes = reads = 0
+        for _pc, insn in items:
+            op = insn.op
+            if op in (Op.STW, Op.STB, Op.PUSHR, Op.PUSHI,
+                      Op.CALLI, Op.CALLR):
+                writes += 1
+            elif op in (Op.LDW, Op.LDB, Op.POPR, Op.RET):
+                reads += 1
+        self.cse = writes >= 2 or (writes >= 1 and reads >= 1)
 
     # -- register locals ---------------------------------------------------
 
@@ -764,7 +778,12 @@ class _TraceCompiler:
         L = self.lines
         L.append(f"    _i = {addr} >> 12")
         L.append(f"    _o = {addr} & 4095")
-        L.append("    if _o <= 4092 and _i in _pr:")
+        if self.cse:
+            L.append("    if _i == _wi and _o <= 4092:")
+            L.append(f"        r{rd} = _up(_wp, _o)[0]")
+            L.append("    elif _o <= 4092 and _i in _pr:")
+        else:
+            L.append("    if _o <= 4092 and _i in _pr:")
         L.append("        _p = _pages.get(_i)")
         L.append(f"        r{rd} = 0 if _p is None else _up(_p, _o)[0]")
         L.append("    else:")
@@ -778,7 +797,12 @@ class _TraceCompiler:
         addr = self.addr_expr(base, disp)
         L = self.lines
         L.append(f"    _i = {addr} >> 12")
-        L.append("    if _i in _pr:")
+        if self.cse:
+            L.append("    if _i == _wi:")
+            L.append(f"        r{rd} = _wp[{addr} & 4095]")
+            L.append("    elif _i in _pr:")
+        else:
+            L.append("    if _i in _pr:")
         L.append("        _p = _pages.get(_i)")
         L.append(f"        r{rd} = 0 if _p is None else _p[{addr} & 4095]")
         L.append("    else:")
@@ -787,21 +811,46 @@ class _TraceCompiler:
         self.data_handler("        ", pc, j)
         self.define(rd)
 
+    def _word_store(self, j: int, pc: int, addr: str, fast_val: str,
+                    slow_stmt: str):
+        """The probed word store ``mem32[addr] <- val``; ``_i``/``_o``
+        must already hold the page index and offset.  With CSE on, a
+        store to the cached page skips probe and dirty check; a probe
+        miss that lands on a writable page (re)fills the cache — the
+        page object is dirty from that point on, so the cached
+        reference stays the live page for the rest of the trace."""
+        L = self.lines
+        if self.cse:
+            L.append("    if _i == _wi and _o <= 4092:")
+            L.append(f"        _pk(_wp, _o, {fast_val})")
+            L.append("    else:")
+            L.append("        _rg = _pr.get(_i) if _o <= 4092 else None")
+            L.append("        if _rg is not None and _rg.writable:")
+            L.append("            _wp = _pages[_i] if _i in _dirty "
+                     "else _pfw(_i)")
+            L.append("            _wi = _i")
+            L.append(f"            _pk(_wp, _o, {fast_val})")
+            L.append("        else:")
+            L.append("            try:")
+            L.append(f"                {slow_stmt}")
+            self.data_handler("            ", pc, j)
+        else:
+            L.append("    _rg = _pr.get(_i) if _o <= 4092 else None")
+            L.append("    if _rg is not None and _rg.writable:")
+            L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
+            L.append(f"        _pk(_p, _o, {fast_val})")
+            L.append("    else:")
+            L.append("        try:")
+            L.append(f"            {slow_stmt}")
+            self.data_handler("        ", pc, j)
+
     def _emit_stw(self, j: int, pc: int, insn: Insn):
         base, disp, rs = insn.operands
         val = self.use(rs)
         addr = self.addr_expr(base, disp)
-        L = self.lines
-        L.append(f"    _i = {addr} >> 12")
-        L.append(f"    _o = {addr} & 4095")
-        L.append("    _rg = _pr.get(_i) if _o <= 4092 else None")
-        L.append("    if _rg is not None and _rg.writable:")
-        L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
-        L.append(f"        _pk(_p, _o, {val} & {_M})")
-        L.append("    else:")
-        L.append("        try:")
-        L.append(f"            _ww({addr}, {val})")
-        self.data_handler("        ", pc, j)
+        self.lines.append(f"    _i = {addr} >> 12")
+        self.lines.append(f"    _o = {addr} & 4095")
+        self._word_store(j, pc, addr, f"{val} & {_M}", f"_ww({addr}, {val})")
 
     def _emit_stb(self, j: int, pc: int, insn: Insn):
         base, disp, rs = insn.operands
@@ -809,14 +858,29 @@ class _TraceCompiler:
         addr = self.addr_expr(base, disp)
         L = self.lines
         L.append(f"    _i = {addr} >> 12")
-        L.append("    _rg = _pr.get(_i)")
-        L.append("    if _rg is not None and _rg.writable:")
-        L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
-        L.append(f"        _p[{addr} & 4095] = {val} & 0xFF")
-        L.append("    else:")
-        L.append("        try:")
-        L.append(f"            _wrm({addr}, bytes(({val} & 0xFF,)))")
-        self.data_handler("        ", pc, j)
+        if self.cse:
+            L.append("    if _i == _wi:")
+            L.append(f"        _wp[{addr} & 4095] = {val} & 0xFF")
+            L.append("    else:")
+            L.append("        _rg = _pr.get(_i)")
+            L.append("        if _rg is not None and _rg.writable:")
+            L.append("            _wp = _pages[_i] if _i in _dirty "
+                     "else _pfw(_i)")
+            L.append("            _wi = _i")
+            L.append(f"            _wp[{addr} & 4095] = {val} & 0xFF")
+            L.append("        else:")
+            L.append("            try:")
+            L.append(f"                _wrm({addr}, bytes(({val} & 0xFF,)))")
+            self.data_handler("            ", pc, j)
+        else:
+            L.append("    _rg = _pr.get(_i)")
+            L.append("    if _rg is not None and _rg.writable:")
+            L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
+            L.append(f"        _p[{addr} & 4095] = {val} & 0xFF")
+            L.append("    else:")
+            L.append("        try:")
+            L.append(f"            _wrm({addr}, bytes(({val} & 0xFF,)))")
+            self.data_handler("        ", pc, j)
 
     def _emit_push(self, j: int, pc: int, insn: Insn):
         if insn.op is Op.PUSHR:
@@ -830,19 +894,12 @@ class _TraceCompiler:
             val = str(insn.operands[0])
         sp = self.use(SP)
         self.lines.append(f"    {self.define(SP)} = ({sp} - 4) & {_M}")
-        L = self.lines
-        L.append(f"    _i = r{SP} >> 12")
-        L.append(f"    _o = r{SP} & 4095")
-        L.append("    _rg = _pr.get(_i) if _o <= 4092 else None")
-        L.append("    if _rg is not None and _rg.writable:")
-        L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
-        L.append(f"        _pk(_p, _o, {val} & {_M})")
-        L.append("    else:")
-        L.append("        try:")
-        L.append(f"            _ww(r{SP}, {val})")
+        self.lines.append(f"    _i = r{SP} >> 12")
+        self.lines.append(f"    _o = r{SP} & 4095")
         # SP is already in the written set: a faulting PUSH leaves it
         # decremented, exactly like step().
-        self.data_handler("        ", pc, j)
+        self._word_store(j, pc, f"r{SP}", f"{val} & {_M}",
+                         f"_ww(r{SP}, {val})")
 
     def _emit_pop(self, j: int, pc: int, insn: Insn):
         rd = insn.operands[0]
@@ -850,7 +907,12 @@ class _TraceCompiler:
         L = self.lines
         L.append(f"    _i = {sp} >> 12")
         L.append(f"    _o = {sp} & 4095")
-        L.append("    if _o <= 4092 and _i in _pr:")
+        if self.cse:
+            L.append("    if _i == _wi and _o <= 4092:")
+            L.append("        _v = _up(_wp, _o)[0]")
+            L.append("    elif _o <= 4092 and _i in _pr:")
+        else:
+            L.append("    if _o <= 4092 and _i in _pr:")
         L.append("        _p = _pages.get(_i)")
         L.append("        _v = 0 if _p is None else _up(_p, _o)[0]")
         L.append("    else:")
@@ -912,28 +974,57 @@ class _TraceCompiler:
             target = str(insn.operands[0])
         sp = self.use(SP)
         self.lines.append(f"    {self.define(SP)} = ({sp} - 4) & {_M}")
-        L = self.lines
-        L.append(f"    _i = r{SP} >> 12")
-        L.append(f"    _o = r{SP} & 4095")
-        L.append("    _rg = _pr.get(_i) if _o <= 4092 else None")
-        L.append("    if _rg is not None and _rg.writable:")
-        L.append("        _p = _pages[_i] if _i in _dirty else _pfw(_i)")
-        L.append(f"        _pk(_p, _o, {next_pc})")
-        L.append("    else:")
-        L.append("        try:")
-        L.append(f"            _ww(r{SP}, {next_pc})")
-        self.data_handler("        ", pc, j)       # SP stays decremented
+        self.lines.append(f"    _i = r{SP} >> 12")
+        self.lines.append(f"    _o = r{SP} & 4095")
+        # SP stays decremented on a faulting stack store.
+        self._word_store(j, pc, f"r{SP}", str(next_pc),
+                         f"_ww(r{SP}, {next_pc})")
         self.lines.extend(self._flush_lines("    "))
         self.lines.append(f"    _known({target})")
         self.lines.append(f"    _ring(_EV('call', {pc}, {target}))")
         self.lines.append(f"    return {target}")
+
+    def emit_mid_transfer(self, j: int, pc: int, insn: Insn):
+        """A control transfer *inside* an extended trace.
+
+        CFG-driven extension only fuses through transfers whose target
+        is statically known to be the next member — immediate jumps and
+        direct calls into single-entry functions — so no outgoing PC is
+        computed or returned.  Only the architectural side effects
+        happen, in cell order: for a jump the ring event; for a call
+        the return-address push (SP stays decremented on a faulting
+        store, like step()), then known-target bookkeeping and the ring
+        event once the store succeeded.
+        """
+        op = insn.op
+        if op is Op.JMPI:
+            target = insn.operands[0]
+            self.lines.append(f"    _ring(_EV('branch', {pc}, {target}))")
+        elif op is Op.CALLI:
+            target = insn.operands[0]
+            next_pc = pc + insn.length
+            sp = self.use(SP)
+            self.lines.append(f"    {self.define(SP)} = ({sp} - 4) & {_M}")
+            self.lines.append(f"    _i = r{SP} >> 12")
+            self.lines.append(f"    _o = r{SP} & 4095")
+            self._word_store(j, pc, f"r{SP}", str(next_pc),
+                             f"_ww(r{SP}, {next_pc})")
+            self.lines.append(f"    _known({target})")
+            self.lines.append(f"    _ring(_EV('call', {pc}, {target}))")
+        else:                                      # pragma: no cover
+            raise AssertionError(f"unfusible mid-trace transfer {op!r}")
 
     def _emit_ret(self, j: int, pc: int, insn: Insn):
         sp = self.use(SP)
         L = self.lines
         L.append(f"    _i = {sp} >> 12")
         L.append(f"    _o = {sp} & 4095")
-        L.append("    if _o <= 4092 and _i in _pr:")
+        if self.cse:
+            L.append("    if _i == _wi and _o <= 4092:")
+            L.append("        _t = _up(_wp, _o)[0]")
+            L.append("    elif _o <= 4092 and _i in _pr:")
+        else:
+            L.append("    if _o <= 4092 and _i in _pr:")
         L.append("        _p = _pages.get(_i)")
         L.append("        _t = 0 if _p is None else _up(_p, _o)[0]")
         L.append("    else:")
@@ -948,12 +1039,17 @@ class _TraceCompiler:
     # -- assembly ----------------------------------------------------------
 
     def source(self) -> str:
+        if self.cse:
+            self.lines.append("    _wi = -1")
         last_j = self.k - 1
         last_pc, last_insn = self.items[last_j]
         terminated = last_insn.op in CONTROL_TRANSFER_OPS
         straight = self.items[:-1] if terminated else self.items
         for j, (pc, insn) in enumerate(straight):
-            self.emit(j, pc, insn)
+            if insn.op in CONTROL_TRANSFER_OPS:
+                self.emit_mid_transfer(j, pc, insn)
+            else:
+                self.emit(j, pc, insn)
         if terminated:
             self.emit_terminator(last_j, last_pc, last_insn)
         else:
@@ -970,9 +1066,14 @@ def compile_trace(cpu, items: list[tuple[int, Insn]]) -> Cell | None:
     """Compile a run of predecoded instructions into one supercell:
     ``fn(cpu) -> next_pc`` executing the whole run.
 
-    ``items`` is the ordered, contiguous ``(pc, insn)`` list: fusible
+    ``items`` is the ordered ``(pc, insn)`` list: fusible
     (straight-line) opcodes, optionally closed by the block's control
-    transfer as the final item.  Like cells, the generated function
+    transfer as the final item.  A run need not be address-contiguous:
+    CFG-driven extension may splice in an immediate jump or a direct
+    call whose *next member is its static target* (unconditional
+    ``JMPI``, ``CALLI`` into a single-entry function) — those mid-trace
+    transfers emit their architectural side effects and fall through
+    into the inlined target.  Like cells, the generated function
     captures the per-process containers (register file, page table,
     page-region index, dirty bitmap, control ring) by identity, so
     snapshot/restore keeps it valid; code *content* changes must drop

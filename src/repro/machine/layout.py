@@ -68,7 +68,7 @@ def ReferenceLayout(entropy_bits: int = DEFAULT_ENTROPY_BITS
                      ("code", "data", "heap", "lib", "stack")})
 
 
-def randomized_layout(rng: random.Random | None = None,
+def randomized_layout(rng: random.Random,
                       entropy_bits: int = DEFAULT_ENTROPY_BITS,
                       pin: dict[str, int] | None = None
                       ) -> AddressSpaceLayout:
@@ -85,7 +85,8 @@ def randomized_layout(rng: random.Random | None = None,
     or not it is pinned, so pinned and unpinned layouts with the same
     rng state agree on every unpinned region.
     """
-    rng = rng or random.Random()
+    # rng is required: an implicit OS-seeded Random here would be the one
+    # nondeterministic draw in the whole reproduction.
     slides = {name: rng.randrange(2 ** entropy_bits)
               for name in ("code", "data", "heap", "lib", "stack")}
     for name, slide in (pin or {}).items():

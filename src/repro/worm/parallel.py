@@ -53,6 +53,7 @@ import multiprocessing
 import resource
 import traceback
 
+from repro.antibody.audit import StaticAuditor
 from repro.antibody.distribution import AntibodyBundle, CommunityBus
 from repro.antibody.verify import SandboxVerifier
 from repro.errors import ReproError
@@ -128,13 +129,23 @@ class _LogicalVerifierReplay:
         self._tried: set[tuple[str, str]] = set()
         self.trials = 0
         self.cache_hits = 0
+        #: The static audit is deterministic on (image, bundle) content,
+        #: so the coordinator runs the *real* auditor on its own copies
+        #: and lands on the sequential screen/reject counts exactly.
+        self.auditor = StaticAuditor()
+        self.audit_screens = 0
+        self.audit_rejects = 0
 
-    def replay(self, app: str, bundle: AntibodyBundle):
+    def replay(self, app: str, image, bundle: AntibodyBundle):
         if bundle.exploit_input is None:
             return                      # deferred: uncounted, like verify()
         if any(not sig.matches(bundle.exploit_input)
                for sig in bundle.signatures):
             return                      # rejected before memo/boot
+        self.audit_screens += 1
+        if not self.auditor.audit(image, bundle).ok:
+            self.audit_rejects += 1     # rejected before memo/boot
+            return
         key = (app, bundle.bundle_id)
         if key in self._tried:
             self.cache_hits += 1
@@ -145,7 +156,9 @@ class _LogicalVerifierReplay:
 
     def stats(self) -> dict:
         return {"boots": len(self._booted), "trials": self.trials,
-                "cache_hits": self.cache_hits}
+                "cache_hits": self.cache_hits,
+                "audit_screens": self.audit_screens,
+                "audit_rejects": self.audit_rejects}
 
 
 class _WorkerHarness(NodeHost):
@@ -366,7 +379,8 @@ class FleetWorkerPool:
             if bundle.app != node.app:
                 continue
             if self.logical_verifier is not None:
-                self.logical_verifier.replay(node.app, bundle)
+                self.logical_verifier.replay(
+                    node.app, self.run.images[node.app], bundle)
 
     def _recv(self, worker_id: int):
         reply = self._out[worker_id].get()

@@ -1,0 +1,168 @@
+"""Static antibody audit: forged bundles die before any sandbox boot.
+
+Two forgeries the sandbox replay cannot expose — a patch offset pointing
+at a non-instruction or input-unreachable code, and an overly broad
+token filter that also matches benign dispatch traffic — must be caught
+by the CFG-based pre-screen, while every genuine pipeline bundle passes
+untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.antibody.audit import StaticAuditor
+from repro.antibody.distribution import AntibodyBundle, CommunityBus
+from repro.antibody.signatures import (TokenSignature, generate_exact,
+                                       generate_token)
+from repro.antibody.verify import SandboxVerifier, verify_antibody
+from repro.antibody.vsef import VSEF, CodeLoc
+from repro.apps import build_httpd
+from repro.apps.exploits import EXPLOITS, apache1_exploit
+from repro.apps.workload import benign_requests
+from repro.runtime.sweeper import Sweeper, SweeperConfig
+
+
+def _bundle(vsefs=(), signatures=(), payload=None):
+    return AntibodyBundle(app="httpd", vsefs=list(vsefs),
+                          signatures=list(signatures),
+                          exploit_input=payload or apache1_exploit())
+
+
+def _null_check(offset: int) -> VSEF:
+    return VSEF(kind="null_check",
+                params={"pc": CodeLoc("code", offset), "reg": 0})
+
+
+@pytest.fixture(scope="module")
+def httpd():
+    return build_httpd()
+
+
+@pytest.fixture(scope="module")
+def pipeline_bundles():
+    """Every bundle the real analysis pipeline publishes across all
+    four CVEs (initial / improved / final stages)."""
+    out = []
+    for name, spec in EXPLOITS.items():
+        bus = CommunityBus(dissemination_latency=0.0)
+        producer = Sweeper(spec.build_image(), app_name=spec.app,
+                           config=SweeperConfig(seed=5), bus=bus)
+        for request in benign_requests(spec.app, 3):
+            producer.submit(request)
+        producer.submit(spec.payload())
+        assert bus.published
+        out.append((spec, list(bus.published)))
+    return out
+
+
+class TestAuditVerdicts:
+    def test_genuine_pipeline_bundles_all_pass(self, pipeline_bundles):
+        auditor = StaticAuditor()
+        audited = 0
+        for spec, bundles in pipeline_bundles:
+            image = spec.build_image()
+            for bundle in bundles:
+                report = auditor.audit(image, bundle)
+                assert report.ok, (spec.app, bundle.stage, report.detail)
+                audited += 1
+        assert audited >= 12
+
+    def test_mid_instruction_offset_rejected(self, httpd):
+        offset = httpd.symbols["handle_request"][1] + 1
+        report = StaticAuditor().audit(httpd, _bundle([_null_check(offset)]))
+        assert not report.ok
+        assert [f.code for f in report.findings] == ["bad-boundary"]
+        assert "forged patch offset" in report.detail
+
+    def test_offset_into_padding_rejected(self, httpd):
+        report = StaticAuditor().audit(
+            httpd, _bundle([VSEF(kind="store_guard",
+                                 params={"pc": CodeLoc("code", 8)})]))
+        assert not report.ok
+        assert [f.code for f in report.findings] == ["bad-boundary"]
+
+    def test_input_unreachable_offset_rejected(self, httpd):
+        backdoor = httpd.symbols["backdoor"][1]
+        report = StaticAuditor().audit(httpd,
+                                       _bundle([_null_check(backdoor)]))
+        assert not report.ok
+        assert [f.code for f in report.findings] == ["unreachable"]
+
+    def test_unknown_native_rejected(self, httpd):
+        report = StaticAuditor().audit(
+            httpd, _bundle([VSEF(kind="heap_bounds",
+                                 params={"native": "strdup"})]))
+        assert not report.ok
+        assert [f.code for f in report.findings] == ["unknown-native"]
+
+    def test_broad_token_signature_flagged_despite_byte_check(self, httpd):
+        """The censoring filter: matches the bundle's own exploit (so
+        the byte check admits it) yet every token also matches a benign
+        dispatch literal — flagged statically."""
+        broad = TokenSignature(sig_id="forged", tokens=[b"GET "])
+        bundle = _bundle(signatures=[broad])
+        assert broad.matches(bundle.exploit_input)
+        report = StaticAuditor().audit(httpd, bundle)
+        assert not report.ok
+        assert [f.code for f in report.findings] == ["broad-signature"]
+        assert "censor" in report.detail
+
+    def test_genuine_polymorphic_token_signature_passes(self, httpd):
+        variants = [apache1_exploit(filler=f)
+                    for f in (b"A", b"B", b"C", b"Z")]
+        poly = generate_token(variants)
+        report = StaticAuditor().audit(httpd, _bundle(signatures=[poly]))
+        assert report.ok, report.detail
+
+    def test_exact_signature_never_flagged(self, httpd):
+        exact = generate_exact(apache1_exploit())
+        report = StaticAuditor().audit(httpd, _bundle(signatures=[exact]))
+        assert report.ok
+
+    def test_reports_are_cached_per_image_and_bundle(self, httpd):
+        auditor = StaticAuditor()
+        bundle = _bundle([_null_check(httpd.symbols["backdoor"][1])])
+        assert auditor.audit(httpd, bundle) is auditor.audit(httpd, bundle)
+
+
+class TestVerifierPreScreen:
+    def test_forged_offset_rejected_without_boot(self, httpd):
+        verifier = SandboxVerifier()
+        offset = httpd.symbols["handle_request"][1] + 1
+        result = verifier.verify(httpd, _bundle([_null_check(offset)]))
+        assert not result.verified
+        assert "static audit rejected" in result.detail
+        assert verifier.stats() == {"boots": 0, "trials": 0,
+                                    "cache_hits": 0,
+                                    "audit_screens": 1, "audit_rejects": 1}
+
+    def test_broad_signature_rejected_without_boot(self, httpd):
+        verifier = SandboxVerifier()
+        broad = TokenSignature(sig_id="forged", tokens=[b"GET "])
+        result = verifier.verify(httpd, _bundle(signatures=[broad]))
+        assert not result.verified
+        assert "static audit rejected" in result.detail
+        assert verifier.stats()["boots"] == 0
+        assert verifier.stats()["audit_rejects"] == 1
+
+    def test_screen_counts_cover_every_screened_bundle(self, httpd):
+        verifier = SandboxVerifier()
+        good = _bundle([VSEF(kind="heap_bounds",
+                             params={"native": "strcpy"})],
+                       [generate_exact(apache1_exploit())])
+        verifier.verify(httpd, good)
+        verifier.verify(httpd, good)                 # memoized
+        verifier.verify(httpd, _bundle([_null_check(8)]))
+        stats = verifier.stats()
+        assert stats["audit_screens"] == 3
+        assert stats["audit_rejects"] == 1
+        assert stats["audit_screens"] == (stats["trials"]
+                                          + stats["cache_hits"]
+                                          + stats["audit_rejects"])
+
+    def test_one_shot_verify_antibody_rejects_too(self, httpd):
+        result = verify_antibody(
+            httpd, _bundle([_null_check(httpd.symbols["backdoor"][1])]))
+        assert not result.verified
+        assert "static audit rejected" in result.detail

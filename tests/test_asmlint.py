@@ -1,0 +1,98 @@
+"""The guest linter: clean on shipped apps, loud on planted defects."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.isa.assembler import assemble
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from asmlint import lint_image  # noqa: E402
+
+
+def _codes(errors):
+    return sorted(e.split(" at ")[0].split(":")[0] for e in errors)
+
+
+class TestShippedImagesAreClean:
+    def test_cli_exits_zero_on_apps(self):
+        proc = subprocess.run([sys.executable, "tools/asmlint.py"],
+                              cwd=ROOT, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        for app in ("httpd", "squidp", "cvsd"):
+            assert f"{app}: ok" in proc.stdout
+
+    def test_httpd_backdoor_is_noted_not_gated(self):
+        proc = subprocess.run([sys.executable, "tools/asmlint.py"],
+                              cwd=ROOT, capture_output=True, text=True)
+        assert "backdoor" in proc.stdout
+        assert proc.returncode == 0
+
+
+class TestPlantedDefects:
+    def test_unbalanced_push_before_ret(self):
+        image = assemble(".text\nmain:\n call f\n halt\n"
+                         "f:\n push r1\n ret\n")
+        errors, _ = lint_image("t", image)
+        assert len(errors) == 1
+        assert "stack-imbalanced path" in errors[0]
+        assert "depth 4" in errors[0]
+
+    def test_join_at_differing_depths(self):
+        image = assemble(".text\nmain:\n call f\n halt\n"
+                         "f:\n cmp r0, 0\n je skip\n push r1\n"
+                         "skip:\n pop r1\n ret\n")
+        errors, _ = lint_image("t", image)
+        assert any("stack-imbalanced join" in e for e in errors)
+
+    def test_frame_idiom_is_balanced(self):
+        image = assemble(
+            ".text\nmain:\n call f\n halt\n"
+            "f:\n push fp\n mov fp, sp\n sub sp, 24\n"
+            " mov sp, fp\n pop fp\n ret\n")
+        errors, _ = lint_image("t", image)
+        assert errors == []
+
+    def test_fall_through_into_data(self):
+        image = assemble(".text\nmain:\n call f\n halt\n"
+                         "f:\n mov r0, 1\npad:\n .byte 0\n .byte 0\n"
+                         "after:\n ret\n")
+        errors, _ = lint_image("t", image)
+        assert len(errors) == 1
+        assert "fall-through into data" in errors[0]
+
+    def test_symbol_rooted_padding_is_not_flagged(self):
+        # Padding only a symbol points at (no decoded flow reaches it)
+        # mirrors httpd's pad and must stay clean.
+        image = assemble(".text\nmain:\n mov r0, 1\n jmp go\n"
+                         "pad:\n .byte 0\n .byte 0\n"
+                         "go:\n halt\n")
+        errors, _ = lint_image("t", image)
+        assert errors == []
+
+    def test_store_to_code_page(self):
+        image = assemble(".text\nmain:\n mov r1, main\n"
+                         " st [r1], r2\n halt\n")
+        errors, _ = lint_image("t", image)
+        assert len(errors) == 1
+        assert "store to code page" in errors[0]
+
+    def test_unreachable_block_is_a_note(self):
+        image = assemble(".text\nmain:\n halt\n"
+                         "orphan:\n mov r0, 1\n halt\n")
+        errors, notes = lint_image("t", image)
+        assert errors == []
+        assert any("orphan" in n for n in notes)
+
+
+@pytest.mark.parametrize("app", ["httpd", "squidp", "cvsd"])
+def test_lint_image_api_clean_per_app(app):
+    from repro.apps import build_cvsd, build_httpd, build_squidp
+    build = {"httpd": build_httpd, "squidp": build_squidp,
+             "cvsd": build_cvsd}[app]
+    errors, _ = lint_image(app, build())
+    assert errors == []

@@ -1,0 +1,71 @@
+"""The determinism lint: clean on the library, loud on entropy leaks."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_determinism import check_file  # noqa: E402
+
+
+def _lint(tmp_path, source, rel="machine/example.py"):
+    path = tmp_path / "example.py"
+    path.write_text(source)
+    return check_file(path, rel=rel)
+
+
+def test_library_is_clean():
+    proc = subprocess.run([sys.executable, "tools/check_determinism.py"],
+                          cwd=ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "ok" in proc.stdout
+
+
+@pytest.mark.parametrize("snippet,needle", [
+    ("import time\nt = time.time()\n", "time.time"),
+    ("import time\nt = time.monotonic()\n", "time.monotonic"),
+    ("import os\nb = os.urandom(16)\n", "os.urandom"),
+    ("import random\nr = random.SystemRandom()\n", "SystemRandom"),
+    ("import random\nx = random.randint(0, 9)\n", "random.randint"),
+    ("import random\nrandom.seed(4)\n", "random.seed"),
+    ("import random\nrng = random.Random()\n", "unseeded"),
+    ("from datetime import datetime\nn = datetime.now()\n",
+     "datetime.now"),
+    ("from time import time\n", "from time import time"),
+    ("from random import randint\n", "from random import randint"),
+    ("import secrets\n", "import secrets"),
+])
+def test_violation_is_flagged(tmp_path, snippet, needle):
+    findings = _lint(tmp_path, snippet)
+    assert findings, snippet
+    assert any(needle in f for f in findings), findings
+
+
+@pytest.mark.parametrize("snippet", [
+    "import random\nrng = random.Random(42)\n",
+    "import random\nrng = random.Random(seed)\n",
+    "import time\n",                       # importing the module is fine
+    "from repro.runtime.clock import VirtualClock\n",
+])
+def test_clean_patterns_pass(tmp_path, snippet):
+    assert _lint(tmp_path, snippet) == []
+
+
+def test_perf_counter_allowed_only_in_reporting_modules(tmp_path):
+    snippet = "import time\nt = time.perf_counter()\n"
+    assert _lint(tmp_path, snippet, rel="runtime/sweeper.py") == []
+    findings = _lint(tmp_path, snippet, rel="machine/cpu.py")
+    assert findings and "reporting-only" in findings[0]
+
+
+def test_randomized_layout_requires_rng():
+    """The one historical hole: layout randomization silently falling
+    back to an OS-seeded Random.  The parameter is now mandatory."""
+    import inspect
+    from repro.machine.layout import randomized_layout
+    param = inspect.signature(randomized_layout).parameters["rng"]
+    assert param.default is inspect.Parameter.empty

@@ -93,3 +93,70 @@ class TestPrecededByCall:
             raise IndexError(addr)
 
         assert not preceded_by_call(fetch, 0)
+
+
+class TestPrecededByCallCfgBacked:
+    """The CFG-backed check is exact: a call opcode embedded in another
+    instruction's immediate bytes fools the byte scan but not the CFG."""
+
+    def _embedded_call_image(self):
+        from repro.isa.assembler import assemble
+        from repro.isa.encoding import insn_length
+        # mov r0, imm whose top immediate bytes spell 'callr r1', so a
+        # CALLR instruction appears to end exactly where the MOVRI ends.
+        imm = 0x11 | (0x22 << 8) | (int(Op.CALLR) << 16) | (1 << 24)
+        source = f".text\nmain:\n mov r0, {imm}\n halt\n"
+        image = assemble(source)
+        ret_addr = insn_length(Op.MOVRI)         # the HALT boundary
+        return image, ret_addr
+
+    def _fetch_for(self, image):
+        text = image.text
+
+        def fetch(addr, n):
+            chunk = text[addr:addr + n]
+            if len(chunk) != n:
+                raise IndexError(addr)
+            return chunk
+
+        return fetch
+
+    def test_byte_scan_is_fooled_by_immediate_bytes(self):
+        image, ret_addr = self._embedded_call_image()
+        assert preceded_by_call(self._fetch_for(image), ret_addr)
+
+    def test_cfg_rejects_embedded_call_bytes(self):
+        from repro.analysis.static import recover_image_cfg
+        image, ret_addr = self._embedded_call_image()
+        cfg = recover_image_cfg(image)
+        assert ret_addr in cfg.insns             # a real boundary...
+        assert not preceded_by_call(self._fetch_for(image), ret_addr,
+                                    cfg=cfg)     # ...but not a call site
+
+    def test_cfg_confirms_real_call_site(self):
+        from repro.isa.assembler import assemble
+        from repro.analysis.static import recover_image_cfg
+        source = (".text\nmain:\n call helper\n halt\n"
+                  "helper:\n ret\n")
+        image = assemble(source)
+        cfg = recover_image_cfg(image)
+        ret_addr = next(pc + insn.length for pc, insn in cfg.insns.items()
+                        if insn.op is Op.CALLI)
+        assert preceded_by_call(self._fetch_for(image), ret_addr, cfg=cfg)
+
+    def test_outside_cfg_falls_back_to_byte_scan(self):
+        from repro.analysis.static import recover_image_cfg
+        image, _ret = self._embedded_call_image()
+        cfg = recover_image_cfg(image)
+        blob = encode(Op.CALLI, 0x1234) + encode(Op.NOP)
+
+        def fetch(addr, n):
+            chunk = blob[addr:addr + n]
+            if len(chunk) != n:
+                raise IndexError(addr)
+            return chunk
+
+        # An address far outside the recovered text: byte scan decides.
+        base = 0x100000
+        assert preceded_by_call(fetch, len(encode(Op.CALLI, 0x1234)),
+                                cfg=cfg, code_base=base)

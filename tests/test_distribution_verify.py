@@ -258,7 +258,8 @@ class TestSandboxVerifier:
         second = verifier.verify(image, self._exploit_bundle())
         assert first.verified and second.verified
         assert verifier.stats() == {"boots": 1, "trials": 2,
-                                    "cache_hits": 0}
+                                    "cache_hits": 0,
+                                    "audit_screens": 2, "audit_rejects": 0}
 
     def test_repeat_verify_is_memoized(self):
         image = build_cvsd()
@@ -268,7 +269,8 @@ class TestSandboxVerifier:
         again = verifier.verify(image, bundle)
         assert again is first
         assert verifier.stats() == {"boots": 1, "trials": 1,
-                                    "cache_hits": 1}
+                                    "cache_hits": 1,
+                                    "audit_screens": 2, "audit_rejects": 0}
 
     def test_trials_isolated_by_snapshot_restore(self):
         """An attack run in the sandbox must not contaminate the next

@@ -135,14 +135,17 @@ def _stack_gadget(rng: random.Random) -> list[str]:
 def generate_program(rng: random.Random, segments: int = 14) -> str:
     """A random terminating program for the differential harness."""
     helpers = []
-    for h in range(2):
+    for h in range(3):
         body = [f"fn{h}:", " push fp", " mov fp, sp"]
         for _ in range(rng.randrange(1, 5)):
             body.append(_soup_line(rng))
         body += [" pop fp", " ret"]
         helpers.append("\n".join(body))
 
-    lines = [".text", "main:", " mov r6, buf"]
+    # fn2 is called exactly once, directly, and its address is never
+    # taken — a guaranteed single-entry callee, so every generated
+    # program exercises CFG-driven call-target trace extension.
+    lines = [".text", "main:", " mov r6, buf", " call fn2"]
     for index in range(segments):
         lines.append(f"S{index}:")
         roll = rng.random()
@@ -423,3 +426,46 @@ def test_budget_pause_mid_trace_resumes_on_checked_tier():
     assert result.reason == "exit"
     assert process.cpu.regs[0] == 15
     assert len(hits) == 1
+
+
+# ---------------------------------------------------------------------------
+# Static CFG recovery must cover dynamic execution
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_executed_text_pcs_lie_on_recovered_cfg(seed):
+    """Every pc the machine actually executes from read-only text must
+    be an instruction boundary inside a block the static CFG recovered
+    — the soundness property the antibody audit and the CFG-driven
+    fusion both stand on.  (Self-patched code runs from writable pages
+    and is rightly outside the static view.)"""
+    from repro.analysis.static import recover_image_cfg
+
+    rng = random.Random(seed + 7)
+    checked = 0
+    for index in range(min(NUM_PROGRAMS, 40)):
+        image = assemble(generate_program(rng))
+        cfg = recover_image_cfg(image)
+        process = Process(image, seed=seed * 77 + index)
+        code_base = process.symbols["main"] - image.symbols["main"][1]
+        executed = set()
+        try:
+            for _ in range(30_000):
+                pc = process.cpu.pc
+                region = process.memory.region_at(pc)
+                if region is not None and not region.writable:
+                    executed.add(pc)
+                process.cpu.step()
+        except (ProcessExited, VMFault, _WouldBlock):
+            pass
+        assert executed
+        for pc in sorted(executed):
+            offset = pc - code_base
+            assert offset in cfg.insns, \
+                f"seed={seed} program={index}: executed pc {pc:#x} " \
+                f"(text+{offset:#x}) not a recovered instruction boundary"
+            assert offset in cfg.owner, \
+                f"seed={seed} program={index}: executed pc {pc:#x} " \
+                f"(text+{offset:#x}) outside every recovered basic block"
+            checked += 1
+    assert checked > 0

@@ -1,0 +1,157 @@
+"""Unit tests for static guest-binary analysis: CFG recovery over
+assembled images, dominators, reaching definitions and static taint."""
+
+from __future__ import annotations
+
+from repro.analysis.static import (imm_field_offset, reaching_definitions,
+                                   recover_image_cfg, static_taint)
+from repro.apps import build_cvsd, build_httpd, build_squidp
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Op
+
+_BRANCHY = """
+.text
+main:
+ mov r0, reqbuf
+ mov r1, 64
+ jmp getreq
+getreq:
+ sys recv
+ cmp r0, 0
+ je done
+ mov r1, reqbuf
+ ld r2, [r1+0]
+ cmp r2, 65
+ jne other
+ call handler
+ jmp done
+other:
+ mov r3, 1
+done:
+ halt
+handler:
+ add r2, 1
+ ret
+.data
+reqbuf: .space 64
+"""
+
+
+def _cfg(source: str):
+    return recover_image_cfg(assemble(source))
+
+
+class TestRecovery:
+    def test_blocks_partition_decoded_instructions(self):
+        cfg = _cfg(_BRANCHY)
+        owned = [pc for block in cfg.blocks.values() for pc in block.pcs]
+        assert sorted(owned) == sorted(cfg.insns)
+        assert sorted(owned) == sorted(cfg.owner)
+        for pc, block_start in cfg.owner.items():
+            assert pc in cfg.blocks[block_start].pcs
+
+    def test_conditional_branch_has_two_successors(self):
+        cfg = _cfg(_BRANCHY)
+        branches = [pc for pc, insn in cfg.insns.items()
+                    if insn.op is Op.JE or insn.op is Op.JNE]
+        for pc in branches:
+            assert len(cfg.succs[cfg.owner[pc]]) == 2
+
+    def test_edges_are_inverse_of_each_other(self):
+        cfg = _cfg(_BRANCHY)
+        for block, succs in cfg.succs.items():
+            for succ in succs:
+                assert block in cfg.preds[succ]
+        for block, preds in cfg.preds.items():
+            for pred in preds:
+                assert block in cfg.succs[pred]
+
+    def test_call_records_site_and_links_fallthrough(self):
+        image = assemble(_BRANCHY)
+        cfg = recover_image_cfg(image)
+        handler = image.symbols["handler"][1]
+        call_pc = next(pc for pc, insn in cfg.insns.items()
+                       if insn.op is Op.CALLI)
+        block = cfg.owner[call_pc]
+        assert handler in cfg.succs[block]
+        assert call_pc + cfg.insns[call_pc].length in cfg.succs[block]
+
+    def test_dominators_entry_dominates_all(self):
+        image = assemble(_BRANCHY)
+        cfg = recover_image_cfg(image)
+        entry = image.symbols["main"][1]
+        dom = cfg.dominators(entry)
+        for block in cfg.reachable_from([entry]):
+            assert entry in dom[block]
+            assert block in dom[block]
+
+    def test_imm_field_offset_walks_signature(self):
+        assert imm_field_offset(Op.JMPI) == 1       # opcode, imm
+        assert imm_field_offset(Op.MOVRI) == 2      # opcode, reg, imm
+        assert imm_field_offset(Op.ADDRI) == 2
+
+
+class TestAppImages:
+    def test_httpd_decodes_fully_except_pad(self):
+        image = build_httpd()
+        cfg = recover_image_cfg(image)
+        pad = image.symbols["pad"][1]
+        assert list(cfg.undecodable) == [pad]
+        # Every other text symbol is a recovered instruction boundary.
+        for name, (section, offset) in image.symbols.items():
+            if section == "text" and name != "pad":
+                assert offset in cfg.insns, name
+
+    def test_squidp_and_cvsd_decode_fully(self):
+        for build in (build_squidp, build_cvsd):
+            cfg = recover_image_cfg(build())
+            assert not cfg.undecodable
+            assert len(cfg.blocks) > 10
+
+    def test_httpd_recv_seeds_and_native_calls_found(self):
+        cfg = recover_image_cfg(build_httpd())
+        assert 1 in set(cfg.syscalls.values())       # recv
+        assert "strncmp" in set(cfg.native_calls.values())
+
+
+class TestDataflow:
+    def test_sole_def_finds_movri(self):
+        image = assemble(_BRANCHY)
+        cfg = recover_image_cfg(image)
+        rdefs = reaching_definitions(cfg)
+        # At 'jmp getreq', r1's sole def is the 'mov r1, 64' above it.
+        jmp_pc = min(pc for pc, insn in cfg.insns.items()
+                     if insn.op is Op.JMPI)       # main's 'jmp getreq'
+        sole = rdefs.sole_def(jmp_pc, 1)
+        assert sole is not None
+        def_pc, insn = sole
+        assert insn.op is Op.MOVRI and insn.operands[1] == 64
+
+    def test_calls_clobber_definitions(self):
+        image = assemble(_BRANCHY)
+        cfg = recover_image_cfg(image)
+        rdefs = reaching_definitions(cfg)
+        call_pc = next(pc for pc, insn in cfg.insns.items()
+                       if insn.op is Op.CALLI)
+        after = call_pc + cfg.insns[call_pc].length
+        assert rdefs.sole_def(after, 3) is None
+
+    def test_taint_reaches_post_recv_not_pre(self):
+        image = assemble(_BRANCHY)
+        cfg = recover_image_cfg(image)
+        taint = static_taint(cfg)
+        handler = image.symbols["handler"][1]
+        other = image.symbols["other"][1]
+        assert taint.reaches(handler)
+        assert taint.reaches(other)
+        assert taint.reaches(image.symbols["getreq"][1])
+        # main runs before any input arrives — not input-reachable.
+        assert not taint.reaches(image.symbols["main"][1])
+
+    def test_httpd_backdoor_statically_unreachable(self):
+        image = build_httpd()
+        cfg = recover_image_cfg(image)
+        taint = static_taint(cfg)
+        assert taint.reaches(image.symbols["handle_request"][1])
+        assert taint.reaches(image.symbols["mainloop"][1])
+        assert not taint.reaches(image.symbols["backdoor"][1])

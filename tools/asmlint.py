@@ -1,0 +1,210 @@
+"""Guest-binary lint over every application image in ``apps/``.
+
+Static checks on the assembled guest programs, powered by the CFG
+recovery in ``analysis/static/``:
+
+- **fall-through into data** (error): control can flow off the end of a
+  decoded instruction — or branch via an immediate — into bytes that do
+  not decode.  Executing the image would hit an ILLEGAL fault on that
+  path.
+- **store to a code page** (error): a STW/STB whose base register is
+  statically a text address.  Guest text is mapped read-only, so the
+  store faults (self-modifying code belongs in writable regions).
+- **stack-imbalanced path** (error): within one function (a direct call
+  target), some path reaches RET with a nonzero stack depth, or two
+  paths join at a block with different depths.  The abstract
+  interpreter models push/pop, ``sub/add sp, imm`` frame allocation and
+  the ``mov fp, sp`` / ``mov sp, fp`` frame idiom.
+- **unreachable block** (note, never fails): a recovered basic block no
+  path from the program entry (or any address-taken root) reaches.
+  Deliberate in places — httpd's ``backdoor`` is the hijack target the
+  exploit jumps to, by design off every legitimate path — so these are
+  reported for the record, not gated.
+
+Exit status is 1 when any error-class finding exists, 0 otherwise.
+
+Usage: ``python tools/asmlint.py`` from the repo root.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.static import recover_image_cfg          # noqa: E402
+from repro.analysis.static.dataflow import reaching_definitions  # noqa: E402
+from repro.apps import build_cvsd, build_httpd, build_squidp  # noqa: E402
+from repro.isa.opcodes import FP, SP, Op                      # noqa: E402
+
+IMAGES = (("httpd", build_httpd), ("squidp", build_squidp),
+          ("cvsd", build_cvsd))
+
+_NO_FALLTHROUGH = {Op.JMPI, Op.JMPR, Op.RET, Op.HALT}
+_TRANSFER_IMMS = {Op.JMPI, Op.CALLI, Op.JE, Op.JNE, Op.JL, Op.JLE,
+                  Op.JG, Op.JGE, Op.JB, Op.JAE}
+
+
+def _flow_reached(cfg) -> set[int]:
+    """Addresses control reaches from decoded code by fall-through or
+    an immediate transfer target (symbol roots do not count)."""
+    reached: set[int] = set()
+    for pc, insn in cfg.insns.items():
+        if insn.op not in _NO_FALLTHROUGH:
+            reached.add(pc + insn.length)
+        if insn.op in _TRANSFER_IMMS:
+            target = cfg.imm_targets.get(pc)
+            if target is not None and target[0] == "text":
+                reached.add(int(target[1]))
+    return reached
+
+
+def check_fallthrough_into_data(cfg) -> list[str]:
+    reached = _flow_reached(cfg)
+    return [f"fall-through into data at text+{addr:#x}: {reason}"
+            for addr, reason in sorted(cfg.undecodable.items())
+            if addr in reached]
+
+
+def check_stores_to_code(cfg) -> list[str]:
+    rdefs = reaching_definitions(cfg)
+    findings = []
+    for pc, insn in sorted(cfg.insns.items()):
+        if insn.op is not Op.STW and insn.op is not Op.STB:
+            continue
+        sole = rdefs.sole_def(pc, insn.operands[0])
+        if sole is None:
+            continue
+        def_pc, def_insn = sole
+        if def_insn.op is not Op.MOVRI:
+            continue
+        target = cfg.imm_targets.get(def_pc)
+        if target is not None and target[0] == "text":
+            findings.append(
+                f"store to code page at text+{pc:#x} "
+                f"(base set at text+{def_pc:#x} -> text+{target[1]:#x})")
+    return findings
+
+
+def _function_entries(cfg) -> set[int]:
+    entries = set(cfg.call_sites.values()) if cfg.call_sites else set()
+    entries |= {a for a in cfg.address_taken if a in cfg.insns}
+    return {e for e in entries if e in cfg.owner}
+
+
+def check_stack_balance(cfg) -> list[str]:
+    """Abstract interpretation of stack depth per function.
+
+    State is (depth, fp_offset): bytes pushed since function entry and
+    the depth captured by the last ``mov fp, sp``.  An unmodelled SP
+    write abandons the path (reported as a note elsewhere if it ever
+    matters); RET at nonzero depth or a join at differing depths is an
+    imbalance.
+    """
+    findings = []
+    for entry in sorted(_function_entries(cfg)):
+        seen: dict[int, tuple] = {}
+        work = [(cfg.owner[entry], 0, None)]
+        while work:
+            block_start, depth, fp_offset = work.pop()
+            prior = seen.get(block_start)
+            if prior is not None:
+                if prior != (depth, fp_offset):
+                    findings.append(
+                        f"stack-imbalanced join at text+{block_start:#x} "
+                        f"in function text+{entry:#x}: depth {prior[0]} "
+                        f"vs {depth}")
+                continue
+            seen[block_start] = (depth, fp_offset)
+            block = cfg.blocks[block_start]
+            abandoned = False
+            for pc in block.pcs:
+                insn = cfg.insns[pc]
+                op = insn.op
+                if op is Op.PUSHR or op is Op.PUSHI:
+                    depth += 4
+                elif op is Op.POPR:
+                    depth -= 4
+                    if insn.operands[0] == SP:
+                        abandoned = True
+                        break
+                elif op is Op.SUBRI and insn.operands[0] == SP:
+                    depth += insn.operands[1]
+                elif op is Op.ADDRI and insn.operands[0] == SP:
+                    depth -= insn.operands[1]
+                elif op is Op.MOVRR and insn.operands == (FP, SP):
+                    fp_offset = depth
+                elif op is Op.MOVRR and insn.operands == (SP, FP):
+                    if fp_offset is None:
+                        abandoned = True
+                        break
+                    depth = fp_offset
+                elif op is Op.RET:
+                    if depth != 0:
+                        findings.append(
+                            f"stack-imbalanced path: RET at text+{pc:#x} "
+                            f"in function text+{entry:#x} with depth "
+                            f"{depth}")
+                elif insn.operands and insn.operands[0] == SP \
+                        and op not in (Op.CMPRR, Op.CMPRI, Op.STW, Op.STB,
+                                       Op.CALLI, Op.CALLR, Op.JMPR):
+                    abandoned = True        # unmodelled SP write
+                    break
+            if abandoned:
+                continue
+            last_op = cfg.insns[block.last].op
+            succs = cfg.succs.get(block_start, ())
+            callee = cfg.call_sites.get(block.last)
+            for succ in succs:
+                if last_op is Op.CALLI and succ == callee:
+                    continue                # stay within this function
+                work.append((succ, depth, fp_offset))
+    return findings
+
+
+def check_unreachable_blocks(cfg, image) -> list[str]:
+    entry = image.symbols.get(image.entry)
+    starts = []
+    if entry is not None and entry[1] in cfg.owner:
+        starts.append(cfg.owner[entry[1]])
+    starts.extend(cfg.owner[a] for a in cfg.address_taken
+                  if a in cfg.owner)
+    live = cfg.reachable_from(starts)
+    names = {offset: name for name, (section, offset)
+             in image.symbols.items() if section == "text"}
+    notes = []
+    for start in sorted(set(cfg.blocks) - live):
+        label = names.get(start)
+        suffix = f" ({label})" if label else ""
+        notes.append(f"unreachable block at text+{start:#x}{suffix}")
+    return notes
+
+
+def lint_image(name: str, image) -> tuple[list[str], list[str]]:
+    cfg = recover_image_cfg(image)
+    errors = (check_fallthrough_into_data(cfg)
+              + check_stores_to_code(cfg)
+              + check_stack_balance(cfg))
+    notes = check_unreachable_blocks(cfg, image)
+    return errors, notes
+
+
+def main() -> int:
+    failed = False
+    for name, build in IMAGES:
+        errors, notes = lint_image(name, build())
+        status = "FAIL" if errors else "ok"
+        print(f"{name}: {status} ({len(errors)} errors, "
+              f"{len(notes)} notes)")
+        for finding in errors:
+            print(f"  error: {finding}")
+        for note in notes:
+            print(f"  note:  {note}")
+        failed = failed or bool(errors)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Determinism lint over ``src/repro/``.
+
+Sweeper's guarantees — bit-identical replay, reproducible fleet runs,
+content-addressed golden images — hold only if nothing in the library
+reads ambient entropy.  This AST pass forbids the ways that sneaks in:
+
+- wall-clock reads (``time.time``/``monotonic``/``time_ns``,
+  ``datetime.now``/``utcnow``/``today``),
+- OS entropy (``os.urandom``, ``random.SystemRandom``, ``uuid.uuid4``,
+  ``secrets``),
+- the process-global random module (``random.random()``,
+  ``random.randint()``, ... are seeded from the OS), and
+- ``random.Random()`` constructed with no seed argument.
+
+``time.perf_counter`` is allowed only in the named reporting modules:
+they time the host-side run for human-facing throughput numbers, and
+nothing downstream branches on the value.
+
+Scope is deliberately ``src/repro/`` only — benchmarks and tests time
+themselves freely.
+
+Usage: ``python tools/check_determinism.py`` from the repo root.
+Exit status 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+# Dotted call targets that are never acceptable in the library.
+FORBIDDEN = {
+    "os.urandom": "OS entropy; draw from a seeded random.Random",
+    "random.SystemRandom": "OS entropy; use a seeded random.Random",
+    "uuid.uuid4": "OS entropy; derive ids from seeded state",
+    "time.time": "wall clock; use the VirtualClock",
+    "time.time_ns": "wall clock; use the VirtualClock",
+    "time.monotonic": "wall clock; use the VirtualClock",
+    "time.monotonic_ns": "wall clock; use the VirtualClock",
+    "time.clock_gettime": "wall clock; use the VirtualClock",
+    "time.localtime": "wall clock; use the VirtualClock",
+    "time.gmtime": "wall clock; use the VirtualClock",
+    "datetime.now": "wall clock; use the VirtualClock",
+    "datetime.utcnow": "wall clock; use the VirtualClock",
+    "datetime.today": "wall clock; use the VirtualClock",
+    "datetime.datetime.now": "wall clock; use the VirtualClock",
+    "datetime.datetime.utcnow": "wall clock; use the VirtualClock",
+    "datetime.date.today": "wall clock; use the VirtualClock",
+    "date.today": "wall clock; use the VirtualClock",
+}
+
+# The module-level random functions share one OS-seeded global RNG.
+GLOBAL_RANDOM = {"random", "randint", "randrange", "choice", "choices",
+                 "shuffle", "sample", "seed", "uniform", "getrandbits",
+                 "randbytes", "betavariate", "gauss", "expovariate"}
+
+FORBIDDEN_MODULES = {"secrets"}
+
+# perf_counter measures host wall time for *reporting* (wall_seconds in
+# results); nothing deterministic branches on it.  Keep the list short.
+PERF_COUNTER_ALLOWED = {
+    "runtime/sweeper.py",
+    "worm/fleet.py",
+    "analysis/pipeline.py",
+}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def check_file(path: Path, rel: str | None = None) -> list[str]:
+    if rel is None:
+        rel = path.relative_to(SRC).as_posix()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings = []
+
+    def report(node: ast.AST, what: str, why: str):
+        findings.append(f"{rel}:{node.lineno}: {what} — {why}")
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            module = node.module if isinstance(node, ast.ImportFrom) \
+                else None
+            for alias in node.names:
+                name = alias.name
+                if module is None:
+                    if name in FORBIDDEN_MODULES:
+                        report(node, f"import {name}",
+                               "OS entropy; use a seeded random.Random")
+                    continue
+                if module in FORBIDDEN_MODULES:
+                    report(node, f"from {module} import {name}",
+                           "OS entropy; use a seeded random.Random")
+                dotted = f"{module}.{name}"
+                if dotted in FORBIDDEN:
+                    report(node, f"from {module} import {name}",
+                           FORBIDDEN[dotted])
+                elif module == "random" and name in GLOBAL_RANDOM:
+                    report(node, f"from random import {name}",
+                           "process-global RNG is OS-seeded; pass a "
+                           "random.Random(seed)")
+                elif dotted == "time.perf_counter" \
+                        and rel not in PERF_COUNTER_ALLOWED:
+                    report(node, "from time import perf_counter",
+                           "host timing is reporting-only; allowed "
+                           "modules: " + ", ".join(sorted(
+                               PERF_COUNTER_ALLOWED)))
+            continue
+
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        if dotted in FORBIDDEN:
+            report(node, f"{dotted}()", FORBIDDEN[dotted])
+        elif dotted == "time.perf_counter" \
+                and rel not in PERF_COUNTER_ALLOWED:
+            report(node, "time.perf_counter()",
+                   "host timing is reporting-only; allowed modules: "
+                   + ", ".join(sorted(PERF_COUNTER_ALLOWED)))
+        elif dotted.startswith("random.") \
+                and dotted.split(".", 1)[1] in GLOBAL_RANDOM:
+            report(node, f"{dotted}()",
+                   "process-global RNG is OS-seeded; pass a "
+                   "random.Random(seed)")
+        elif dotted in ("random.Random", "Random") and not node.args \
+                and not node.keywords:
+            report(node, f"{dotted}()",
+                   "unseeded Random draws from the OS; pass a seed")
+    return findings
+
+
+def main() -> int:
+    files = sorted(SRC.rglob("*.py"))
+    all_findings = []
+    for path in files:
+        all_findings.extend(check_file(path))
+    if all_findings:
+        print(f"determinism lint: {len(all_findings)} violation(s)")
+        for finding in all_findings:
+            print(f"  {finding}")
+        return 1
+    print(f"determinism lint: ok ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
