@@ -207,6 +207,28 @@ class CommunityBus:
         pending heap compacts as the subscriber drains it)."""
         return len(self._pending.get(name, ()))
 
+    # -- specification hooks -------------------------------------------------
+    # Pure read-only views the executable spec (repro.spec) compares
+    # against its reference model; nothing in the delivery path calls
+    # them.
+
+    def log_entries(self) -> list[tuple[int, str, str, float, float]]:
+        """The append-only log as plain tuples
+        ``(seq, bundle_id, app, produced_at, available_at)`` in publish
+        order — the bus's canonical history, picklable so fleet workers
+        can ship their replica's copy home for the cross-shard trace
+        check."""
+        return [(d.seq, d.bundle.bundle_id, d.bundle.app,
+                 d.bundle.produced_at, d.available_at) for d in self._log]
+
+    def subscribers(self) -> list[str]:
+        """Registered subscriber names, in subscription order."""
+        return list(self._pending)
+
+    def high_water(self, name: str) -> float:
+        """``name``'s lifetime poll-clock high-water mark."""
+        return self._high_water[name]
+
     # -- stateless views -----------------------------------------------------
 
     def available(self, now: float) -> list[AntibodyBundle]:

@@ -67,6 +67,12 @@ class VerificationResult:
     verified: bool
     detected_by: str          # "vsef" | "fault" | "none"
     detail: str = ""
+    #: Which pipeline stage produced this verdict: "deferred" (no
+    #: exploit input yet), "prescreen" (signature byte check),
+    #: "audit" (static audit), or "trial" (sandbox replay ran).  The
+    #: executable spec (:mod:`repro.spec.verifier`) classifies results
+    #: by this field; it never changes which verdict is produced.
+    stage: str = "trial"
 
 
 def _unmatched_signature(bundle: AntibodyBundle):
@@ -81,6 +87,23 @@ def _unmatched_signature(bundle: AntibodyBundle):
     for signature in bundle.signatures:
         if not signature.matches(bundle.exploit_input):
             return signature
+    return None
+
+
+def _prescreen(bundle: AntibodyBundle) -> VerificationResult | None:
+    """The sandbox-free gates both entry points share: deferral for a
+    bundle without its exploit input, rejection for one whose
+    signatures fail the byte check.  None means the bundle may proceed
+    to the audit and trial."""
+    if bundle.exploit_input is None:
+        return VerificationResult(False, *_NO_INPUT, stage="deferred")
+    bogus = _unmatched_signature(bundle)
+    if bogus is not None:
+        return VerificationResult(
+            False, "none",
+            f"signature {bogus.sig_id} does not match the bundle's own "
+            f"exploit input — unverifiable filter, likely forged",
+            stage="prescreen")
     return None
 
 
@@ -113,18 +136,14 @@ def verify_antibody(image, bundle: AntibodyBundle,
     may not carry it yet) — callers treat that as "apply now, verify when
     the input arrives".
     """
-    if bundle.exploit_input is None:
-        return VerificationResult(False, *_NO_INPUT)
-    bogus = _unmatched_signature(bundle)
-    if bogus is not None:
-        return VerificationResult(
-            False, "none",
-            f"signature {bogus.sig_id} does not match the bundle's own "
-            f"exploit input — unverifiable filter, likely forged")
+    screened = _prescreen(bundle)
+    if screened is not None:
+        return screened
     report = StaticAuditor().audit(image, bundle)
     if not report.ok:
         return VerificationResult(
-            False, "none", f"static audit rejected bundle: {report.detail}")
+            False, "none", f"static audit rejected bundle: {report.detail}",
+            stage="audit")
     sandbox = Process(image, seed=seed, name="sandbox")
     # Let the server initialize, then feed only the exploit.
     sandbox.run(max_steps=_SANDBOX_STEP_BUDGET)
@@ -160,21 +179,17 @@ class SandboxVerifier:
         self.audit_rejects = 0
 
     def verify(self, image, bundle: AntibodyBundle) -> VerificationResult:
-        if bundle.exploit_input is None:
-            return VerificationResult(False, *_NO_INPUT)
-        bogus = _unmatched_signature(bundle)
-        if bogus is not None:
-            return VerificationResult(
-                False, "none",
-                f"signature {bogus.sig_id} does not match the bundle's own "
-                f"exploit input — unverifiable filter, likely forged")
+        screened = _prescreen(bundle)
+        if screened is not None:
+            return screened
         self.audit_screens += 1
         report = self.auditor.audit(image, bundle)
         if not report.ok:
             self.audit_rejects += 1
             return VerificationResult(
                 False, "none",
-                f"static audit rejected bundle: {report.detail}")
+                f"static audit rejected bundle: {report.detail}",
+                stage="audit")
         key = (id(image), id(bundle))
         cached = self._verdicts.get(key)
         if cached is not None and cached[0] is image and cached[1] is bundle:

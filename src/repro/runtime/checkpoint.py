@@ -175,6 +175,15 @@ class CheckpointManager:
             return self.take(process)
         return None
 
+    def retained(self) -> tuple[tuple[int, int, int], ...]:
+        """The retained checkpoints as plain ``(seq, msg_cursor,
+        taken_at_cycles)`` triples, oldest first — the observable
+        retention state the executable spec suite
+        (``tests/test_spec_checkpoint.py``) compares against its model;
+        reading it never materializes a snapshot."""
+        return tuple((cp.seq, cp.msg_cursor, cp.taken_at_cycles)
+                     for cp in self.checkpoints)
+
     # -- selection --------------------------------------------------------------
 
     def latest(self) -> Checkpoint | None:

@@ -46,6 +46,15 @@ from repro.runtime.sampling import RequestSampler
 _RUN_STEP_BUDGET = 50_000_000
 
 
+def vsef_key(vsef: VSEF) -> tuple:
+    """The identity under which installed VSEFs are deduplicated:
+    ``(kind, sorted stringified params)``.  Module-level so the
+    executable spec (:mod:`repro.spec.delivery`) and the Sweeper agree
+    on one definition."""
+    return (vsef.kind, tuple(sorted(
+        (k, str(v)) for k, v in vsef.params.items())))
+
+
 def boot_layout(config: "SweeperConfig",
                 seed: int | None = None) -> AddressSpaceLayout:
     """The concrete address-space layout a Sweeper with ``config`` loads.
@@ -608,8 +617,7 @@ class Sweeper:
     # -- antibody management ---------------------------------------------------------------
 
     def _vsef_key(self, vsef: VSEF) -> tuple:
-        return (vsef.kind, tuple(sorted(
-            (k, str(v)) for k, v in vsef.params.items())))
+        return vsef_key(vsef)
 
     def _install_new(self, vsefs: list[VSEF]) -> list[VSEF]:
         installed = []
@@ -722,6 +730,18 @@ class Sweeper:
             return None
         record = self.attacks[0]
         return (record.detected_at, record.first_vsef_at)
+
+    def installed_vsef_keys(self) -> frozenset:
+        """The identity keys (:func:`vsef_key`) of every installed
+        antibody — the deduplication state the executable spec
+        (:mod:`repro.spec.delivery`) checks refinement against."""
+        return frozenset(self._vsef_keys)
+
+    def active_signature_ids(self) -> tuple[str, ...]:
+        """``sig_id`` of every filter on the proxy, in install order
+        (exact then token, mirroring the proxy's match order)."""
+        return tuple(s.sig_id for s in self.proxy.signatures.exact) \
+            + tuple(s.sig_id for s in self.proxy.signatures.token)
 
     def bundle_outcome_counts(self) -> tuple[int, int, int]:
         """``(verified, rejected, deferred)`` over the bundle log —

@@ -1,0 +1,145 @@
+"""Reference model of the :class:`~repro.antibody.distribution.CommunityBus`.
+
+The real bus carries three index structures (availability-sorted list,
+per-app minima, per-subscriber pending heaps) purely for fleet-scale
+performance.  The *protocol* underneath is small, and this model states
+it with nothing but a list and linear scans:
+
+- the log is append-only; ``seq`` is the list index;
+- ``publish`` stamps ``available_at = produced_at + γ₂`` and mints a
+  per-bus id ``ab-N`` **only when the bundle carries none** — a
+  preserved (wire-replicated or forged) id does not advance the
+  counter, so forged ids can collide with later minted ones and the
+  model must reproduce exactly that;
+- a subscriber joins with the full backlog owed to it (late joiners
+  lose nothing) and a lifetime high-water poll clock;
+- ``poll(name, now)`` refuses a rewinding clock
+  (:class:`PollRewound` — a *spec-legal refusal*, distinct from a
+  :class:`~repro.spec.invariants.SpecViolation`) and otherwise delivers
+  every not-yet-delivered entry with ``available_at <= now`` (inclusive
+  boundary), in ``(available_at, seq)`` order, exactly once.
+
+:func:`assert_bus_refines` is the refinement check the stateful suite
+runs after every rule: the real bus's observable state (log,
+subscribers, high waters, backlogs, availability views) must match the
+model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spec.invariants import fail
+
+
+class PollRewound(Exception):
+    """The model refuses a non-monotone subscriber clock, as the spec
+    requires the implementation to (``ReproError`` there)."""
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One published bundle as the spec sees it: placement and timing,
+    no payload (payload integrity is the verifier model's concern)."""
+
+    seq: int
+    bundle_id: str
+    app: str
+    produced_at: float
+    available_at: float
+
+
+@dataclass
+class BusModel:
+    """Append-only log + per-subscriber delivered-set semantics."""
+
+    latency: float = 3.0
+    log: list[LogEntry] = field(default_factory=list)
+    next_id: int = 1
+    #: name -> delivered seqs, in delivery order (the lifetime history).
+    delivered: dict[str, list[int]] = field(default_factory=dict)
+    #: name -> lifetime poll-clock high-water mark.
+    high_water: dict[str, float] = field(default_factory=dict)
+
+    def publish(self, app: str, produced_at: float,
+                bundle_id: str = "") -> LogEntry:
+        if not bundle_id:
+            bundle_id = f"ab-{self.next_id}"
+            self.next_id += 1
+        entry = LogEntry(seq=len(self.log), bundle_id=bundle_id, app=app,
+                         produced_at=produced_at,
+                         available_at=produced_at + self.latency)
+        self.log.append(entry)
+        return entry
+
+    def subscribe(self, name: str) -> str:
+        if name not in self.delivered:
+            self.delivered[name] = []
+            self.high_water[name] = float("-inf")
+        return name
+
+    def poll(self, name: str, now: float) -> list[LogEntry]:
+        self.subscribe(name)
+        if now < self.high_water[name]:
+            raise PollRewound(
+                f"subscriber {name!r} polled at {now} after polling at "
+                f"{self.high_water[name]}")
+        self.high_water[name] = now
+        held = set(self.delivered[name])
+        batch = sorted(
+            (entry for entry in self.log
+             if entry.seq not in held and entry.available_at <= now),
+            key=lambda entry: (entry.available_at, entry.seq))
+        self.delivered[name].extend(entry.seq for entry in batch)
+        return batch
+
+    def backlog(self, name: str) -> int:
+        """Entries still owed to ``name`` — available or not, exactly
+        like the implementation's pending heap."""
+        if name not in self.delivered:
+            return 0
+        return len(self.log) - len(self.delivered[name])
+
+    def available(self, now: float) -> list[LogEntry]:
+        return sorted((e for e in self.log if e.available_at <= now),
+                      key=lambda e: (e.available_at, e.seq))
+
+    def first_available(self, app: str | None = None) -> float | None:
+        times = [e.available_at for e in self.log
+                 if app is None or e.app == app]
+        return min(times) if times else None
+
+
+def assert_bus_refines(model: BusModel, bus) -> None:
+    """The real bus's observable state matches the model's.
+
+    ``bus`` is a :class:`~repro.antibody.distribution.CommunityBus`
+    exposing the pure state hooks ``log_entries()``, ``subscribers()``
+    and ``high_water(name)``.
+    """
+    impl_log = bus.log_entries()
+    model_log = [(e.seq, e.bundle_id, e.app, e.produced_at, e.available_at)
+                 for e in model.log]
+    if impl_log != model_log:
+        fail("refinement", f"log diverged:\n  impl  {impl_log}\n"
+             f"  model {model_log}")
+    if set(bus.subscribers()) != set(model.delivered):
+        fail("refinement",
+             f"subscriber sets diverged: impl {sorted(bus.subscribers())} "
+             f"model {sorted(model.delivered)}")
+    for name in model.delivered:
+        if bus.high_water(name) != model.high_water[name]:
+            fail("refinement",
+                 f"high water for {name!r}: impl {bus.high_water(name)} "
+                 f"model {model.high_water[name]}")
+        if bus.subscriber_backlog(name) != model.backlog(name):
+            fail("refinement",
+                 f"backlog for {name!r}: impl "
+                 f"{bus.subscriber_backlog(name)} "
+                 f"model {model.backlog(name)}")
+    for app in {None} | {e.app for e in model.log}:
+        if bus.first_available_time(app) != model.first_available(app):
+            fail("refinement",
+                 f"first_available_time({app!r}): impl "
+                 f"{bus.first_available_time(app)} "
+                 f"model {model.first_available(app)}")

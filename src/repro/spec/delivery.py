@@ -1,0 +1,109 @@
+"""Reference model of the Sweeper delivery path.
+
+:meth:`~repro.runtime.sweeper.Sweeper.apply_bundle` turns a verifier
+verdict into one of four dispositions, and the mapping is the whole
+consumer-side protocol (§3.3 piecemeal distribution):
+
+- an untrusting consumer with a verifiable bundle (input present)
+  **installs** on a verified verdict and **rejects** — nothing
+  installed, no filter added — on any rejection;
+- a bundle without its input **withholds** any signatures it carries
+  (an uncheckable filter is exactly the forged benign-traffic DoS) but
+  still applies its VSEFs, because a bogus VSEF only wastes cycles;
+- with no signatures to withhold, or with ``verify_foreign`` off
+  entirely, the bundle **applies** as-is.
+
+:class:`DeliveryModel` additionally tracks the consumer state those
+dispositions build: the installed VSEF key set (deduplicated by
+``(kind, params)`` — reapplying a bundle installs nothing new), the
+proxy filter count (signatures are *not* deduplicated: the signature
+set appends, so a duplicate install grows the filter list), and the
+per-bundle outcome log.  The stateful suite compares all three against
+the real Sweeper after every rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spec.invariants import fail
+from repro.spec.verifier import DEFERRED, VERIFIED
+
+DISPOSITION_INSTALL = "install"     # verified: VSEFs + signatures
+DISPOSITION_REJECT = "reject"       # rejected: nothing installed
+DISPOSITION_WITHHOLD = "withhold"   # no input: VSEFs yes, signatures no
+DISPOSITION_APPLY = "apply"         # unverified apply-as-is
+
+
+def disposition(verify_foreign: bool, has_input: bool,
+                has_signatures: bool, verdict: str) -> str:
+    """The accept/reject/withhold decision, stated once."""
+    if not verify_foreign:
+        return DISPOSITION_APPLY
+    if has_input:
+        return (DISPOSITION_INSTALL if verdict == VERIFIED
+                else DISPOSITION_REJECT)
+    if has_signatures:
+        return DISPOSITION_WITHHOLD
+    return DISPOSITION_APPLY
+
+
+#: Disposition -> the BundleOutcome.verified value it must log.
+OUTCOME_VERIFIED = {DISPOSITION_INSTALL: True, DISPOSITION_REJECT: False,
+                    DISPOSITION_WITHHOLD: None, DISPOSITION_APPLY: None}
+
+
+@dataclass
+class DeliveryModel:
+    """Consumer state the delivery path accumulates."""
+
+    verify_foreign: bool = True
+    #: Installed VSEF identity keys (deduplicated).
+    vsef_keys: set = field(default_factory=set)
+    #: Proxy filter count (appends; duplicates grow it).
+    signature_count: int = 0
+    #: (bundle_id, disposition, verified) per apply_bundle call.
+    outcomes: list = field(default_factory=list)
+
+    def apply_bundle(self, bundle_id: str, vsef_keys, signature_count: int,
+                     has_input: bool, verdict: str) -> str:
+        """Apply one bundle; returns its disposition.
+
+        ``verdict`` is the :func:`~repro.spec.verifier.model_verdict`
+        category for this (consumer image, bundle); it is only
+        consulted when the spec says verification runs (untrusting
+        consumer, input present) — :data:`DEFERRED` otherwise.
+        """
+        outcome = disposition(self.verify_foreign, has_input,
+                              signature_count > 0, verdict)
+        if self.verify_foreign and not has_input:
+            if verdict != DEFERRED:
+                fail("delivery", f"bundle {bundle_id!r} has no input but a "
+                     f"non-deferred verdict {verdict!r}")
+        if outcome != DISPOSITION_REJECT:
+            self.vsef_keys |= set(vsef_keys)
+        if outcome in (DISPOSITION_INSTALL, DISPOSITION_APPLY):
+            self.signature_count += signature_count
+        self.outcomes.append((bundle_id, outcome,
+                              OUTCOME_VERIFIED[outcome]))
+        return outcome
+
+
+def assert_delivery_refines(model: DeliveryModel, sweeper) -> None:
+    """The real Sweeper's installed-antibody state and bundle log match
+    the model's."""
+    if sweeper.installed_vsef_keys() != frozenset(model.vsef_keys):
+        fail("refinement",
+             f"installed VSEF keys diverged:\n"
+             f"  impl  {sorted(sweeper.installed_vsef_keys())}\n"
+             f"  model {sorted(model.vsef_keys)}")
+    if len(sweeper.proxy.signatures) != model.signature_count:
+        fail("refinement",
+             f"proxy filter count: impl {len(sweeper.proxy.signatures)} "
+             f"model {model.signature_count}")
+    impl_log = [(o.bundle_id, o.verified) for o in sweeper.bundle_log]
+    model_log = [(bundle_id, verified)
+                 for bundle_id, _, verified in model.outcomes]
+    if impl_log != model_log:
+        fail("refinement", f"bundle log diverged:\n  impl  {impl_log}\n"
+             f"  model {model_log}")

@@ -1,0 +1,66 @@
+"""Cross-process history checks for the parallel fleet.
+
+PR 7's guarantee is that a fleet run with worker processes is
+bit-identical to the sequential run.  The specification backing is
+this: the coordinator's real bus defines *one* history, every replica
+bus a worker hosts observes a publish sequence that linearizes into
+that history, and the history itself is model-legal — it could have
+been produced by :class:`~repro.spec.bus.BusModel`.
+
+A history here is what ``CommunityBus.log_entries()`` returns: a list
+of ``(seq, bundle_id, app, produced_at, available_at)`` tuples in
+publish order.  :func:`repro.worm.parallel` ships each worker's replica
+history home in its finalize payload and the coordinator runs these
+checks before merging results; a failure surfaces as
+:class:`~repro.worm.parallel.FleetDivergence` wrapping the
+:class:`~repro.spec.invariants.SpecViolation`.
+"""
+
+from __future__ import annotations
+
+from repro.spec.invariants import fail
+
+
+def assert_history_legal(history, latency: float) -> None:
+    """``history`` could have been produced by the bus model: sequence
+    numbers are the contiguous publish order, every entry is stamped
+    ``available_at = produced_at + γ₂``, and every entry carries an id.
+    """
+    for index, (seq, bundle_id, app, produced_at, available_at) in \
+            enumerate(history):
+        if seq != index:
+            fail("history-legal",
+                 f"entry {index} carries seq {seq}: the log must be "
+                 f"append-only with seq == publish order")
+        if available_at != produced_at + latency:
+            fail("history-legal",
+                 f"seq {seq} ({bundle_id!r}, app {app!r}) available at "
+                 f"{available_at}, but produced_at {produced_at} + "
+                 f"latency {latency} = {produced_at + latency}")
+        if not bundle_id:
+            fail("history-legal", f"seq {seq} was published without an id")
+
+
+def assert_replicas_linearize(reference, replicas,
+                              latency: float,
+                              require_complete: bool = True) -> None:
+    """Every replica history linearizes into the single reference
+    history: it is a prefix of it (``require_complete`` demands full
+    equality — the fleet drains every broadcast before finalize, so a
+    worker that saw fewer publishes lost one).
+
+    ``replicas`` maps a worker label to its observed history.
+    """
+    assert_history_legal(reference, latency)
+    for label, observed in replicas.items():
+        bound = len(observed)
+        if bound > len(reference) or observed != reference[:bound]:
+            fail("linearization",
+                 f"worker {label!r} observed a history that is not a "
+                 f"prefix of the coordinator's:\n"
+                 f"  observed  {observed}\n"
+                 f"  reference {reference}")
+        if require_complete and bound != len(reference):
+            fail("linearization",
+                 f"worker {label!r} observed only {bound} of "
+                 f"{len(reference)} publishes before finalize")

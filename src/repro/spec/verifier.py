@@ -1,0 +1,126 @@
+"""Reference model of the :class:`~repro.antibody.verify.SandboxVerifier`.
+
+The verifier pipeline is a four-stage decision function plus a memo, and
+the spec states both:
+
+1. **deferral** — a bundle without its exploit input cannot be verified
+   yet (piecemeal distribution); no counters move;
+2. **prescreen** — every carried signature must match the bundle's own
+   attack input (pure byte check); a mismatch is a forged filter and the
+   bundle is rejected before any sandbox work;
+3. **audit** — the static audit screens the bundle against the
+   program's CFG; the screen counter moves on *every* bundle that
+   reaches this stage (memo hits included — the audit is the cheap
+   always-on gate), the reject counter on failures;
+4. **trial** — one sandbox boot per image (ever), one replay trial per
+   *(image, bundle)* identity; the verdict is memoized, and a memo hit
+   re-runs nothing.
+
+The verdict is one of five categories, and the model's counter
+evolution (boots / trials / cache-hits / audit-screens / audit-rejects)
+must match the implementation's :meth:`stats` exactly after every call.
+
+The trial outcome itself (does the exploit input trip a VSEF or fault
+the sandbox?) is guest-execution ground truth the spec does not
+re-derive: the suite supplies it as a deterministic oracle per bundle —
+known by construction for genuine and benign bundles, resolved once
+from the first real trial for byte-tampered ones (determinism makes
+that sound: the memoized verdict is exactly what any re-run would
+produce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spec.invariants import fail
+
+#: Verdict categories.
+VERIFIED = "verified"
+DEFERRED = "deferred"                       # no exploit input yet
+REJECTED_FORGED = "rejected-forged"         # signature fails the byte check
+REJECTED_AUDIT = "rejected-audit"           # static audit screens it out
+REJECTED_UNDETECTED = "rejected-undetected" # trial ran; nothing detected
+
+#: VerificationResult.stage -> the category it implies (trial resolves
+#: to VERIFIED or REJECTED_UNDETECTED via ``verified``).
+_STAGES = {"deferred": DEFERRED, "prescreen": REJECTED_FORGED,
+           "audit": REJECTED_AUDIT}
+
+
+def classify_result(result) -> str:
+    """Map a real :class:`~repro.antibody.verify.VerificationResult`
+    onto its spec category via the ``stage`` the pipeline recorded."""
+    if result.stage in _STAGES:
+        return _STAGES[result.stage]
+    if result.stage != "trial":
+        fail("verdict", f"result carries unknown stage {result.stage!r}: "
+             f"{result}")
+    return VERIFIED if result.verified else REJECTED_UNDETECTED
+
+
+def model_verdict(has_input: bool, signatures_match: bool, audit_ok: bool,
+                  attack_detected: bool) -> str:
+    """The decision function, stated once: the category a bundle with
+    these four ground truths must receive."""
+    if not has_input:
+        return DEFERRED
+    if not signatures_match:
+        return REJECTED_FORGED
+    if not audit_ok:
+        return REJECTED_AUDIT
+    return VERIFIED if attack_detected else REJECTED_UNDETECTED
+
+
+@dataclass
+class VerifierModel:
+    """Counter evolution + memo of the verifier pipeline.
+
+    Keys are caller-chosen stable identities for the image and bundle
+    *objects* (the implementation memoizes per object identity, not per
+    content — a wire-replayed copy of a bundle legitimately re-trials).
+    """
+
+    boots: int = 0
+    trials: int = 0
+    cache_hits: int = 0
+    audit_screens: int = 0
+    audit_rejects: int = 0
+    booted: set = field(default_factory=set)
+    memo: dict = field(default_factory=dict)
+
+    def verify(self, image_key, bundle_key, has_input: bool,
+               signatures_match: bool, audit_ok: bool,
+               attack_detected: bool) -> str:
+        category = model_verdict(has_input, signatures_match, audit_ok,
+                                 attack_detected)
+        if category in (DEFERRED, REJECTED_FORGED):
+            return category
+        self.audit_screens += 1
+        if category == REJECTED_AUDIT:
+            self.audit_rejects += 1
+            return category
+        key = (image_key, bundle_key)
+        if key in self.memo:
+            self.cache_hits += 1
+            return self.memo[key]
+        if image_key not in self.booted:
+            self.booted.add(image_key)
+            self.boots += 1
+        self.trials += 1
+        self.memo[key] = category
+        return category
+
+    def stats(self) -> dict:
+        return {"boots": self.boots, "trials": self.trials,
+                "cache_hits": self.cache_hits,
+                "audit_screens": self.audit_screens,
+                "audit_rejects": self.audit_rejects}
+
+
+def assert_verifier_refines(model: VerifierModel, verifier) -> None:
+    """The implementation's counters match the model's exactly."""
+    if verifier.stats() != model.stats():
+        fail("refinement",
+             f"verifier counters diverged: impl {verifier.stats()} "
+             f"model {model.stats()}")

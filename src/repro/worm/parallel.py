@@ -60,6 +60,8 @@ from repro.errors import ReproError
 from repro.machine.memory import PAGE_SIZE
 from repro.runtime.golden import GoldenImageCache, layout_key
 from repro.runtime.sweeper import boot_layout
+from repro.spec.invariants import SpecViolation
+from repro.spec.trace import assert_replicas_linearize
 from repro.worm.fleet import (FleetDivergence, NodeHost, _INFECTION_MARKER,
                               build_roster)
 
@@ -282,6 +284,9 @@ class _WorkerHarness(NodeHost):
             "per_node_page_sum": per_node_page_sum,
             "peak_rss_bytes":
                 resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+            # The replica bus's observed history, for the coordinator's
+            # cross-shard linearization check (repro.spec.trace).
+            "bus_log": self.bus.log_entries(),
         }
 
 
@@ -419,6 +424,19 @@ class FleetWorkerPool:
         for queue in self._in:
             queue.put(("finalize",))
         payloads = [self._recv(w)[1] for w in range(self.workers)]
+        # Specification check before any merging: every replica bus
+        # observed the one history the real bus defines, and that
+        # history is model-legal (repro.spec) — the formal backing for
+        # the bit-identical guarantee.
+        try:
+            assert_replicas_linearize(
+                run.bus.log_entries(),
+                {f"worker-{p['worker']}": p["bus_log"] for p in payloads},
+                latency=run.bus.dissemination_latency)
+        except SpecViolation as violation:
+            raise FleetDivergence(
+                f"replica bus histories failed the spec's linearization "
+                f"check: {violation}") from violation
         finals: dict[int, dict] = {}
         boot_stats: dict[str, dict] = {}
         for payload in payloads:

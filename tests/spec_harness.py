@@ -1,0 +1,215 @@
+"""Shared plumbing for the executable-specification suites.
+
+The ``tests/test_spec_*.py`` stateful suites drive the real
+CommunityBus / SandboxVerifier / Sweeper-delivery / CheckpointManager
+implementations against the reference models in :mod:`repro.spec`.
+This module holds what they share:
+
+- :func:`spec_settings` — the hypothesis profile.  Tier-1 runs a
+  *fixed* profile (``derandomize=True``, 200 examples) so CI time is
+  bounded and failures reproduce; the nightly job raises the budget and
+  re-enables random exploration via environment variables::
+
+      SPEC_MAX_EXAMPLES=2000 SPEC_DERANDOMIZE=0 pytest tests/test_spec_*
+
+  The profile is applied per suite class, never via
+  ``settings.load_profile``, so the spec budget cannot leak into the
+  repo's other hypothesis tests.
+
+- the module-scope bundle pools.  Each pool entry pairs a *fixed*
+  :class:`~repro.antibody.distribution.AntibodyBundle` object with its
+  ground truths (input present?  signatures match?  audit passes?
+  attack detected?) — known by construction for genuine / benign /
+  forged bundles, resolved once from a throwaway sandbox trial for the
+  byte-tampered one (the trial is deterministic, so resolving once is
+  sound).  Pool bundles carry **preset bundle ids**: publish preserves
+  a non-empty id, so replaying the same objects across hundreds of
+  hypothesis examples never mutates them and the verifier's
+  identity-keyed memo stays warm.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from hypothesis import HealthCheck, settings
+
+from repro.antibody.distribution import AntibodyBundle
+from repro.antibody.signatures import TokenSignature, generate_exact
+from repro.antibody.vsef import VSEF, CodeLoc
+from repro.apps.cvsd import build_cvsd
+from repro.apps.exploits import apache1_exploit, cvs_exploit
+from repro.apps.httpd import build_httpd
+
+#: The benign cvs request used throughout the repo's delivery tests.
+BENIGN_CVS = b"Entry main.c\n"
+
+
+def spec_settings(**overrides) -> settings:
+    """The spec-suite hypothesis profile (see module docstring)."""
+    kwargs = dict(
+        max_examples=int(os.environ.get("SPEC_MAX_EXAMPLES", "200")),
+        derandomize=os.environ.get("SPEC_DERANDOMIZE", "1") != "0",
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow,
+                               HealthCheck.data_too_large,
+                               HealthCheck.filter_too_much],
+    )
+    kwargs.update(overrides)
+    return settings(**kwargs)
+
+
+@dataclass(frozen=True)
+class PoolBundle:
+    """One fixed bundle plus its spec-level ground truths."""
+
+    label: str
+    app: str
+    bundle: AntibodyBundle
+    has_input: bool
+    signatures_match: bool
+    audit_ok: bool
+    #: Deterministic trial outcome; None until resolved (only consulted
+    #: for bundles that reach the trial stage).
+    attack_detected: bool | None
+
+
+def _double_free() -> VSEF:
+    return VSEF(kind="double_free", params={"caller": None})
+
+
+def _pool() -> tuple[dict, list[PoolBundle]]:
+    """Build the shared images and the fixed bundle pool."""
+    images = {"cvs": build_cvsd(), "httpd": build_httpd()}
+    cvs, apache = cvs_exploit(), apache1_exploit()
+    tampered = cvs[:-1] + bytes([cvs[-1] ^ 0xFF])
+    httpd_mid_insn = images["httpd"].symbols["handle_request"][1] + 1
+
+    entries = [
+        # Genuine producer output: VSEF + matching filter + the input.
+        PoolBundle("cvs-genuine", "cvs", AntibodyBundle(
+            app="cvs", vsefs=[_double_free()],
+            signatures=[generate_exact(cvs)], exploit_input=cvs,
+            bundle_id="pool-cvs-genuine"),
+            has_input=True, signatures_match=True, audit_ok=True,
+            attack_detected=True),
+        # Genuine, filterless (initial piecemeal stage with the input).
+        PoolBundle("cvs-genuine-nosig", "cvs", AntibodyBundle(
+            app="cvs", vsefs=[_double_free()], exploit_input=cvs,
+            bundle_id="pool-cvs-genuine-nosig"),
+            has_input=True, signatures_match=True, audit_ok=True,
+            attack_detected=True),
+        # "Exploit" input that is really benign traffic: the trial runs
+        # and nothing fires.
+        PoolBundle("cvs-benign-trial", "cvs", AntibodyBundle(
+            app="cvs", vsefs=[], exploit_input=BENIGN_CVS,
+            bundle_id="pool-cvs-benign"),
+            has_input=True, signatures_match=True, audit_ok=True,
+            attack_detected=False),
+        # Byzantine: a censoring filter smuggled beside a genuine
+        # attack input — the byte check must kill it pre-boot.
+        PoolBundle("cvs-forged-filter", "cvs", AntibodyBundle(
+            app="cvs", vsefs=[_double_free()],
+            signatures=[generate_exact(BENIGN_CVS)], exploit_input=cvs,
+            bundle_id="pool-cvs-forged"),
+            has_input=True, signatures_match=False, audit_ok=True,
+            attack_detected=None),
+        # Byzantine: exploit bytes tampered in flight; the exact filter
+        # no longer matches the carried input.
+        PoolBundle("cvs-tampered-bytes", "cvs", AntibodyBundle(
+            app="cvs", vsefs=[_double_free()],
+            signatures=[generate_exact(cvs)], exploit_input=tampered,
+            bundle_id="pool-cvs-tampered"),
+            has_input=True, signatures_match=False, audit_ok=True,
+            attack_detected=None),
+        # Piecemeal early bundles: no input yet, with and without a
+        # (withholdable) filter.
+        PoolBundle("cvs-deferred-sig", "cvs", AntibodyBundle(
+            app="cvs", vsefs=[_double_free()],
+            signatures=[generate_exact(BENIGN_CVS)],
+            bundle_id="pool-cvs-deferred-sig"),
+            has_input=False, signatures_match=True, audit_ok=True,
+            attack_detected=None),
+        PoolBundle("cvs-deferred-bare", "cvs", AntibodyBundle(
+            app="cvs", vsefs=[_double_free()],
+            bundle_id="pool-cvs-deferred-bare"),
+            has_input=False, signatures_match=True, audit_ok=True,
+            attack_detected=None),
+        # Second image: genuine bundle (trial outcome resolved below).
+        PoolBundle("httpd-genuine", "httpd", AntibodyBundle(
+            app="httpd",
+            vsefs=[VSEF(kind="heap_bounds", params={"native": "strcpy"})],
+            signatures=[generate_exact(apache)], exploit_input=apache,
+            bundle_id="pool-httpd-genuine"),
+            has_input=True, signatures_match=True, audit_ok=True,
+            attack_detected=None),
+        # Byzantine: patch offset into the middle of an instruction —
+        # the static audit must reject without booting.
+        PoolBundle("httpd-audit-offset", "httpd", AntibodyBundle(
+            app="httpd",
+            vsefs=[VSEF(kind="null_check",
+                        params={"pc": CodeLoc("code", httpd_mid_insn),
+                                "reg": 0})],
+            exploit_input=apache, bundle_id="pool-httpd-bad-offset"),
+            has_input=True, signatures_match=True, audit_ok=False,
+            attack_detected=None),
+        # Byzantine: a token filter broad enough to censor benign
+        # dispatch traffic, yet matching its own exploit input.
+        PoolBundle("httpd-audit-broad", "httpd", AntibodyBundle(
+            app="httpd",
+            signatures=[TokenSignature(sig_id="forged-broad",
+                                       tokens=[b"GET "])],
+            exploit_input=apache, bundle_id="pool-httpd-broad"),
+            has_input=True, signatures_match=True, audit_ok=False,
+            attack_detected=None),
+    ]
+    return images, entries
+
+
+def _resolve_oracles(images: dict,
+                     entries: list[PoolBundle]) -> list[PoolBundle]:
+    """Anchor the construction-known truths against the real byte check
+    and audit, and resolve unknown trial outcomes once."""
+    from dataclasses import replace
+
+    from repro.antibody.audit import StaticAuditor
+    from repro.antibody.verify import (SandboxVerifier,
+                                       _unmatched_signature)
+
+    auditor = StaticAuditor()
+    oracle_verifier = SandboxVerifier()
+    resolved = []
+    for entry in entries:
+        bundle, image = entry.bundle, images[entry.app]
+        assert entry.has_input == (bundle.exploit_input is not None), \
+            entry.label
+        if entry.has_input:
+            assert entry.signatures_match == \
+                (_unmatched_signature(bundle) is None), entry.label
+            if entry.signatures_match:
+                assert entry.audit_ok == auditor.audit(image, bundle).ok, \
+                    entry.label
+        if entry.has_input and entry.signatures_match and entry.audit_ok:
+            result = oracle_verifier.verify(image, bundle)
+            assert result.stage == "trial", (entry.label, result)
+            if entry.attack_detected is None:
+                entry = replace(entry, attack_detected=result.verified)
+            else:
+                assert entry.attack_detected == result.verified, \
+                    (entry.label, result)
+        resolved.append(entry)
+    return resolved
+
+
+_CACHE: tuple[dict, list[PoolBundle]] | None = None
+
+
+def bundle_pool() -> tuple[dict, list[PoolBundle]]:
+    """The shared ``(images, pool)`` pair, built and oracle-resolved
+    once per process."""
+    global _CACHE
+    if _CACHE is None:
+        images, entries = _pool()
+        _CACHE = (images, _resolve_oracles(images, entries))
+    return _CACHE

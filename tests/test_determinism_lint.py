@@ -62,6 +62,70 @@ def test_perf_counter_allowed_only_in_reporting_modules(tmp_path):
     assert findings and "reporting-only" in findings[0]
 
 
+def test_tests_scope_allows_perf_counter(tmp_path):
+    snippet = "import time\nt = time.perf_counter()\n"
+    assert _lint(tmp_path, snippet, rel="tests/test_example.py") == []
+
+
+def test_tests_scope_exempts_hypothesis_managed_randomness(tmp_path):
+    """Global-random draws inside a hypothesis-decorated function are
+    reproducible (hypothesis seeds and restores the global RNG per
+    example) — the tests/ scan must not flag them."""
+    snippet = (
+        "import random\n"
+        "from hypothesis import given, strategies as st\n"
+        "from hypothesis.stateful import rule\n"
+        "@given(st.integers())\n"
+        "def test_draws(n):\n"
+        "    x = random.random()\n"
+        "    rng = random.Random()\n"
+        "@rule()\n"
+        "def step(self):\n"
+        "    random.shuffle([1, 2, 3])\n"
+    )
+    assert _lint(tmp_path, snippet, rel="tests/test_example.py") == []
+
+
+def test_tests_scope_still_flags_unmanaged_entropy(tmp_path):
+    """Outside hypothesis's control the tests/ rules are the library
+    rules: module-level draws, wall clocks, and OS entropy stay
+    forbidden even in tests."""
+    rel = "tests/test_example.py"
+    module_level = "import random\nSEED = random.randint(0, 9)\n"
+    findings = _lint(tmp_path, module_level, rel=rel)
+    assert findings and "random.randint" in findings[0]
+    plain_function = (
+        "import random\n"
+        "def test_plain():\n"
+        "    return random.random()\n"
+    )
+    findings = _lint(tmp_path, plain_function, rel=rel)
+    assert findings and "random.random" in findings[0]
+    wall_clock = (
+        "import time\n"
+        "from hypothesis import given, strategies as st\n"
+        "@given(st.integers())\n"
+        "def test_clock(n):\n"
+        "    return time.time()\n"
+    )
+    findings = _lint(tmp_path, wall_clock, rel=rel)
+    assert findings and "time.time" in findings[0]
+
+
+def test_hypothesis_exemption_is_tests_only(tmp_path):
+    """The decorator exemption must not leak into the library scan — a
+    src/ module decorating something ``given`` still gets flagged."""
+    snippet = (
+        "import random\n"
+        "from hypothesis import given, strategies as st\n"
+        "@given(st.integers())\n"
+        "def helper(n):\n"
+        "    return random.random()\n"
+    )
+    findings = _lint(tmp_path, snippet, rel="machine/example.py")
+    assert findings and "random.random" in findings[0]
+
+
 def test_randomized_layout_requires_rng():
     """The one historical hole: layout randomization silently falling
     back to an OS-seeded Random.  The parameter is now mandatory."""

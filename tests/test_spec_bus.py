@@ -1,0 +1,214 @@
+"""Stateful model checking of the CommunityBus against ``repro.spec.bus``.
+
+:class:`BusMachine` drives a real
+:class:`~repro.antibody.distribution.CommunityBus` and the naive
+:class:`~repro.spec.bus.BusModel` through randomized interleavings of
+publish / late-publish / duplicate republish / forged-id publish /
+subscriber join / crash-and-resubscribe / poll (forward and rewinding
+clocks), asserting after every step that the implementation refines the
+model: identical logs, ids, backlogs, high-water marks and availability
+views, with every poll batch checked against the stated invariants
+(exactly-once over the subscriber's lifetime, strict
+``(available_at, seq)`` order, no-skip).
+
+The direct ``@given`` properties at the bottom are the satellite: the
+non-monotone-clock rejection, ``first_available_time`` as a running
+minimum, and the inclusive γ₂ boundary get example-free property
+coverage of their own.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.antibody.distribution import AntibodyBundle, CommunityBus
+from repro.errors import ReproError
+from repro.spec.bus import BusModel, PollRewound, assert_bus_refines
+from repro.spec.invariants import (SpecViolation, assert_batch_ordered,
+                                   assert_exactly_once, assert_no_skip)
+from tests.spec_harness import spec_settings
+
+APPS = ("cvs", "squid", "httpd")
+SUBSCRIBERS = ("n0", "n1", "n2", "n3")
+
+#: Times mix a coarse grid (forcing exact availability ties and
+#: boundary hits) with arbitrary finite floats.
+times = st.one_of(
+    st.sampled_from([0.0, 0.5, 1.0, 2.0, 2.5, 5.0, 10.0]),
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False))
+
+
+class BusMachine(RuleBasedStateMachine):
+    published = Bundle("published")
+
+    @initialize(latency=st.sampled_from([0.0, 1.0, 3.0]))
+    def setup(self, latency):
+        self.bus = CommunityBus(dissemination_latency=latency)
+        self.model = BusModel(latency=latency)
+        #: name -> impl-observed delivered history as model seqs.
+        self.history = {}
+
+    # -- publishing rules ----------------------------------------------------
+
+    def _publish(self, bundle: AntibodyBundle):
+        expected = self.model.publish(bundle.app, bundle.produced_at,
+                                      bundle_id=bundle.bundle_id)
+        self.bus.publish(bundle)
+        assert bundle.bundle_id == expected.bundle_id, \
+            f"id diverged: impl {bundle.bundle_id!r} model " \
+            f"{expected.bundle_id!r}"
+        return bundle
+
+    @rule(target=published, app=st.sampled_from(APPS), produced_at=times)
+    def publish(self, app, produced_at):
+        """A producer publishes a fresh bundle; the bus mints its id.
+        ``produced_at`` is unconstrained by poll clocks, so late
+        publishes with early availability arise constantly."""
+        return self._publish(AntibodyBundle(app=app,
+                                            produced_at=produced_at))
+
+    @rule(target=published, app=st.sampled_from(APPS), produced_at=times,
+          forged=st.sampled_from(["ab-1", "ab-3", "forged-x", "pool-0"]))
+    def publish_forged_id(self, app, produced_at, forged):
+        """Byzantine producer: a preset (possibly colliding) id rides
+        in.  publish preserves any non-empty id and must not advance
+        the mint counter."""
+        return self._publish(AntibodyBundle(app=app, produced_at=produced_at,
+                                            bundle_id=forged))
+
+    @rule(bundle=published)
+    def republish_same_object(self, bundle):
+        """Byzantine producer: the *same* bundle object replayed.  It
+        keeps its id and occupies a fresh log seq — duplicate content,
+        distinct delivery."""
+        self._publish(bundle)
+
+    # -- subscriber rules ----------------------------------------------------
+
+    @rule(name=st.sampled_from(SUBSCRIBERS))
+    def join(self, name):
+        self.bus.subscribe(name)
+        self.model.subscribe(name)
+        self.history.setdefault(name, [])
+
+    @rule(name=st.sampled_from(SUBSCRIBERS))
+    def crash_and_resubscribe(self, name):
+        """A consumer crashes and comes back under the same identity.
+        subscribe is idempotent: no backlog reset, no redelivery — the
+        lifetime exactly-once claim survives the crash."""
+        before = self.bus.subscriber_backlog(name) \
+            if name in self.model.delivered else None
+        self.bus.subscribe(name)
+        self.model.subscribe(name)
+        self.history.setdefault(name, [])
+        if before is not None and \
+                self.bus.subscriber_backlog(name) != before:
+            raise SpecViolation(
+                f"resubscribing {name!r} changed its backlog "
+                f"({before} -> {self.bus.subscriber_backlog(name)})")
+
+    @rule(name=st.sampled_from(SUBSCRIBERS), now=times)
+    def poll(self, name, now):
+        """Poll at an arbitrary absolute time.  A time before the
+        subscriber's high-water mark must be *refused* by both sides
+        (spec-legal refusal); otherwise the batches must agree and
+        satisfy every delivery invariant."""
+        self.model.subscribe(name)
+        self.history.setdefault(name, [])
+        rewinds = now < self.model.high_water[name]
+        if rewinds:
+            with pytest.raises(PollRewound):
+                self.model.poll(name, now)
+            with pytest.raises(ReproError):
+                self.bus.poll(name, now)
+            return
+        expected = self.model.poll(name, now)
+        batch = self.bus.poll(name, now)
+        impl_view = [(b.bundle_id, b.app,
+                      b.produced_at + self.bus.dissemination_latency)
+                     for b in batch]
+        model_view = [(e.bundle_id, e.app, e.available_at)
+                      for e in expected]
+        if impl_view != model_view:
+            raise SpecViolation(
+                f"poll({name!r}, {now}) diverged:\n  impl  {impl_view}\n"
+                f"  model {model_view}")
+        # The stated delivery invariants, on the observed history.
+        assert_batch_ordered(name, [(e.available_at, e.seq)
+                                    for e in expected])
+        self.history[name].extend(e.seq for e in expected)
+        assert_exactly_once(name, self.history[name])
+        assert_no_skip(name, now, self.history[name],
+                       [(e.seq, e.available_at) for e in self.model.log])
+
+    # -- the refinement, after every step ------------------------------------
+
+    @invariant()
+    def refines(self):
+        assert_bus_refines(self.model, self.bus)
+        now = max([0.0, *self.model.high_water.values()])
+        impl = [(b.bundle_id, b.app) for b in self.bus.available(now)]
+        model = [(e.bundle_id, e.app) for e in self.model.available(now)]
+        if impl != model:
+            raise SpecViolation(
+                f"available({now}) diverged:\n  impl  {impl}\n"
+                f"  model {model}")
+
+
+BusMachine.TestCase.settings = spec_settings()
+TestBusRefinement = BusMachine.TestCase
+
+
+# -- satellite: direct property coverage --------------------------------------
+
+@spec_settings()
+@given(produced=st.lists(st.tuples(st.sampled_from(APPS), times),
+                         min_size=1, max_size=20))
+def test_first_available_time_is_the_running_minimum(produced):
+    bus = CommunityBus(dissemination_latency=3.0)
+    for app, produced_at in produced:
+        bus.publish(AntibodyBundle(app=app, produced_at=produced_at))
+    for app in (None, *APPS):
+        mine = [t + 3.0 for a, t in produced if app in (None, a)]
+        assert bus.first_available_time(app) == (min(mine) if mine
+                                                 else None)
+
+
+@spec_settings()
+@given(first=times, rewind=st.floats(min_value=1e-9, max_value=50.0,
+                                     allow_nan=False))
+def test_poll_rejects_any_non_monotone_clock(first, rewind):
+    bus = CommunityBus(dissemination_latency=0.0)
+    bus.publish(AntibodyBundle(app="cvs", produced_at=0.0))
+    bus.poll("n0", now=first)
+    earlier = first - rewind
+    if earlier == first:            # 1e-9 can vanish at large magnitudes
+        return
+    with pytest.raises(ReproError, match="monotone"):
+        bus.poll("n0", now=earlier)
+    # The refusal must not corrupt the subscriber: an equal-time poll
+    # still works and the high-water mark is unchanged.
+    assert bus.high_water("n0") == first
+    bus.poll("n0", now=first)
+
+
+@spec_settings()
+@given(produced_at=times, latency=st.sampled_from([0.0, 1.0, 3.0]))
+def test_gamma2_boundary_is_inclusive(produced_at, latency):
+    bus = CommunityBus(dissemination_latency=latency)
+    bundle = bus.publish(AntibodyBundle(app="cvs",
+                                        produced_at=produced_at))
+    boundary = produced_at + latency
+    just_before = math.nextafter(boundary, -math.inf)
+    if just_before >= boundary:
+        return
+    assert bus.available(just_before) == []
+    assert bus.poll("n0", now=just_before) == []
+    assert bus.available(boundary) == [bundle]
+    assert bus.poll("n0", now=boundary) == [bundle]

@@ -1,0 +1,160 @@
+"""Stateful model checking of CheckpointManager retention + selection.
+
+The satellite suite: a real :class:`CheckpointManager` over a live echo
+process is driven through randomized take / work / feed-message /
+rollback(+discard) / adopt-boot-checkpoint sequences, against a model
+that is nothing but a capped list of ``(seq, msg_cursor)`` pairs:
+
+- **retention** — at most ``max_checkpoints`` retained, evicting
+  oldest-first, with ``seq`` strictly increasing and ``msg_cursor``
+  non-decreasing along the deque (the monotonicity that licenses the
+  implementation's bisect-based selection);
+- **adoption** — :meth:`adopt_boot_checkpoint` slots into the same
+  sequence/retention discipline as a real ``take`` (it is "the boot's
+  first take", golden-forked in);
+- **selection** — ``before_message`` / ``older_than`` / ``latest``
+  answer exactly what a linear scan over the model answers, probed
+  after every step;
+- **rollback** — ``discard_after`` drops precisely the newer-than
+  suffix, and restoring an old snapshot rewinds the message cursor the
+  way the model predicts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+
+from repro.machine.process import load_program
+from repro.runtime.checkpoint import CheckpointManager
+from repro.spec.invariants import SpecViolation
+from tests.conftest import ECHO_SOURCE
+from tests.spec_harness import spec_settings
+
+
+class CheckpointMachine(RuleBasedStateMachine):
+    @initialize(cap=st.sampled_from([1, 2, 3, 5, 20]),
+                adopt_boot=st.booleans())
+    def setup(self, cap, adopt_boot):
+        self.process = load_program(ECHO_SOURCE, seed=1)
+        self.process.run(max_steps=100_000)          # to first recv
+        self.manager = CheckpointManager(interval_ms=200.0,
+                                         max_checkpoints=cap)
+        self.cap = cap
+        #: The model: retained (seq, msg_cursor) pairs, oldest first.
+        self.model = []
+        self.next_seq = 1
+        self.fed = 0                                  # messages consumed
+        #: seq -> live Checkpoint (for rollback targets / older_than).
+        self.live = {}
+        if adopt_boot:
+            # The golden-fork path: the boot state arrives as an
+            # adopted checkpoint instead of an eager first take.
+            cp = self.manager.adopt_boot_checkpoint(
+                self.process, self.process.snapshot_full(),
+                cost_cycles=1234, last_dirty_pages=0, virtual_time=None)
+            self._model_append(cp)
+
+    def _model_append(self, cp):
+        if cp.seq != self.next_seq:
+            raise SpecViolation(
+                f"checkpoint got seq {cp.seq}, model expected "
+                f"{self.next_seq}")
+        if cp.msg_cursor != self.fed:
+            raise SpecViolation(
+                f"checkpoint seq {cp.seq} recorded msg_cursor "
+                f"{cp.msg_cursor}, but {self.fed} messages were consumed")
+        self.next_seq += 1
+        self.model.append((cp.seq, cp.msg_cursor))
+        self.live[cp.seq] = cp
+        if len(self.model) > self.cap:
+            evicted, _ = self.model.pop(0)
+            del self.live[evicted]
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(cycles=st.sampled_from([0, 10_000, 2_000_000]))
+    def work(self, cycles):
+        """Guest work accrues between checkpoints (drives the interval
+        schedule; retention semantics must not care)."""
+        self.process.cpu.cycles += cycles
+
+    @rule()
+    def feed_message(self):
+        """The process consumes one request, advancing the cursor the
+        next checkpoint must record."""
+        self.process.feed(b"x")
+        self.process.run(max_steps=100_000)
+        self.fed += 1
+
+    @rule()
+    def take(self):
+        self._model_append(self.manager.take(self.process))
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.integers(min_value=0, max_value=200))
+    def rollback(self, pick):
+        """Roll back to a retained checkpoint: restore its snapshot,
+        discard the newer suffix, re-arm interval accounting.  The
+        model truncates its list and rewinds its message count."""
+        seqs = sorted(self.live)
+        target = self.live[seqs[pick % len(seqs)]]
+        self.process.restore_full(target.snapshot)
+        self.manager.discard_after(target)
+        self.manager.after_rollback(self.process)
+        self.model = [entry for entry in self.model
+                      if entry[0] <= target.seq]
+        self.live = {seq: cp for seq, cp in self.live.items()
+                     if seq <= target.seq}
+        self.fed = target.msg_cursor
+
+    @precondition(lambda self: self.live)
+    @rule(probe=st.integers(min_value=0, max_value=30))
+    def probe_selection(self, probe):
+        """before_message / older_than / latest against linear-scan
+        oracles over the model."""
+        hits = [seq for seq, cursor in self.model if cursor <= probe]
+        expected = hits[-1] if hits else None
+        found = self.manager.before_message(probe)
+        if (found.seq if found else None) != expected:
+            raise SpecViolation(
+                f"before_message({probe}): impl "
+                f"{found.seq if found else None}, model {expected} "
+                f"(retained {self.model})")
+        newest = self.manager.latest()
+        if newest.seq != self.model[-1][0]:
+            raise SpecViolation(
+                f"latest(): impl {newest.seq}, model {self.model[-1][0]}")
+        older = self.manager.older_than(newest)
+        model_older = self.model[-2][0] if len(self.model) > 1 else None
+        if (older.seq if older else None) != model_older:
+            raise SpecViolation(
+                f"older_than(latest): impl "
+                f"{older.seq if older else None}, model {model_older}")
+
+    # -- the refinement, after every step ------------------------------------
+
+    @invariant()
+    def retention_refines(self):
+        retained = self.manager.retained()
+        if [(seq, cursor) for seq, cursor, _ in retained] != self.model:
+            raise SpecViolation(
+                f"retention diverged:\n"
+                f"  impl  {[(s, m) for s, m, _ in retained]}\n"
+                f"  model {self.model}")
+        if len(retained) > self.cap:
+            raise SpecViolation(
+                f"{len(retained)} checkpoints retained, cap {self.cap}")
+        seqs = [seq for seq, _, _ in retained]
+        cursors = [cursor for _, cursor, _ in retained]
+        if seqs != sorted(set(seqs)):
+            raise SpecViolation(f"seqs not strictly increasing: {seqs}")
+        if cursors != sorted(cursors):
+            raise SpecViolation(
+                f"msg_cursors not non-decreasing: {cursors} — the "
+                f"bisect selection contract is broken")
+
+
+CheckpointMachine.TestCase.settings = spec_settings()
+TestCheckpointRetention = CheckpointMachine.TestCase

@@ -1,0 +1,160 @@
+"""Mutation smoke for the spec suites: break each invariant, watch the
+harness catch it.
+
+A model-checking harness that never fails is indistinguishable from one
+that checks nothing.  Each test here monkeypatches one deliberate
+protocol violation into the real implementation — a redelivering poll,
+a dropped fan-out, a reordered batch, a rewinding clock accepted, a
+forged filter admitted, a verifier that rubber-stamps everything, a
+retention cap ignored — and asserts that the corresponding stateful
+suite *fails* under its tier-1 profile.  Every named invariant
+(exactly-once, ordered, no-skip, no-redeliver, monotone-clock,
+rejection-sound / acceptance-complete, retention) has its mutation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import pytest
+from hypothesis import Phase
+from hypothesis.stateful import run_state_machine_as_test
+
+from repro.antibody import verify as verify_mod
+from repro.antibody.distribution import CommunityBus
+from repro.antibody.verify import SandboxVerifier, VerificationResult
+from repro.runtime.checkpoint import CheckpointManager
+from tests.spec_harness import spec_settings
+from tests.test_spec_bus import BusMachine
+from tests.test_spec_checkpoint import CheckpointMachine
+from tests.test_spec_delivery import DeliveryMachine
+from tests.test_spec_verifier import VerifierMachine
+
+#: Failures should surface within a handful of examples; skip the
+#: shrink phase — we only need *that* the suite fails, not a minimal
+#: counterexample.
+MUTATION_SETTINGS = spec_settings(max_examples=60,
+                                  phases=(Phase.generate,))
+
+
+def _suite_fails(machine_cls, step_count=None):
+    settings = MUTATION_SETTINGS if step_count is None else \
+        spec_settings(max_examples=60, phases=(Phase.generate,),
+                      stateful_step_count=step_count)
+    with pytest.raises((AssertionError, pytest.fail.Exception)):
+        run_state_machine_as_test(machine_cls, settings=settings)
+
+
+def test_bus_suite_catches_redelivery(monkeypatch):
+    """Mutation: poll peeks instead of popping — entries are delivered
+    again on the next poll (exactly-once / no-redeliver)."""
+    original = CommunityBus.poll
+
+    def leaky_poll(self, name, now):
+        batch = original(self, name, now)
+        for bundle in batch:              # put everything back
+            for delivery in self._log:
+                if delivery.bundle is bundle:
+                    heapq.heappush(self._pending[name],
+                                   (delivery.available_at, delivery.seq))
+                    break
+        return batch
+
+    monkeypatch.setattr(CommunityBus, "poll", leaky_poll)
+    _suite_fails(BusMachine)
+
+
+def test_bus_suite_catches_dropped_fanout(monkeypatch):
+    """Mutation: publish stops fanning out to subscribed consumers —
+    they silently miss new antibodies (no-skip)."""
+    original = CommunityBus.publish
+
+    def selfish_publish(self, bundle):
+        result = original(self, bundle)
+        entry = (self._log[-1].available_at, self._log[-1].seq)
+        for pending in self._pending.values():
+            pending.remove(entry)
+            heapq.heapify(pending)
+        return result
+
+    monkeypatch.setattr(CommunityBus, "publish", selfish_publish)
+    _suite_fails(BusMachine)
+
+
+def test_bus_suite_catches_reordered_batches(monkeypatch):
+    """Mutation: poll returns its batch reversed (ordered)."""
+    original = CommunityBus.poll
+
+    def scrambled_poll(self, name, now):
+        return list(reversed(original(self, name, now)))
+
+    monkeypatch.setattr(CommunityBus, "poll", scrambled_poll)
+    _suite_fails(BusMachine)
+
+
+def test_bus_suite_catches_accepted_clock_rewind(monkeypatch):
+    """Mutation: a rewinding subscriber clock is silently clamped
+    instead of refused (monotone-clock)."""
+    original = CommunityBus.poll
+
+    def clamping_poll(self, name, now):
+        self.subscribe(name)
+        return original(self, name, max(now, self._high_water[name]))
+
+    monkeypatch.setattr(CommunityBus, "poll", clamping_poll)
+    _suite_fails(BusMachine)
+
+
+def test_verifier_suite_catches_skipped_byte_check(monkeypatch):
+    """Mutation: the signature byte check is dropped — a censoring
+    filter beside a genuine attack input sails through to a passing
+    trial (rejection-sound)."""
+
+    def no_prescreen(bundle):
+        if bundle.exploit_input is None:
+            return VerificationResult(False, *verify_mod._NO_INPUT,
+                                      stage="deferred")
+        return None
+
+    monkeypatch.setattr(verify_mod, "_prescreen", no_prescreen)
+    _suite_fails(VerifierMachine)
+
+
+def test_verifier_suite_catches_broken_memo(monkeypatch):
+    """Mutation: the verdict memo never hits — every repeat re-trials
+    (the counter-evolution refinement)."""
+    monkeypatch.setattr(SandboxVerifier, "_verdicts",
+                        property(lambda self: {},
+                                 lambda self, value: None), raising=False)
+    verifier = SandboxVerifier.__init__
+
+    def init(self, seed: int = 1234):
+        verifier(self, seed)
+        self.__dict__.pop("_verdicts", None)
+
+    monkeypatch.setattr(SandboxVerifier, "__init__", init)
+    _suite_fails(VerifierMachine)
+
+
+def test_delivery_suite_catches_rubber_stamp_verifier(monkeypatch):
+    """Mutation: the sandbox verifier verifies everything — forged
+    filters install and benign traffic gets censored (the consumer-side
+    rejection soundness and the no-false-positive invariant)."""
+    monkeypatch.setattr(
+        SandboxVerifier, "verify",
+        lambda self, image, bundle: VerificationResult(
+            True, "vsef", "rubber stamp", stage="trial"))
+    _suite_fails(DeliveryMachine)
+
+
+def test_checkpoint_suite_catches_unbounded_retention(monkeypatch):
+    """Mutation: the retention cap is ignored — old checkpoints are
+    never evicted (retention)."""
+    original = CheckpointManager.take
+
+    def hoarding_take(self, process):
+        self.max_checkpoints = 10 ** 9
+        return original(self, process)
+
+    monkeypatch.setattr(CheckpointManager, "take", hoarding_take)
+    _suite_fails(CheckpointMachine)

@@ -1,0 +1,283 @@
+"""Pinned regressions distilled from the spec-harness hunts.
+
+The stateful suites were run far past their tier-1 budgets in
+randomized (non-derandomized) mode while this harness was built —
+bus + checkpoint at 1500 examples each, verifier at 500, delivery at
+300 — and found **no divergence** between the implementations and the
+``repro.spec`` models.  There are therefore no shrunk counterexamples
+to pin; what this file pins instead are the boundary interleavings the
+machines lean on hardest, written out as deterministic straight-line
+tests so that a future regression in any of them fails *here*, with a
+named scenario, before the randomized suites have to rediscover it.
+
+Each test is the minimal concrete script of one protocol subtlety:
+forged-id collisions, late publishes that become available early,
+crash-resubscribe idempotence, replayed-copy re-trials, audit screens
+firing ahead of the verdict memo, forged filters installing nothing,
+and boot-checkpoint adoption surviving a rollback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.antibody.distribution import AntibodyBundle, CommunityBus
+from repro.machine.process import load_program
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.sweeper import Sweeper, SweeperConfig
+from repro.spec.bus import BusModel, assert_bus_refines
+from repro.spec.invariants import SpecViolation
+from repro.spec.trace import assert_replicas_linearize
+from repro.spec.verifier import (REJECTED_AUDIT, VERIFIED, VerifierModel,
+                                 assert_verifier_refines, classify_result)
+from tests.conftest import ECHO_SOURCE
+from tests.spec_harness import BENIGN_CVS, bundle_pool
+
+IMAGES, POOL = bundle_pool()
+ENTRIES = {entry.label: entry for entry in POOL}
+
+
+def _fresh_verifier():
+    from repro.antibody.verify import SandboxVerifier
+    return SandboxVerifier()
+
+
+def _wire_copy(entry):
+    return AntibodyBundle.from_dict(entry.bundle.to_dict())
+
+
+def _consumer():
+    return Sweeper(
+        IMAGES["cvs"], app_name="cvs",
+        config=SweeperConfig(seed=9, enable_membug=False,
+                             enable_taint=False, enable_slicing=False,
+                             publish_antibodies=False,
+                             randomize_layout=True, entropy_bits=4))
+
+
+# -- bus ----------------------------------------------------------------------
+
+def test_forged_id_collision_does_not_advance_the_mint_counter():
+    """A Byzantine producer presets the id the bus would mint next.
+    Both entries keep the colliding id, the counter does not advance,
+    and the next fresh publish mints the *next* id — two log seqs, one
+    id, exactly as the model prescribes."""
+    bus = CommunityBus(dissemination_latency=1.0)
+    model = BusModel(latency=1.0)
+
+    minted = bus.publish(AntibodyBundle(app="cvs", produced_at=0.0))
+    model.publish("cvs", 0.0)
+    assert minted.bundle_id == "ab-1"
+
+    forged = AntibodyBundle(app="cvs", produced_at=0.0, bundle_id="ab-1")
+    bus.publish(forged)
+    model.publish("cvs", 0.0, bundle_id="ab-1")
+    assert forged.bundle_id == "ab-1"           # preserved, not rewritten
+
+    second_mint = bus.publish(AntibodyBundle(app="cvs", produced_at=0.0))
+    model.publish("cvs", 0.0)
+    assert second_mint.bundle_id == "ab-2"      # collision did not burn it
+
+    assert_bus_refines(model, bus)
+    bus.subscribe("n0")
+    model.subscribe("n0")
+    batch = bus.poll("n0", now=1.0)
+    expected = model.poll("n0", 1.0)
+    assert [b.bundle_id for b in batch] == ["ab-1", "ab-1", "ab-2"]
+    assert [e.bundle_id for e in expected] == ["ab-1", "ab-1", "ab-2"]
+    assert_bus_refines(model, bus)
+
+
+def test_late_publish_with_earlier_availability_orders_by_availability():
+    """A bundle published *later* (higher seq) but produced earlier
+    becomes available first, and a poll spanning both must deliver in
+    strict (available_at, seq) order — availability, not arrival."""
+    bus = CommunityBus(dissemination_latency=1.0)
+    model = BusModel(latency=1.0)
+    bus.subscribe("n0")
+    model.subscribe("n0")
+
+    slow = bus.publish(AntibodyBundle(app="cvs", produced_at=10.0))
+    model.publish("cvs", 10.0)
+    early = bus.publish(AntibodyBundle(app="cvs", produced_at=0.0))
+    model.publish("cvs", 0.0)
+
+    # At t=5 only the late-published bundle is available (avail 1.0 < 5).
+    batch = bus.poll("n0", now=5.0)
+    expected = model.poll("n0", 5.0)
+    assert [b.bundle_id for b in batch] == [early.bundle_id]
+    assert [e.bundle_id for e in expected] == [early.bundle_id]
+    assert bus.subscriber_backlog("n0") == 1
+
+    # At t=11 the earlier-published one finally clears γ₂ — no skip.
+    batch = bus.poll("n0", now=11.0)
+    assert [b.bundle_id for b in batch] == [slow.bundle_id]
+    assert [e.bundle_id for e in model.poll("n0", 11.0)] \
+        == [slow.bundle_id]
+    assert bus.subscriber_backlog("n0") == 0
+    assert_bus_refines(model, bus)
+
+
+def test_crash_resubscribe_is_idempotent():
+    """Resubscribing under the same identity after a crash must not
+    reset the cursor: no redelivery, no backlog change."""
+    bus = CommunityBus(dissemination_latency=0.0)
+    bus.subscribe("n0")
+    for produced_at in (0.0, 1.0, 2.0):
+        bus.publish(AntibodyBundle(app="cvs", produced_at=produced_at))
+    first = bus.poll("n0", now=1.0)
+    assert len(first) == 2
+
+    backlog = bus.subscriber_backlog("n0")
+    bus.subscribe("n0")                         # crash + come back
+    assert bus.subscriber_backlog("n0") == backlog
+    assert bus.poll("n0", now=1.0) == []        # nothing redelivered
+    later = bus.poll("n0", now=2.0)
+    assert len(later) == 1                      # and nothing skipped
+
+
+# -- verifier -----------------------------------------------------------------
+
+def test_replayed_copy_retrials_to_the_same_verdict():
+    """The verdict memo keys on object identity: a wire round-tripped
+    copy of a verified bundle is a fresh key, re-trials (no extra
+    boot), and determinism lands it on the same verdict."""
+    verifier = _fresh_verifier()
+    model = VerifierModel()
+    entry = ENTRIES["cvs-genuine"]
+
+    original = verifier.verify(IMAGES["cvs"], entry.bundle)
+    model.verify("cvs", id(entry.bundle), has_input=True,
+                 signatures_match=True, audit_ok=True,
+                 attack_detected=True)
+    assert classify_result(original) == VERIFIED
+    assert verifier.stats()["boots"] == 1
+    assert verifier.stats()["trials"] == 1
+
+    # Same object again: memo hit, no second trial.
+    verifier.verify(IMAGES["cvs"], entry.bundle)
+    model.verify("cvs", id(entry.bundle), has_input=True,
+                 signatures_match=True, audit_ok=True,
+                 attack_detected=True)
+    assert verifier.stats()["trials"] == 1
+    assert verifier.stats()["cache_hits"] == 1
+
+    # Fresh identity, same bytes: re-trials, image stays booted.
+    copy = _wire_copy(entry)
+    replayed = verifier.verify(IMAGES["cvs"], copy)
+    model.verify("cvs", id(copy), has_input=True,
+                 signatures_match=True, audit_ok=True,
+                 attack_detected=True)
+    assert verifier.stats()["trials"] == 2
+    assert verifier.stats()["boots"] == 1
+    assert (replayed.verified, replayed.detected_by) \
+        == (original.verified, original.detected_by)
+    assert_verifier_refines(model, verifier)
+
+
+def test_audit_screen_fires_before_the_memo():
+    """Audit rejection happens ahead of the verdict memo: the same
+    audit-forged bundle re-screens (and re-rejects) on every arrival,
+    never boots, never caches."""
+    verifier = _fresh_verifier()
+    model = VerifierModel()
+    entry = ENTRIES["httpd-audit-offset"]
+    for _ in range(2):
+        result = verifier.verify(IMAGES["httpd"], entry.bundle)
+        model.verify("httpd", id(entry.bundle), has_input=True,
+                     signatures_match=True, audit_ok=False,
+                     attack_detected=False)
+        assert classify_result(result) == REJECTED_AUDIT
+    stats = verifier.stats()
+    assert stats["audit_screens"] == 2
+    assert stats["audit_rejects"] == 2
+    assert stats["trials"] == 0
+    assert stats["boots"] == 0
+    assert stats["cache_hits"] == 0
+    assert_verifier_refines(model, verifier)
+
+
+# -- delivery -----------------------------------------------------------------
+
+def test_forged_filter_installs_nothing_and_genuine_filter_immunizes():
+    """The paper's core consumer-side claim, as one straight script: a
+    benign-censoring forged bundle is rejected wholesale (no VSEF, no
+    filter, benign traffic untouched), then the genuine bundle installs
+    and the exploit dies at the proxy."""
+    from repro.apps.exploits import cvs_exploit
+    consumer = _consumer()
+    verifier = _fresh_verifier()
+
+    outcome = consumer.apply_bundle(_wire_copy(ENTRIES["cvs-forged-filter"]),
+                                    verifier=verifier)
+    assert outcome.verified is False
+    assert consumer.installed_vsef_keys() == frozenset()
+    assert consumer.active_signature_ids() == ()
+    assert consumer.submit(BENIGN_CVS)          # served, and…
+    assert consumer.proxy.filtered_count == 0   # …not censored
+
+    outcome = consumer.apply_bundle(_wire_copy(ENTRIES["cvs-genuine"]),
+                                    verifier=verifier)
+    assert outcome.verified is True
+    assert consumer.installed_vsef_keys()
+    assert consumer.active_signature_ids()
+    consumer.submit(cvs_exploit())
+    assert consumer.proxy.filtered_count == 1   # immune
+    assert consumer.attacks == []
+    assert consumer.submit(BENIGN_CVS)          # still no false positive
+    assert consumer.proxy.filtered_count == 1
+
+
+# -- checkpoint ---------------------------------------------------------------
+
+def test_adopted_boot_checkpoint_survives_a_rollback():
+    """adopt_boot_checkpoint slots into the normal seq/retention
+    discipline: rolling back to the adopted boot state discards the
+    newer suffix, selection finds the boot checkpoint, and the next
+    take continues the (never-reused) seq sequence."""
+    process = load_program(ECHO_SOURCE, seed=1)
+    process.run(max_steps=100_000)
+    manager = CheckpointManager(interval_ms=200.0, max_checkpoints=5)
+    boot = manager.adopt_boot_checkpoint(
+        process, process.snapshot_full(), cost_cycles=1234,
+        last_dirty_pages=0, virtual_time=None)
+    assert (boot.seq, boot.msg_cursor) == (1, 0)
+
+    process.feed(b"x")
+    process.run(max_steps=100_000)
+    second = manager.take(process)
+    assert (second.seq, second.msg_cursor) == (2, 1)
+
+    process.restore_full(boot.snapshot)
+    manager.discard_after(boot)
+    manager.after_rollback(process)
+    assert [(s, m) for s, m, _ in manager.retained()] == [(1, 0)]
+    assert manager.before_message(0).seq == 1
+    assert manager.latest().seq == 1
+
+    third = manager.take(process)
+    assert (third.seq, third.msg_cursor) == (3, 0)   # seqs never reused
+    assert [(s, m) for s, m, _ in manager.retained()] == [(1, 0), (3, 0)]
+
+
+# -- cross-shard trace --------------------------------------------------------
+
+def test_replica_prefixes_linearize_and_foreign_entries_do_not():
+    """The fleet's cross-shard check in miniature: a replica that saw a
+    prefix of the coordinator's history linearizes; a replica with an
+    entry the coordinator never published is a divergence."""
+    bus = CommunityBus(dissemination_latency=1.0)
+    for produced_at in (0.0, 2.0, 5.0):
+        bus.publish(AntibodyBundle(app="cvs", produced_at=produced_at))
+    reference = bus.log_entries()
+
+    assert_replicas_linearize(reference, {"w0": reference[:2]},
+                              latency=1.0, require_complete=False)
+    with pytest.raises(SpecViolation):
+        assert_replicas_linearize(reference, {"w0": reference[:2]},
+                                  latency=1.0, require_complete=True)
+
+    foreign = list(reference[:2]) + [(2, "rogue", "cvs", 9.0, 10.0)]
+    with pytest.raises(SpecViolation):
+        assert_replicas_linearize(reference, {"w0": foreign},
+                                  latency=1.0, require_complete=False)

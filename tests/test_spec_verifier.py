@@ -1,0 +1,113 @@
+"""Stateful model checking of the SandboxVerifier against
+``repro.spec.verifier``.
+
+Each hypothesis example runs a fresh
+:class:`~repro.antibody.verify.SandboxVerifier` and
+:class:`~repro.spec.verifier.VerifierModel` through a randomized
+sequence of verifications drawn from the fixed bundle pool (genuine,
+benign-input, forged-filter, byte-tampered, deferred, audit-forged —
+across two program images) plus wire-replayed copies, asserting after
+every call that:
+
+- the verdict category matches :func:`model_verdict` (and via the two
+  named invariants: **rejection soundness** — every rejection has the
+  spec-prescribed cause — and **acceptance completeness** — genuine
+  bundles are never refused);
+- the counter evolution (boots / trials / cache-hits / audit-screens /
+  audit-rejects) matches the model's exactly — one boot per image ever,
+  one trial per (image, bundle) identity, audits re-screen memo hits;
+- memoization is per *object identity*: a wire round-tripped copy of a
+  verified bundle is a fresh key and re-trials (deterministically to
+  the same verdict).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.antibody.distribution import AntibodyBundle
+from repro.antibody.verify import SandboxVerifier
+from repro.spec.invariants import (SpecViolation, assert_acceptance_complete,
+                                   assert_rejection_sound)
+from repro.spec.verifier import (VERIFIED, VerifierModel,
+                                 assert_verifier_refines, classify_result)
+from tests.spec_harness import bundle_pool, spec_settings
+
+IMAGES, POOL = bundle_pool()
+LABELS = [entry.label for entry in POOL]
+#: Pool entries that reach the trial stage (for the replay rule —
+#: replayed copies of pre-trial rejects just retrace the cheap gates).
+TRIAL_LABELS = [entry.label for entry in POOL
+                if entry.has_input and entry.signatures_match
+                and entry.audit_ok]
+
+
+class VerifierMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.verifier = SandboxVerifier()
+        self.model = VerifierModel()
+        self.entries = {entry.label: entry for entry in POOL}
+        #: label -> live replayed copies (fresh identities, same bytes).
+        self.replays = {label: [] for label in LABELS}
+
+    def _verify(self, entry, bundle):
+        image = IMAGES[entry.app]
+        result = self.verifier.verify(image, bundle)
+        impl_cat = classify_result(result)
+        model_cat = self.model.verify(
+            entry.app, id(bundle), has_input=entry.has_input,
+            signatures_match=entry.signatures_match,
+            audit_ok=entry.audit_ok,
+            attack_detected=bool(entry.attack_detected))
+        assert_rejection_sound(entry.label, impl_cat, model_cat, VERIFIED)
+        assert_acceptance_complete(entry.label, impl_cat, model_cat,
+                                   VERIFIED)
+        if impl_cat != model_cat:
+            raise SpecViolation(
+                f"{entry.label}: implementation verdict {impl_cat!r} "
+                f"(detail: {result.detail}) but the model says "
+                f"{model_cat!r}")
+        return result
+
+    @rule(label=st.sampled_from(LABELS))
+    def verify_pool_bundle(self, label):
+        """Verify a fixed pool bundle.  Re-picking the same label later
+        in the example exercises the identity memo (cache hit, audit
+        still screened, no second trial)."""
+        entry = self.entries[label]
+        self._verify(entry, entry.bundle)
+
+    @rule(label=st.sampled_from(TRIAL_LABELS))
+    def verify_replayed_copy(self, label):
+        """Byzantine replay: the same bundle bytes arrive as a *new*
+        object (wire round-trip).  The memo must treat it as a fresh
+        key — it re-trials — and determinism must land it on the same
+        verdict as the original."""
+        entry = self.entries[label]
+        copy = AntibodyBundle.from_dict(entry.bundle.to_dict())
+        self.replays[label].append(copy)       # retain: ids must not recycle
+        result = self._verify(entry, copy)
+        original = self.verifier.verify(IMAGES[entry.app], entry.bundle)
+        self.model.verify(entry.app, id(entry.bundle),
+                          has_input=entry.has_input,
+                          signatures_match=entry.signatures_match,
+                          audit_ok=entry.audit_ok,
+                          attack_detected=bool(entry.attack_detected))
+        if (result.verified, result.detected_by) != \
+                (original.verified, original.detected_by):
+            raise SpecViolation(
+                f"{label}: replayed copy verdict "
+                f"({result.verified}, {result.detected_by!r}) diverged "
+                f"from the original "
+                f"({original.verified}, {original.detected_by!r})")
+
+    @invariant()
+    def counters_refine(self):
+        assert_verifier_refines(self.model, self.verifier)
+
+
+VerifierMachine.TestCase.settings = spec_settings()
+TestVerifierRefinement = VerifierMachine.TestCase

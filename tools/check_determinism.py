@@ -16,8 +16,15 @@ reads ambient entropy.  This AST pass forbids the ways that sneaks in:
 they time the host-side run for human-facing throughput numbers, and
 nothing downstream branches on the value.
 
-Scope is deliberately ``src/repro/`` only — benchmarks and tests time
-themselves freely.
+``tests/`` is scanned too, under relaxed rules: host timing
+(``perf_counter``) is always fine there, and randomness *inside a
+hypothesis-decorated function* (``@given``, ``@rule``, ...) is exempt —
+hypothesis seeds and restores the global random state around every
+example, so such draws are reproducible by construction.  Ambient
+entropy outside hypothesis's control (wall clock, ``os.urandom``,
+module-level global-random draws) stays forbidden: a test that seeds
+itself from the OS can go green on one machine and red on another.
+Benchmarks remain out of scope — they time themselves freely.
 
 Usage: ``python tools/check_determinism.py`` from the repo root.
 Exit status 1 when any violation is found.
@@ -31,6 +38,15 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src" / "repro"
+TESTS = ROOT / "tests"
+
+# Decorators whose bodies run under hypothesis's control: it seeds the
+# process-global RNG per example (deriving from the example's buffer)
+# and restores it afterwards, so global-random draws inside are
+# reproducible.  ``composite`` builds strategies, the stateful four run
+# inside ``run_state_machine_as_test`` — all hypothesis-managed.
+HYPOTHESIS_DECORATORS = {"given", "composite", "rule", "initialize",
+                         "invariant", "precondition"}
 
 # Dotted call targets that are never acceptable in the library.
 FORBIDDEN = {
@@ -80,11 +96,34 @@ def _dotted(node: ast.expr) -> str | None:
     return None
 
 
+def _hypothesis_spans(tree: ast.AST) -> list[tuple[int, int]]:
+    """Line spans of functions decorated with a hypothesis decorator."""
+    spans = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            dotted = _dotted(target)
+            if dotted and dotted.split(".")[-1] in HYPOTHESIS_DECORATORS:
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+                break
+    return spans
+
+
 def check_file(path: Path, rel: str | None = None) -> list[str]:
     if rel is None:
         rel = path.relative_to(SRC).as_posix()
+    in_tests = rel.startswith("tests/")
     tree = ast.parse(path.read_text(), filename=str(path))
+    spans = _hypothesis_spans(tree) if in_tests else []
     findings = []
+
+    def hypothesis_managed(node: ast.AST) -> bool:
+        return any(lo <= node.lineno <= hi for lo, hi in spans)
+
+    def perf_counter_ok() -> bool:
+        return in_tests or rel in PERF_COUNTER_ALLOWED
 
     def report(node: ast.AST, what: str, why: str):
         findings.append(f"{rel}:{node.lineno}: {what} — {why}")
@@ -107,12 +146,13 @@ def check_file(path: Path, rel: str | None = None) -> list[str]:
                 if dotted in FORBIDDEN:
                     report(node, f"from {module} import {name}",
                            FORBIDDEN[dotted])
-                elif module == "random" and name in GLOBAL_RANDOM:
+                elif module == "random" and name in GLOBAL_RANDOM \
+                        and not hypothesis_managed(node):
                     report(node, f"from random import {name}",
                            "process-global RNG is OS-seeded; pass a "
                            "random.Random(seed)")
                 elif dotted == "time.perf_counter" \
-                        and rel not in PERF_COUNTER_ALLOWED:
+                        and not perf_counter_ok():
                     report(node, "from time import perf_counter",
                            "host timing is reporting-only; allowed "
                            "modules: " + ", ".join(sorted(
@@ -126,18 +166,18 @@ def check_file(path: Path, rel: str | None = None) -> list[str]:
             continue
         if dotted in FORBIDDEN:
             report(node, f"{dotted}()", FORBIDDEN[dotted])
-        elif dotted == "time.perf_counter" \
-                and rel not in PERF_COUNTER_ALLOWED:
+        elif dotted == "time.perf_counter" and not perf_counter_ok():
             report(node, "time.perf_counter()",
                    "host timing is reporting-only; allowed modules: "
                    + ", ".join(sorted(PERF_COUNTER_ALLOWED)))
         elif dotted.startswith("random.") \
-                and dotted.split(".", 1)[1] in GLOBAL_RANDOM:
+                and dotted.split(".", 1)[1] in GLOBAL_RANDOM \
+                and not hypothesis_managed(node):
             report(node, f"{dotted}()",
                    "process-global RNG is OS-seeded; pass a "
                    "random.Random(seed)")
         elif dotted in ("random.Random", "Random") and not node.args \
-                and not node.keywords:
+                and not node.keywords and not hypothesis_managed(node):
             report(node, f"{dotted}()",
                    "unseeded Random draws from the OS; pass a seed")
     return findings
@@ -148,6 +188,11 @@ def main() -> int:
     all_findings = []
     for path in files:
         all_findings.extend(check_file(path))
+    test_files = sorted(TESTS.glob("*.py"))
+    for path in test_files:
+        rel = "tests/" + path.relative_to(TESTS).as_posix()
+        all_findings.extend(check_file(path, rel=rel))
+    files += test_files
     if all_findings:
         print(f"determinism lint: {len(all_findings)} violation(s)")
         for finding in all_findings:
